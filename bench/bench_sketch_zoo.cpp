@@ -1,0 +1,278 @@
+// A1 (ablation/extension) — the rest of the introduction's problem zoo,
+// executed: connectivity, k-edge-connectivity certificates, exact MSF
+// weight, and the dynamic-stream correspondence.  All of these run in
+// polylog(n) (times k or W) bits per player on the SAME model where
+// Theorems 1-2 put maximal matching and MIS at Omega(sqrt n).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/densest.h"
+#include "graph/mincut.h"
+#include "model/runner.h"
+#include "model/one_sided.h"
+#include "protocols/needle.h"
+#include "protocols/sampling_zoo.h"
+#include "protocols/zoo.h"
+#include "stream/dynamic_stream.h"
+
+namespace {
+
+void print_connectivity() {
+  std::cout << "=== A1a: one-round connectivity (component counting) ===\n";
+  ds::core::Table table({"n", "bits/player", "correct"});
+  for (ds::graph::Vertex n : {64u, 256u, 1024u}) {
+    ds::util::Rng rng(n);
+    std::size_t bits = 0, correct = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::graph::Graph g = ds::graph::gnp(n, 3.0 / n, rng);
+      const ds::model::PublicCoins coins(4000 + n + trial);
+      const auto run =
+          ds::model::run_protocol(g, ds::protocols::AgmConnectivity{}, coins);
+      bits = run.comm.max_bits;
+      correct += run.output == ds::graph::connected_components(g).count;
+    }
+    table.add_row({ds::core::fmt(std::uint64_t{n}),
+                   ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                   ds::core::fmt(static_cast<std::uint64_t>(correct)) + "/" +
+                       ds::core::fmt(static_cast<std::uint64_t>(kTrials))});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_k_connectivity() {
+  std::cout << "=== A1b: k-edge-connectivity certificates ===\n";
+  ds::core::Table table(
+      {"n", "k", "bits/player", "|cert| / (k*n)", "capped lambda preserved"});
+  ds::util::Rng rng(17);
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    const ds::graph::Vertex n = 28;
+    std::size_t bits = 0, preserved = 0;
+    double cert_ratio = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::graph::Graph g = ds::graph::gnp(n, 0.35, rng);
+      const ds::model::PublicCoins coins(5000 + k * 100 + trial);
+      const auto run = ds::model::run_protocol(
+          g, ds::protocols::KConnectivityCertificate{k}, coins);
+      bits = run.comm.max_bits;
+      cert_ratio += static_cast<double>(run.output.size()) /
+                    static_cast<double>(k * n);
+      const ds::graph::Graph cert =
+          ds::graph::Graph::from_edges(n, run.output);
+      preserved +=
+          std::min<std::uint64_t>(ds::graph::global_min_cut(g), k) ==
+          std::min<std::uint64_t>(ds::graph::global_min_cut(cert), k);
+    }
+    table.add_row({ds::core::fmt(std::uint64_t{n}),
+                   ds::core::fmt(std::uint64_t{k}),
+                   ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                   ds::core::fmt(cert_ratio / kTrials, 2),
+                   ds::core::fmt(static_cast<std::uint64_t>(preserved)) +
+                       "/" +
+                       ds::core::fmt(static_cast<std::uint64_t>(kTrials))});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_mst_weight() {
+  std::cout << "=== A1c: exact MSF weight from W connectivity sketches ===\n";
+  ds::core::Table table({"n", "W", "bits/player", "exact matches"});
+  ds::util::Rng rng(23);
+  for (std::uint32_t w : {2u, 4u, 8u}) {
+    const ds::graph::Vertex n = 40;
+    std::size_t bits = 0, exact = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::graph::WeightedGraph g =
+          ds::graph::random_weighted_gnp(n, 0.15, w, rng);
+      const ds::model::PublicCoins coins(6000 + w * 100 + trial);
+      const auto run =
+          ds::model::run_protocol(g, ds::protocols::MstWeight{w}, coins);
+      bits = run.comm.max_bits;
+      exact += run.output == ds::graph::kruskal_mst(g).total_weight;
+    }
+    table.add_row(
+        {ds::core::fmt(std::uint64_t{n}), ds::core::fmt(std::uint64_t{w}),
+         ds::core::fmt(static_cast<std::uint64_t>(bits)),
+         ds::core::fmt(static_cast<std::uint64_t>(exact)) + "/" +
+             ds::core::fmt(static_cast<std::uint64_t>(kTrials))});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_dynamic_stream() {
+  std::cout << "=== A1d: the linear-sketch <-> dynamic-stream "
+               "correspondence ===\n";
+  ds::core::Table table({"n", "updates", "spurious pairs", "state bits/n",
+                         "components correct", "greedy matching survives"});
+  ds::util::Rng rng(29);
+  for (ds::graph::Vertex n : {50u, 200u}) {
+    const ds::graph::Graph target = ds::graph::gnp(n, 4.0 / n, rng);
+    const auto updates =
+        ds::stream::scrambled_updates(target, /*spurious_pairs=*/2 * n, rng);
+    ds::stream::DynamicConnectivity connectivity(n, 7000 + n);
+    ds::stream::InsertionGreedyMatching matching(n);
+    for (const auto& u : updates) {
+      connectivity.apply(u);
+      matching.apply(u);
+    }
+    const bool correct = connectivity.query_components() ==
+                         ds::graph::connected_components(target).count;
+    table.add_row(
+        {ds::core::fmt(std::uint64_t{n}),
+         ds::core::fmt(static_cast<std::uint64_t>(updates.size())),
+         ds::core::fmt(std::uint64_t{2 * n}),
+         ds::core::fmt(static_cast<double>(connectivity.state_bits()) / n,
+                       0),
+         correct ? "yes" : "NO", matching.valid() ? "yes" : "no (broken)"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: linear sketches absorb deletions (the reason the"
+         "\nstreaming matching lower bounds the paper cites apply only to"
+         "\nLINEAR sketches, and Theorems 1-2 were needed for general"
+         "\nones); one-pass greedy matching breaks on the same stream.\n\n";
+}
+
+void print_sampling_zoo() {
+  std::cout << "=== A1e: edge counting, densest subgraph, degeneracy ===\n";
+  ds::core::Table table({"problem", "n", "bits/player", "estimate", "truth",
+                         "ratio"});
+  ds::util::Rng rng(61);
+  {
+    const ds::graph::Graph g = ds::graph::gnp(200, 0.2, rng);
+    const ds::model::PublicCoins coins(9100);
+    const auto run = ds::model::run_protocol(
+        g, ds::protocols::EdgeCountEstimate{128}, coins);
+    const double truth = static_cast<double>(g.num_edges());
+    table.add_row({"edge count (KMV k=128)", "200",
+                   ds::core::fmt(static_cast<std::uint64_t>(run.comm.max_bits)),
+                   ds::core::fmt(run.output, 0), ds::core::fmt(truth, 0),
+                   ds::core::fmt(run.output / truth, 2)});
+  }
+  {
+    // Planted K12 in sparse noise.
+    std::vector<ds::graph::Edge> edges;
+    for (ds::graph::Vertex u = 0; u < 12; ++u)
+      for (ds::graph::Vertex v = u + 1; v < 12; ++v) edges.push_back({u, v});
+    for (ds::graph::Vertex v = 12; v < 200; ++v) {
+      edges.push_back({v, static_cast<ds::graph::Vertex>(rng.next_below(v))});
+    }
+    const ds::graph::Graph g = ds::graph::Graph::from_edges(200, edges);
+    const double truth = ds::graph::densest_subgraph_peel(g).density;
+    const ds::model::PublicCoins coins(9200);
+    const auto run = ds::model::run_protocol(
+        g, ds::protocols::SampledDensestSubgraph{0.5}, coins);
+    table.add_row({"densest subgraph (p=0.5)", "200",
+                   ds::core::fmt(static_cast<std::uint64_t>(run.comm.max_bits)),
+                   ds::core::fmt(run.output.density, 2),
+                   ds::core::fmt(truth, 2),
+                   ds::core::fmt(run.output.density / truth, 2)});
+  }
+  {
+    const ds::graph::Graph g = ds::graph::gnp(200, 0.15, rng);
+    const double truth = static_cast<double>(ds::graph::degeneracy(g));
+    const ds::model::PublicCoins coins(9300);
+    const auto run = ds::model::run_protocol(
+        g, ds::protocols::SampledDegeneracy{0.5}, coins);
+    table.add_row({"degeneracy (p=0.5)", "200",
+                   ds::core::fmt(static_cast<std::uint64_t>(run.comm.max_bits)),
+                   ds::core::fmt(run.output, 1), ds::core::fmt(truth, 1),
+                   ds::core::fmt(run.output / truth, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAll three use the shared-hash sampling trick: both\n"
+               "endpoints of an edge make the same sampling decision from\n"
+               "the public coins, so reports merge into one consistent\n"
+               "subsample — edge sharing at work again.\n\n";
+}
+
+void print_one_sided() {
+  std::cout << "=== A2: the one-sided model (related work, Section 1.3) "
+               "===\n";
+  // Needle discovery: the unique degree-1 right vertex's edge.
+  ds::core::Table table({"left=right", "two-sided bits", "1-sided budget",
+                         "1-sided success"});
+  for (ds::graph::Vertex side : {20u, 50u, 100u}) {
+    ds::util::Rng rng(41 + side);
+    std::size_t two_bits = 0;
+    for (std::size_t budget : {16ULL, 64ULL, 256ULL, 4096ULL}) {
+      std::size_t successes = 0;
+      constexpr int kTrials = 10;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const auto inst = ds::graph::needle_bipartite(
+            side, side, std::min(0.5, 8.0 / side), rng);
+        const ds::model::PublicCoins coins(8000 + side + trial);
+        const ds::model::BipartiteInstance bip{inst.graph, inst.left};
+        const ds::protocols::NeedleOneSided one(inst.left, budget);
+        const auto run = ds::model::run_one_sided(bip, one, coins);
+        successes +=
+            run.output.normalized() == inst.needle.normalized();
+        const ds::protocols::NeedleTwoSided two(inst.left);
+        const auto two_run =
+            ds::model::run_protocol(inst.graph, two, coins);
+        two_bits = std::max(two_bits, two_run.comm.max_bits);
+      }
+      table.add_row(
+          {ds::core::fmt(std::uint64_t{side}),
+           ds::core::fmt(static_cast<std::uint64_t>(two_bits)),
+           ds::core::fmt(static_cast<std::uint64_t>(budget)),
+           ds::core::fmt(static_cast<double>(successes) / kTrials, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: with players on both sides the degree-1 vertex"
+         "\nannounces itself (log n bits, success 1 always); with players"
+         "\non one side only, reliable discovery needs budgets near the"
+         "\nfull degree — the related-work models' hardness, flipped off"
+         "\nby the edge-sharing this paper's model has.\n\n";
+}
+
+void bm_dynamic_update(benchmark::State& state) {
+  ds::stream::DynamicConnectivity stream(256, 1);
+  ds::util::Rng rng(2);
+  for (auto _ : state) {
+    const auto u = static_cast<ds::graph::Vertex>(rng.next_below(256));
+    auto v = static_cast<ds::graph::Vertex>(rng.next_below(256));
+    if (u == v) v = (v + 1) % 256;
+    stream.insert(u, v);
+    stream.remove(u, v);
+  }
+}
+BENCHMARK(bm_dynamic_update);
+
+void bm_mst_weight(benchmark::State& state) {
+  ds::util::Rng rng(3);
+  const ds::graph::WeightedGraph g =
+      ds::graph::random_weighted_gnp(32, 0.2, 4, rng);
+  const ds::model::PublicCoins coins(4);
+  const ds::protocols::MstWeight protocol(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds::model::run_protocol(g, protocol, coins));
+  }
+}
+BENCHMARK(bm_mst_weight);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_connectivity();
+  print_k_connectivity();
+  print_mst_weight();
+  print_dynamic_stream();
+  print_sampling_zoo();
+  print_one_sided();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E6 — the upper-bound contrast (Section 1): spanning forest has
+// O(log^3 n)-bit sketches [AGM'12], including on the two-cluster-plus-
+// bridge instance from the introduction, where the footnote-1 protocol
+// finds the bridge with O(log n) bits.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "protocols/bridge_finding.h"
+#include "protocols/spanning_forest.h"
+
+namespace {
+
+void print_agm_scaling() {
+  std::cout << "=== E6a: AGM spanning-forest sketches — bits/player vs n "
+               "===\n";
+  ds::core::Table table({"n", "bits/player", "bits/(log2 n)^3", "bits/n",
+                         "success"});
+  for (ds::graph::Vertex n : {64u, 128u, 256u, 512u, 1024u}) {
+    ds::util::Rng rng(n);
+    std::size_t bits = 0, successes = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::graph::Graph g =
+          ds::graph::gnp(n, 8.0 / static_cast<double>(n), rng);
+      const ds::model::PublicCoins coins(1000 + n + trial);
+      const auto run = ds::model::run_protocol(
+          g, ds::protocols::AgmSpanningForest{}, coins);
+      bits = run.comm.max_bits;
+      successes += ds::graph::is_spanning_forest(g, run.output);
+    }
+    const double log_n = std::log2(static_cast<double>(n));
+    table.add_row(
+        {ds::core::fmt(std::uint64_t{n}),
+         ds::core::fmt(static_cast<std::uint64_t>(bits)),
+         ds::core::fmt(static_cast<double>(bits) / (log_n * log_n * log_n),
+                       1),
+         ds::core::fmt(static_cast<double>(bits) / n, 1),
+         ds::core::fmt(static_cast<std::uint64_t>(successes)) + "/" +
+             ds::core::fmt(static_cast<std::uint64_t>(kTrials))});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper prediction: bits/(log n)^3 ~ constant (the AGM "
+               "O(log^3 n) bound),\nwhile bits/n vanishes — the contrast "
+               "with E3's sqrt(n) wall for matching.\n\n";
+}
+
+void print_bridge() {
+  std::cout << "=== E6b: the footnote-1 bridge instance ===\n";
+  ds::core::Table table({"n", "samples/vertex", "bits/player", "P[found]"});
+  for (ds::graph::Vertex n : {40u, 100u, 400u, 1000u}) {
+    ds::util::Rng rng(n);
+    std::size_t found = 0, bits = 0;
+    constexpr int kTrials = 20;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      // Dense clusters (the footnote's regime: cluster degree >> samples,
+      // so the bridge itself is rarely sampled and the partition comes
+      // from the cluster samples alone).
+      const auto [g, bridge] =
+          ds::graph::two_clusters_with_bridge(n, 0.3, rng);
+      const ds::model::PublicCoins coins(2000 + n + trial);
+      const auto run = ds::model::run_protocol(
+          g, ds::protocols::BridgeFinding{10}, coins);
+      found += run.output.normalized() == bridge.normalized();
+      bits = run.comm.max_bits;
+    }
+    table.add_row({ds::core::fmt(std::uint64_t{n}), "10",
+                   ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                   ds::core::fmt(static_cast<double>(found) / kTrials, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper prediction: O(log n)-size sketches find the bridge "
+               "w.h.p. —\nthe introduction's evidence that edge-sharing "
+               "between players defeats\nthe naive Omega(n) intuition.\n\n";
+}
+
+void bm_agm_encode(benchmark::State& state) {
+  const ds::graph::Vertex n = static_cast<ds::graph::Vertex>(state.range(0));
+  ds::util::Rng rng(1);
+  const ds::graph::Graph g = ds::graph::gnp(n, 8.0 / n, rng);
+  const ds::model::PublicCoins coins(2);
+  const ds::protocols::AgmSpanningForest protocol;
+  for (auto _ : state) {
+    ds::model::CommStats comm;
+    benchmark::DoNotOptimize(
+        ds::model::collect_sketches(g, protocol, coins, comm));
+  }
+}
+BENCHMARK(bm_agm_encode)->Arg(64)->Arg(256);
+
+void bm_agm_full(benchmark::State& state) {
+  ds::util::Rng rng(3);
+  const ds::graph::Graph g = ds::graph::gnp(128, 0.06, rng);
+  const ds::model::PublicCoins coins(4);
+  const ds::protocols::AgmSpanningForest protocol;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds::model::run_protocol(g, protocol, coins));
+  }
+}
+BENCHMARK(bm_agm_full);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_agm_scaling();
+  print_bridge();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

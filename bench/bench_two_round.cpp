@@ -1,0 +1,241 @@
+// E8 — the Section 1.1 remark: with ONE extra round, both maximal
+// matching and MIS drop to O(sqrt n)-size adaptive sketches
+// ([Lattanzi et al. '11] filtering, [Ghaffari et al. '18] sparsification).
+//
+// We run the two-round protocols on G(n, p) and on D_MM itself and report
+// realized per-player bits against sqrt(n)*log(n), plus success rates.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+
+#include "core/report.h"
+#include "graph/generators.h"
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+#include "lowerbound/dmm.h"
+#include "lowerbound/mis_reduction.h"
+#include "model/adaptive.h"
+#include "model/runner.h"
+#include "protocols/budgeted_two_round.h"
+#include "protocols/two_round_matching.h"
+#include "protocols/luby_bcc.h"
+#include "protocols/sampled_mis.h"
+#include "protocols/two_round_mis.h"
+#include "rs/rs_graph.h"
+
+namespace {
+
+void print_matching() {
+  std::cout << "=== E8a: two-round adaptive maximal matching ===\n";
+  ds::core::Table table({"graph", "n", "bits/player", "sqrt(n)*log2(n)",
+                         "ratio", "P[maximal]"});
+  auto run_case = [&table](const std::string& label,
+                           const ds::graph::Graph& g, std::uint64_t seed) {
+    const ds::graph::Vertex n = g.num_vertices();
+    const std::size_t c =
+        static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) + 4;
+    const ds::protocols::TwoRoundMatching protocol(c, 8 * c);
+    std::size_t bits = 0, ok = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::model::PublicCoins coins(ds::util::mix64(seed, trial));
+      const auto run = ds::model::run_adaptive(g, protocol, coins);
+      bits = std::max(bits, run.comm.max_bits);
+      ok += ds::graph::is_maximal_matching(g, run.output);
+    }
+    const double yard = std::sqrt(static_cast<double>(n)) *
+                        std::log2(static_cast<double>(n));
+    table.add_row({label, ds::core::fmt(std::uint64_t{n}),
+                   ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                   ds::core::fmt(yard, 0),
+                   ds::core::fmt(static_cast<double>(bits) / yard, 2),
+                   ds::core::fmt(static_cast<double>(ok) / kTrials, 2)});
+  };
+
+  ds::util::Rng rng(11);
+  for (ds::graph::Vertex n : {100u, 400u, 1600u}) {
+    run_case("gnp(" + std::to_string(n) + ")",
+             ds::graph::gnp(n, 8.0 / n, rng), 100 + n);
+  }
+  for (std::uint64_t m : {8ULL, 16ULL}) {
+    const ds::rs::RsGraph base = ds::rs::rs_graph(m);
+    const auto inst = ds::lowerbound::sample_dmm(base, base.t(), rng);
+    run_case("D_MM(m=" + std::to_string(m) + ")", inst.g, 200 + m);
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_mis() {
+  std::cout << "=== E8b: two-round adaptive MIS ===\n";
+  ds::core::Table table(
+      {"graph", "n", "bits/player", "sqrt(n)*log2(n)", "ratio", "P[MIS]"});
+  ds::util::Rng rng(13);
+  for (ds::graph::Vertex n : {100u, 400u, 1600u}) {
+    const ds::graph::Graph g = ds::graph::gnp(n, 8.0 / n, rng);
+    const double p_mark =
+        std::min(1.0, 3.0 / std::sqrt(static_cast<double>(n)));
+    const ds::protocols::TwoRoundMis protocol(
+        p_mark, static_cast<std::size_t>(
+                    24 * std::sqrt(static_cast<double>(n))));
+    std::size_t bits = 0, ok = 0;
+    constexpr int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const ds::model::PublicCoins coins(ds::util::mix64(n, trial));
+      const auto run = ds::model::run_adaptive(g, protocol, coins);
+      bits = std::max(bits, run.comm.max_bits);
+      ok += ds::graph::is_maximal_independent_set(g, run.output);
+    }
+    const double yard = std::sqrt(static_cast<double>(n)) *
+                        std::log2(static_cast<double>(n));
+    table.add_row({"gnp(" + std::to_string(n) + ")",
+                   ds::core::fmt(std::uint64_t{n}),
+                   ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                   ds::core::fmt(yard, 0),
+                   ds::core::fmt(static_cast<double>(bits) / yard, 2),
+                   ds::core::fmt(static_cast<double>(ok) / kTrials, 2)});
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nPaper prediction: one extra round collapses both problems to"
+         "\n~sqrt(n) bits/player (ratio columns ~constant) — the Theorem"
+         "\n1/2 wall is specific to ONE round.\n\n";
+}
+
+// E8c: adaptivity under a shared TOTAL budget — the open middle ground
+// between Theorem 1's one-round wall and the unbudgeted two-round upper
+// bound.  Same total bits; the two-round protocol routes round 1 to the
+// residual and crosses to success at a lower total budget.
+void print_budgeted_adaptivity() {
+  std::cout << "=== E8c: one round vs two rounds at equal total budget "
+               "(D_MM, m=16) ===\n";
+  const ds::rs::RsGraph base = ds::rs::rs_graph(16);
+  ds::core::Table table({"total budget bits", "P[maximal] 1-round",
+                         "P[maximal] 2-round"});
+  for (std::size_t total : {12ULL, 16ULL, 24ULL, 32ULL, 48ULL, 96ULL}) {
+    std::size_t one_ok = 0, two_ok = 0;
+    constexpr std::size_t kTrials = 10;
+    ds::util::Rng rng(83);
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      const auto inst = ds::lowerbound::sample_dmm(base, base.t(), rng);
+      const ds::model::PublicCoins coins(ds::util::mix64(total, trial));
+      const ds::protocols::BudgetedTwoRoundMatching one(total, 0);
+      const ds::protocols::BudgetedTwoRoundMatching two(total / 2,
+                                                        total / 2);
+      one_ok += ds::graph::is_maximal_matching(
+          inst.g, ds::model::run_adaptive(inst.g, one, coins).output);
+      two_ok += ds::graph::is_maximal_matching(
+          inst.g, ds::model::run_adaptive(inst.g, two, coins).output);
+    }
+    table.add_row({ds::core::fmt(static_cast<std::uint64_t>(total)),
+                   ds::core::fmt(static_cast<double>(one_ok) / kTrials, 2),
+                   ds::core::fmt(static_cast<double>(two_ok) / kTrials, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAdaptivity buys a constant-factor budget saving here;"
+               "\nTheorem 1 is about the FIRST column's wall.\n\n";
+}
+
+// E8d: the full rounds-vs-bits tradeoff for MIS, on an easy graph (sparse
+// gnp) and on the hard one (the Section 4 reduction graph H over D_MM).
+void print_rounds_vs_bits() {
+  std::cout << "=== E8d: rounds vs bits for MIS ===\n";
+  ds::core::Table table({"graph", "protocol", "rounds", "bits/player",
+                         "P[MIS] (5 trials)"});
+
+  const auto run_rows = [&table](const std::string& label,
+                                 const ds::graph::Graph& g,
+                                 std::uint64_t seed) {
+    const ds::graph::Vertex n = g.num_vertices();
+    {  // one round: smallest doubling budget reaching 5/5.
+      std::size_t bits = 0;
+      double rate = 0;
+      for (std::size_t budget = 32; budget <= (1u << 20); budget *= 2) {
+        std::size_t ok = 0, seen_bits = 0;
+        for (int trial = 0; trial < 5; ++trial) {
+          const ds::model::PublicCoins coins(
+              ds::util::mix64(seed + budget, trial));
+          const ds::protocols::BudgetedMis protocol(budget);
+          const auto run = ds::model::run_protocol(g, protocol, coins);
+          ok += ds::graph::is_maximal_independent_set(g, run.output);
+          seen_bits = std::max(seen_bits, run.comm.max_bits);
+        }
+        bits = seen_bits;
+        rate = ok / 5.0;
+        if (ok == 5) break;
+      }
+      table.add_row({label, "one-round edge reports", "1",
+                     ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                     ds::core::fmt(rate, 2)});
+    }
+    {  // two rounds.
+      const double p_mark = 3.0 / std::sqrt(static_cast<double>(n));
+      const ds::protocols::TwoRoundMis protocol(std::min(1.0, p_mark),
+                                                2 * n);
+      std::size_t bits = 0, ok = 0;
+      for (int trial = 0; trial < 5; ++trial) {
+        const ds::model::PublicCoins coins(ds::util::mix64(seed + 1, trial));
+        const auto run = ds::model::run_adaptive(g, protocol, coins);
+        bits = std::max(bits, run.comm.max_bits);
+        ok += ds::graph::is_maximal_independent_set(g, run.output);
+      }
+      table.add_row({label, "two-round marked", "2",
+                     ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                     ds::core::fmt(ok / 5.0, 2)});
+    }
+    {  // Luby over the broadcast congested clique.
+      const auto protocol = ds::protocols::make_luby_bcc(n);
+      std::size_t bits = 0, ok = 0;
+      for (int trial = 0; trial < 5; ++trial) {
+        const ds::model::PublicCoins coins(ds::util::mix64(seed + 2, trial));
+        const auto run = ds::model::run_adaptive(g, protocol, coins);
+        bits = std::max(bits, run.comm.max_bits);
+        ok += ds::graph::is_maximal_independent_set(g, run.output);
+      }
+      table.add_row({label, "Luby (BCC)",
+                     ds::core::fmt(std::uint64_t{protocol.num_rounds()}),
+                     ds::core::fmt(static_cast<std::uint64_t>(bits)),
+                     ds::core::fmt(ok / 5.0, 2)});
+    }
+  };
+
+  ds::util::Rng rng(97);
+  run_rows("gnp(400)", ds::graph::gnp(400, 8.0 / 400, rng), 11000);
+  {
+    const ds::rs::RsGraph base = ds::rs::rs_graph(16);
+    const auto inst = ds::lowerbound::sample_dmm(base, base.t(), rng);
+    const ds::graph::Graph h = ds::lowerbound::build_reduction_graph(inst);
+    run_rows("H(D_MM m=16)", h, 12000);
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nReading: on the easy sparse graph even one round is cheap —"
+         "\nthe wall is DISTRIBUTION-specific.  On the reduction graph H"
+         "\n(where Theorem 2 lives) the one-round budget balloons with"
+         "\nthe dense public biclique, while Luby stays at O(log n) total"
+         "\nbits: more rounds of interaction are exponentially cheaper.\n\n";
+}
+
+void bm_two_round_matching(benchmark::State& state) {
+  ds::util::Rng rng(1);
+  const ds::graph::Graph g = ds::graph::gnp(200, 0.05, rng);
+  const ds::protocols::TwoRoundMatching protocol(18, 150);
+  const ds::model::PublicCoins coins(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds::model::run_adaptive(g, protocol, coins));
+  }
+}
+BENCHMARK(bm_two_round_matching);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matching();
+  print_mis();
+  print_budgeted_adaptivity();
+  print_rounds_vs_bits();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

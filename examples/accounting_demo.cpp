@@ -1,0 +1,76 @@
+// The proof of Theorem 1, executed: on an exhaustively enumerable
+// mini-instance of D_MM we compute the exact joint law of (inputs,
+// transcript), evaluate every quantity in Lemmas 3.3-3.5, and show the
+// optimal (MAP) referee bumping against the Fano ceiling.
+//
+// Reading guide (paper section -> printed block):
+//   Lemma 3.3  — successful protocols carry >= kr/6 bits about M.
+//   Lemma 3.4  — that information splits into the public players' message
+//                entropy plus the per-copy unique-player terms.
+//   Lemma 3.5  — each unique-player term is <= H(Pi(U_i)) / t: the
+//                unique players don't know j*, so they pay a 1/t factor.
+//   Converse   — MAP decoding is the best any referee can do, and Fano
+//                caps its success at (I + 1) / kr.
+#include <iostream>
+
+#include "lowerbound/accounting.h"
+#include "lowerbound/optimal_referee.h"
+#include "rs/rs_graph.h"
+
+int main() {
+  using namespace ds;
+  using namespace ds::lowerbound;
+
+  // The instance: a (r=1, t=2) "book" RS graph, k = 2 copies, n = 5
+  // vertices, 4 survival bits -> 2 * 16 * 120 enumerable outcomes with
+  // sigma ranging over all permutations.
+  const rs::RsGraph base = rs::book_rs(1, 2);
+  const auto sigmas = all_permutations(5);
+  std::cout << "Instance: book RS (r=1, t=2), k=2, n=5; enumerating "
+            << sigmas.size() << " sigmas x 2 j* x 16 survival patterns\n\n";
+
+  const FullReportEncoder full;
+  const CappedReportEncoder cap1(1);
+  const SilentEncoder silent;
+  const ParityEncoder parity;
+
+  for (const RefinedEncoder* enc :
+       std::initializer_list<const RefinedEncoder*>{&full, &cap1, &parity,
+                                                    &silent}) {
+    const AccountingResult acct =
+        enumerate_accounting(base, 2, *enc, sigmas);
+    const OptimalRefereeResult opt =
+        optimal_referee_success(base, 2, *enc, sigmas);
+
+    std::cout << "--- encoder: " << enc->name() << " (worst message "
+              << acct.max_message_bits << " bits) ---\n";
+    std::cout << "  P[success], greedy referee : " << opt.greedy_success
+              << "\n  P[success], OPTIMAL (MAP)  : " << opt.optimal_success
+              << "\n  Fano ceiling (I+1)/kr      : "
+              << opt.fano_success_bound
+              << "\n  I(M ; Pi | Sigma, J)       : " << acct.info_m_pi
+              << "  (kr/6 = " << acct.kr / 6.0 << ")"
+              << "\n  H(Pi(P))                   : " << acct.h_pi_public
+              << "\n  sum_i I(M_i ; Pi(U_i))     : ";
+    double sum = 0;
+    for (double v : acct.info_mi_piui) sum += v;
+    std::cout << sum << "\n  Lemma 3.3 "
+              << (acct.lemma33_applicable
+                      ? (acct.lemma33_holds ? "HOLDS" : "VIOLATED")
+                      : "n/a (protocol fails)")
+              << " | Lemma 3.4 " << (acct.lemma34_holds ? "HOLDS" : "VIOLATED")
+              << " | Lemma 3.5 " << (acct.lemma35_holds ? "HOLDS" : "VIOLATED")
+              << "\n\n";
+  }
+
+  std::cout
+      << "Take-away: success tracks INFORMATION, not message form. On this\n"
+         "tiny instance one parity bit happens to carry the whole survival\n"
+         "bit (leaf players have at most one edge), so the MAP referee\n"
+         "succeeds where the edge-union referee cannot — while the silent\n"
+         "encoder sits at I = 0 and NO referee beats blind guessing\n"
+         "(Fano). Theorem 1 is this tension at scale: with r edges per\n"
+         "unique vertex and t candidate matchings, cheap messages cannot\n"
+         "carry kr/6 bits about M.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Walk through the hard distribution D_MM (Section 3.1) and watch a
+// budget-limited one-round protocol hit the paper's wall.
+//
+// Steps:
+//   1. build an (r, t)-Ruzsa-Szemeredi graph from a Behrend set;
+//   2. sample G ~ D_MM (k = t subsampled copies, shared public vertices,
+//      per-copy unique vertices);
+//   3. audit Claim 3.1 (every maximal matching is forced to contain
+//      ~k*r/4 unique-unique special edges);
+//   4. sweep the per-player budget of the edge-report protocol and print
+//      the success phase transition around r*log(n) bits.
+#include <iostream>
+
+#include "core/experiment.h"
+#include "core/report.h"
+#include "graph/matching.h"
+#include "lowerbound/claims.h"
+#include "model/runner.h"
+#include "protocols/budgeted.h"
+#include "protocols/sampled_matching.h"
+#include "rs/rs_graph.h"
+
+int main() {
+  using namespace ds;
+
+  // 1. The substrate.
+  const std::uint64_t m = 16;
+  const rs::RsGraph base = rs::rs_graph(m);
+  std::cout << "RS graph: N=" << base.num_vertices() << " vertices, t="
+            << base.t() << " induced matchings of size r=" << base.r()
+            << " (verified: " << (rs::verify_rs(base) ? "yes" : "no")
+            << ")\n";
+
+  // 2. One sample of D_MM.
+  util::Rng rng(123);
+  const lowerbound::DmmInstance inst =
+      lowerbound::sample_dmm(base, base.t(), rng);
+  const lowerbound::DmmParameters& p = inst.params;
+  std::cout << "D_MM sample: n=" << p.n << " vertices ("
+            << p.num_public() << " public + " << p.num_unique()
+            << " unique), " << inst.g.num_edges() << " edges, j*="
+            << inst.j_star << "\n\n";
+
+  // 3. Claim 3.1 on an adversarial maximal matching.
+  const graph::Matching adversarial =
+      lowerbound::adversarial_maximal_matching(inst);
+  const lowerbound::Claim31Audit audit =
+      lowerbound::audit_claim31(inst, adversarial);
+  std::cout << "Claim 3.1 audit (adversarial maximal matching):\n"
+            << "  |union M_i| surviving : " << audit.union_special_size
+            << "  (expected ~kr/2 = " << p.k * p.r / 2 << ")\n"
+            << "  unique-unique edges   : " << audit.unique_unique
+            << "  vs threshold kr/4 = " << audit.threshold << '\n'
+            << "  forced edges missing  : " << audit.forced_edges_missing
+            << "  (must be 0 for any maximal matching)\n\n";
+
+  // 4. The budget sweep.
+  std::cout << "Budget sweep (one-round edge-report protocol, 8 trials "
+               "each):\n";
+  core::Table table({"budget bits", "P[maximal]", "P[special known]"});
+  const unsigned width = util::bit_width_for(p.n);
+  for (std::size_t budget :
+       {width, 4 * width, 16 * width, 64 * width, 256 * width}) {
+    std::size_t maximal = 0, known = 0;
+    constexpr int kTrials = 8;
+    util::Rng sweep_rng(55);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const auto trial_inst =
+          lowerbound::sample_dmm(base, base.t(), sweep_rng);
+      const model::PublicCoins coins(util::mix64(9, trial));
+      const protocols::BudgetedMatching protocol(budget);
+      model::CommStats comm;
+      const auto sketches =
+          model::collect_sketches(trial_inst.g, protocol, coins, comm);
+      const graph::Graph seen =
+          protocols::decode_reported_graph(p.n, sketches);
+      bool all_known = true;
+      for (const auto& mi : trial_inst.special_surviving) {
+        for (const graph::Edge& e : mi) {
+          all_known &= seen.has_edge(e.u, e.v);
+        }
+      }
+      known += all_known;
+      const auto matching = protocol.decode(p.n, sketches, coins);
+      maximal += graph::is_maximal_matching(trial_inst.g, matching);
+    }
+    table.add_row({core::fmt(static_cast<std::uint64_t>(budget)),
+                   core::fmt(maximal / 8.0, 2), core::fmt(known / 8.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nTheorem 1: ANY protocol needs ~" << base.r()
+            << "*log(n) ~ sqrt(n)/e^{Theta(sqrt(log n))} bits here; the "
+               "sweep shows the\nfamily crossing exactly that scale.\n";
+  return 0;
+}

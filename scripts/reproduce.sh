@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, run the full test suite and
+# every experiment bench, capturing outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  [ -x "$b" ] || continue
+  echo "=====================================================" | tee -a bench_output.txt
+  echo "== $(basename "$b")" | tee -a bench_output.txt
+  echo "=====================================================" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done
+
+echo "Done: test_output.txt and bench_output.txt written."

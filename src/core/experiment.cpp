@@ -1,0 +1,56 @@
+#include "core/experiment.h"
+
+#include <cmath>
+
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+#include "rs/rs_graph.h"
+
+namespace ds::core {
+
+MatchingScore score_matching(const graph::Graph& g,
+                             std::span<const graph::Edge> m) {
+  MatchingScore score;
+  score.size = m.size();
+  score.structurally_matching = graph::is_matching(m, g.num_vertices());
+  score.valid = score.structurally_matching && graph::is_valid_matching(g, m);
+  score.maximal = score.valid && graph::is_maximal_matching(g, m);
+  return score;
+}
+
+MisScore score_mis(const graph::Graph& g, std::span<const graph::Vertex> s) {
+  MisScore score;
+  score.size = s.size();
+  score.independent = graph::is_independent_set(g, s);
+  score.maximal =
+      score.independent && graph::is_maximal_independent_set(g, s);
+  return score;
+}
+
+bool remark36_success(const lowerbound::DmmInstance& inst,
+                      std::span<const graph::Edge> m) {
+  if (!graph::is_matching(m, inst.params.n)) return false;
+  if (!graph::is_valid_matching(inst.g, m)) return false;
+  std::size_t unique_unique = lowerbound::count_unique_unique(inst, m);
+  return unique_unique >= inst.params.claim31_threshold();
+}
+
+Theorem1Bound theorem1_bound(std::uint64_t m) {
+  const rs::RsParameters params = rs::rs_parameters(m);
+  Theorem1Bound bound;
+  bound.big_n = params.n;
+  bound.r = params.r;
+  bound.t = params.t;
+  bound.k = params.t;  // the distribution sets k = t
+  bound.n = bound.big_n - 2 * bound.r + 2 * bound.r * bound.k;
+  bound.info_lower = static_cast<double>(bound.k * bound.r) / 6.0;
+  bound.comm_upper_coeff = 2.0 * static_cast<double>(bound.big_n);
+  // 2Nb >= kr/6  =>  b >= kr / (12N); the paper's k = t = N/3 makes this
+  // r/36 — our construction's t/N ratio is folded in exactly.
+  bound.b_lower = static_cast<double>(bound.k * bound.r) /
+                  (12.0 * static_cast<double>(bound.big_n));
+  bound.sqrt_n = std::sqrt(static_cast<double>(bound.n));
+  return bound;
+}
+
+}  // namespace ds::core

@@ -1,0 +1,33 @@
+// Plain-text table reporting for benches and examples: fixed-width
+// columns, right-aligned numbers, no dependencies.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ds::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Machine-readable variant for downstream plotting.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double (e.g. fmt(0.12345, 3) == "0.123").
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+[[nodiscard]] std::string fmt(std::uint64_t value);
+[[nodiscard]] std::string fmt(std::size_t value, bool);  // disambiguator
+[[nodiscard]] std::string fmt_bool(bool value);
+
+}  // namespace ds::core

@@ -1,0 +1,20 @@
+#include "core/sweep.h"
+
+#include <cmath>
+
+namespace ds::core {
+
+std::vector<std::size_t> geometric_budgets(std::size_t lo, std::size_t hi,
+                                           double factor) {
+  std::vector<std::size_t> budgets;
+  double current = static_cast<double>(lo);
+  while (static_cast<std::size_t>(current) < hi) {
+    const std::size_t b = static_cast<std::size_t>(current);
+    if (budgets.empty() || b != budgets.back()) budgets.push_back(b);
+    current *= factor;
+  }
+  if (budgets.empty() || budgets.back() != hi) budgets.push_back(hi);
+  return budgets;
+}
+
+}  // namespace ds::core

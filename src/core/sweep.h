@@ -1,0 +1,83 @@
+// The budget-sweep harness: for a protocol family parameterized by a
+// per-player bit budget, estimate success probability per budget over an
+// input distribution, and locate the threshold budget for a target rate.
+//
+// This is the engine behind experiments E3 (maximal matching on D_MM) and
+// the MIS sweeps: the paper predicts the threshold tracks ~r (up to log
+// factors), i.e. ~sqrt(n)/e^{Theta(sqrt(log n))}.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "model/runner.h"
+#include "util/stats.h"
+
+namespace ds::core {
+
+struct SweepPoint {
+  std::size_t budget_bits = 0;     // requested budget
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  std::size_t max_bits_seen = 0;   // realized worst player message
+  double rate = 0.0;
+  util::Interval ci{0.0, 1.0};     // Wilson 95%
+};
+
+struct SweepResult {
+  std::vector<SweepPoint> points;
+  /// Smallest swept budget whose rate reached the target, if any.
+  std::optional<std::size_t> threshold_budget;
+};
+
+/// For each budget: `trials` independent runs, each with a fresh graph
+/// from `make_graph(trial_seed)` and fresh public coins; success judged by
+/// `is_success(graph, output)`.
+template <typename Output>
+[[nodiscard]] SweepResult sweep_budgets(
+    std::span<const std::size_t> budgets, std::size_t trials,
+    std::uint64_t seed,
+    const std::function<graph::Graph(std::uint64_t)>& make_graph,
+    const std::function<
+        std::unique_ptr<model::SketchingProtocol<Output>>(std::size_t)>&
+        make_protocol,
+    const std::function<bool(const graph::Graph&, const Output&)>& is_success,
+    double target_rate = 0.99) {
+  SweepResult result;
+  for (std::size_t budget : budgets) {
+    SweepPoint point;
+    point.budget_bits = budget;
+    const auto protocol = make_protocol(budget);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      const std::uint64_t trial_seed = util::mix64(seed, trial);
+      const graph::Graph g = make_graph(trial_seed);
+      const model::PublicCoins coins(util::mix64(trial_seed, 0xC01));
+      const model::RunResult<Output> run =
+          model::run_protocol(g, *protocol, coins);
+      ++point.trials;
+      if (is_success(g, run.output)) ++point.successes;
+      if (run.comm.max_bits > point.max_bits_seen) {
+        point.max_bits_seen = run.comm.max_bits;
+      }
+    }
+    point.rate = point.trials == 0
+                     ? 0.0
+                     : static_cast<double>(point.successes) /
+                           static_cast<double>(point.trials);
+    point.ci = util::wilson_interval(point.successes, point.trials);
+    if (!result.threshold_budget.has_value() && point.rate >= target_rate) {
+      result.threshold_budget = budget;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+/// A geometric budget ladder: lo, lo*factor, ... capped at hi (inclusive).
+[[nodiscard]] std::vector<std::size_t> geometric_budgets(std::size_t lo,
+                                                         std::size_t hi,
+                                                         double factor = 2.0);
+
+}  // namespace ds::core

@@ -1,0 +1,35 @@
+#include "graph/connectivity.h"
+
+#include "graph/dsu.h"
+
+namespace ds::graph {
+
+Components connected_components(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  Dsu dsu(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (u < v) dsu.unite(u, v);
+    }
+  }
+  Components result;
+  result.label.assign(n, 0xffffffffu);
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex root = dsu.find(v);
+    if (result.label[root] == 0xffffffffu) result.label[root] = result.count++;
+    result.label[v] = result.label[root];
+  }
+  return result;
+}
+
+bool is_spanning_forest(const Graph& g, std::span<const Edge> edges) {
+  Dsu dsu(g.num_vertices());
+  for (const Edge& e : edges) {
+    if (!g.has_edge(e.u, e.v)) return false;  // fabricated edge
+    if (!dsu.unite(e.u, e.v)) return false;   // cycle
+  }
+  // Acyclic subgraph of g: spans iff it has as few components as g.
+  return dsu.num_sets() == connected_components(g).count;
+}
+
+}  // namespace ds::graph

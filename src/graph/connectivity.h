@@ -1,0 +1,26 @@
+// Connectivity helpers: component counting/labeling and spanning-forest
+// validation (the correctness predicate for the AGM protocol).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ds::graph {
+
+/// Component label per vertex, labels are 0..num_components-1 in order of
+/// first appearance.
+struct Components {
+  std::vector<std::uint32_t> label;
+  std::uint32_t count = 0;
+};
+[[nodiscard]] Components connected_components(const Graph& g);
+
+/// True iff `edges` are all edges of g, form no cycle, and connect exactly
+/// g's components (i.e. |edges| == n - #components(g) and the forest's
+/// components coincide with g's).
+[[nodiscard]] bool is_spanning_forest(const Graph& g,
+                                      std::span<const Edge> edges);
+
+}  // namespace ds::graph

@@ -1,0 +1,131 @@
+#include "graph/densest.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ds::graph {
+
+namespace {
+
+struct Peeling {
+  std::vector<Vertex> order;        // removal order
+  std::vector<std::uint32_t> deg_at_removal;
+};
+
+/// Min-degree peeling in O((n + m) log n) via bucket queues.
+Peeling peel(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_deg = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    max_deg = std::max(max_deg, degree[v]);
+  }
+  // Bucket queue by current degree.
+  std::vector<std::vector<Vertex>> buckets(max_deg + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+
+  Peeling result;
+  result.order.reserve(n);
+  result.deg_at_removal.reserve(n);
+  std::uint32_t cursor = 0;
+  for (Vertex step = 0; step < n; ++step) {
+    // Find the lowest non-empty bucket (cursor can regress by 1 per
+    // removal, so rewind defensively).
+    while (cursor > 0 && !buckets[cursor - 1].empty()) --cursor;
+    while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+    // Pop a still-live vertex with current degree == bucket index.
+    Vertex v = n;
+    while (cursor <= max_deg) {
+      auto& bucket = buckets[cursor];
+      while (!bucket.empty()) {
+        const Vertex candidate = bucket.back();
+        bucket.pop_back();
+        if (!removed[candidate] && degree[candidate] == cursor) {
+          v = candidate;
+          break;
+        }
+      }
+      if (v != n) break;
+      ++cursor;
+    }
+    assert(v != n);
+    removed[v] = true;
+    result.order.push_back(v);
+    result.deg_at_removal.push_back(degree[v]);
+    for (Vertex w : g.neighbors(v)) {
+      if (!removed[w]) {
+        --degree[w];
+        buckets[degree[w]].push_back(w);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DensestResult densest_subgraph_peel(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  DensestResult best;
+  if (n == 0) return best;
+
+  const Peeling peeling = peel(g);
+  // Walk the peeling: after removing order[0..i-1], the remaining suffix
+  // has m_i edges; removing order[i] deletes deg_at_removal[i] edges.
+  std::vector<std::size_t> suffix_edges(n + 1, 0);
+  suffix_edges[0] = g.num_edges();
+  for (Vertex i = 0; i < n; ++i) {
+    suffix_edges[i + 1] = suffix_edges[i] - peeling.deg_at_removal[i];
+  }
+  Vertex best_i = 0;
+  double best_density = -1.0;
+  for (Vertex i = 0; i < n; ++i) {
+    const double density = static_cast<double>(suffix_edges[i]) /
+                           static_cast<double>(n - i);
+    if (density > best_density) {
+      best_density = density;
+      best_i = i;
+    }
+  }
+  best.density = best_density;
+  best.subset.assign(peeling.order.begin() + best_i, peeling.order.end());
+  std::sort(best.subset.begin(), best.subset.end());
+  return best;
+}
+
+DensestResult densest_subgraph_exact_tiny(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  assert(n <= 20 && "exhaustive densest subgraph is for tiny graphs only");
+  DensestResult best;
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::size_t edges = 0;
+    for (const Edge& e : g.edges()) {
+      if ((mask >> e.u & 1) && (mask >> e.v & 1)) ++edges;
+    }
+    const double size = static_cast<double>(__builtin_popcount(mask));
+    const double density = static_cast<double>(edges) / size;
+    if (density > best.density) {
+      best.density = density;
+      best.subset.clear();
+      for (Vertex v = 0; v < n; ++v) {
+        if (mask >> v & 1) best.subset.push_back(v);
+      }
+    }
+  }
+  return best;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  const Peeling peeling = peel(g);
+  return *std::max_element(peeling.deg_at_removal.begin(),
+                           peeling.deg_at_removal.end());
+}
+
+std::vector<Vertex> degeneracy_order(const Graph& g) {
+  return peel(g).order;
+}
+
+}  // namespace ds::graph

@@ -1,0 +1,40 @@
+// Densest subgraph and degeneracy by min-degree peeling — the exact
+// referee-side algorithms behind the [BHNT15]/[MTVV15] densest-subgraph
+// and [FT16] degeneracy sketching citations in the paper's introduction.
+//
+// Peeling facts used:
+//  * tracking the best density over all peeling suffixes gives a
+//    2-approximation of the maximum subgraph density max_S |E(S)|/|S|;
+//  * the maximum min-degree encountered is exactly the degeneracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ds::graph {
+
+struct DensestResult {
+  std::vector<Vertex> subset;  // the best peeling suffix
+  double density = 0.0;        // |E(subset)| / |subset|
+};
+
+/// Min-degree peeling; 2-approximation of the densest subgraph.
+[[nodiscard]] DensestResult densest_subgraph_peel(const Graph& g);
+
+/// Exact maximum subgraph density by exhaustive peel... no: exact densest
+/// subgraph is polynomial via flow but heavyweight; for validation we use
+/// the exhaustive check over all subsets for tiny graphs (n <= 20).
+[[nodiscard]] DensestResult densest_subgraph_exact_tiny(const Graph& g);
+
+/// Degeneracy: max over the peeling of the minimum degree at removal
+/// time.  Equals the smallest d such that every subgraph has a vertex of
+/// degree <= d.
+[[nodiscard]] std::uint32_t degeneracy(const Graph& g);
+
+/// Degeneracy ordering (the peel order); coloring greedily in reverse
+/// uses at most degeneracy+1 colors.
+[[nodiscard]] std::vector<Vertex> degeneracy_order(const Graph& g);
+
+}  // namespace ds::graph

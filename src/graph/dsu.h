@@ -1,0 +1,51 @@
+// Disjoint-set union with path halving and union by size.
+// Used by the AGM referee (Boruvka), connectivity validation, and the
+// two-round protocol referees.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+namespace ds::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::uint32_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint32_t v) noexcept {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];  // path halving
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Returns true iff the two were in different sets (a merge happened).
+  bool unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --num_sets_;
+    return true;
+  }
+
+  [[nodiscard]] bool same(std::uint32_t a, std::uint32_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  [[nodiscard]] std::uint32_t num_sets() const noexcept { return num_sets_; }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::uint32_t num_sets_;
+};
+
+}  // namespace ds::graph

@@ -1,0 +1,151 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ds::graph {
+
+namespace {
+
+/// Geometric skipping: enumerate each of `total` Bernoulli(p) successes in
+/// expected O(p * total) time.
+template <typename OnIndex>
+void for_each_success(std::uint64_t total, double p, util::Rng& rng,
+                      OnIndex&& on_index) {
+  if (p <= 0.0 || total == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < total; ++i) on_index(i);
+    return;
+  }
+  const double log1mp = std::log1p(-p);
+  std::uint64_t i = 0;
+  while (true) {
+    const double u = 1.0 - rng.next_double();  // (0, 1]
+    const double skip = std::floor(std::log(u) / log1mp);
+    if (skip >= static_cast<double>(total - i)) return;
+    i += static_cast<std::uint64_t>(skip);
+    if (i >= total) return;
+    on_index(i);
+    ++i;
+    if (i >= total) return;
+  }
+}
+
+}  // namespace
+
+Graph gnp(Vertex n, double p, util::Rng& rng) {
+  std::vector<Edge> edges;
+  const std::uint64_t pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  for_each_success(pairs, p, rng, [&](std::uint64_t id) {
+    edges.push_back(pair_from_id(n, id));
+  });
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_bipartite(Vertex left, Vertex right, double p, util::Rng& rng) {
+  std::vector<Edge> edges;
+  const std::uint64_t pairs =
+      static_cast<std::uint64_t>(left) * static_cast<std::uint64_t>(right);
+  for_each_success(pairs, p, rng, [&](std::uint64_t id) {
+    const Vertex l = static_cast<Vertex>(id / right);
+    const Vertex r = static_cast<Vertex>(left + id % right);
+    edges.push_back({l, r});
+  });
+  return Graph::from_edges(left + right, edges);
+}
+
+Graph path(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  return Graph::from_edges(n, edges);
+}
+
+Graph cycle(Vertex n) {
+  assert(n >= 3);
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v + 1 < n; ++v) edges.push_back({v, v + 1});
+  edges.push_back({n - 1, 0});
+  return Graph::from_edges(n, edges);
+}
+
+Graph complete(Vertex n) {
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) edges.push_back({u, v});
+  return Graph::from_edges(n, edges);
+}
+
+Graph random_matching_union(Vertex n, unsigned d, util::Rng& rng) {
+  assert(n % 2 == 0);
+  std::vector<Edge> edges;
+  for (unsigned round = 0; round < d; ++round) {
+    auto perm = rng.permutation(n);
+    for (Vertex i = 0; i < n; i += 2) {
+      edges.push_back({perm[i], perm[i + 1]});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+BridgeInstance two_clusters_with_bridge(Vertex n, double p, util::Rng& rng) {
+  assert(n >= 4 && n % 2 == 0);
+  const Vertex half = n / 2;
+  std::vector<Edge> edges;
+  const std::uint64_t cluster_pairs =
+      static_cast<std::uint64_t>(half) * (half - 1) / 2;
+  for_each_success(cluster_pairs, p, rng, [&](std::uint64_t id) {
+    edges.push_back(pair_from_id(half, id));
+  });
+  for_each_success(cluster_pairs, p, rng, [&](std::uint64_t id) {
+    Edge e = pair_from_id(half, id);
+    edges.push_back({static_cast<Vertex>(e.u + half),
+                     static_cast<Vertex>(e.v + half)});
+  });
+  const Edge bridge{static_cast<Vertex>(rng.next_below(half)),
+                    static_cast<Vertex>(half + rng.next_below(half))};
+  edges.push_back(bridge);
+  return {Graph::from_edges(n, edges), bridge};
+}
+
+NeedleInstance needle_bipartite(Vertex left, Vertex right, double p,
+                                util::Rng& rng) {
+  assert(left >= 2 && right >= 1);
+  NeedleInstance inst;
+  inst.left = left;
+  const Vertex n = left + right;
+  const Vertex needle_right =
+      static_cast<Vertex>(left + rng.next_below(right));
+
+  std::vector<Edge> edges;
+  for (Vertex r = left; r < n; ++r) {
+    if (r == needle_right) continue;
+    // Random edges, then top up to degree >= 2 with distinct neighbors.
+    std::vector<Vertex> nbrs;
+    for (Vertex l = 0; l < left; ++l) {
+      if (rng.next_bernoulli(p)) nbrs.push_back(l);
+    }
+    while (nbrs.size() < 2) {
+      const Vertex l = static_cast<Vertex>(rng.next_below(left));
+      if (std::find(nbrs.begin(), nbrs.end(), l) == nbrs.end()) {
+        nbrs.push_back(l);
+      }
+    }
+    for (Vertex l : nbrs) edges.push_back({l, r});
+  }
+  const Vertex needle_left = static_cast<Vertex>(rng.next_below(left));
+  inst.needle = Edge{needle_left, needle_right};
+  edges.push_back(inst.needle);
+  inst.graph = Graph::from_edges(n, edges);
+  return inst;
+}
+
+Graph subsample_edges(const Graph& g, double keep_prob, util::Rng& rng) {
+  std::vector<Edge> kept;
+  for (const Edge& e : g.edges()) {
+    if (rng.next_bernoulli(keep_prob)) kept.push_back(e);
+  }
+  return Graph::from_edges(g.num_vertices(), kept);
+}
+
+}  // namespace ds::graph

@@ -1,0 +1,68 @@
+// Graph generators for workloads and tests.
+//
+// Besides the standard families (G(n,p), random bipartite, paths/cycles/
+// cliques), this includes the footnote-1 instance from the paper's
+// introduction: two dense random clusters joined by a single bridge edge —
+// the example showing why O(n)-bit sketches are *not* necessary for
+// spanning forest.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ds::graph {
+
+/// Erdos-Renyi G(n, p).
+[[nodiscard]] Graph gnp(Vertex n, double p, util::Rng& rng);
+
+/// Random bipartite graph on parts [0, left) and [left, left+right),
+/// each cross pair present with probability p.
+[[nodiscard]] Graph random_bipartite(Vertex left, Vertex right, double p,
+                                     util::Rng& rng);
+
+/// Path 0-1-...-(n-1).
+[[nodiscard]] Graph path(Vertex n);
+
+/// Cycle on n >= 3 vertices.
+[[nodiscard]] Graph cycle(Vertex n);
+
+/// Complete graph K_n.
+[[nodiscard]] Graph complete(Vertex n);
+
+/// d-regular-ish random graph: d random perfect matchings unioned
+/// (n even; actual degrees may be < d where matchings collide).
+[[nodiscard]] Graph random_matching_union(Vertex n, unsigned d,
+                                          util::Rng& rng);
+
+/// The footnote-1 instance: two G(n/2, p) clusters on [0, n/2) and
+/// [n/2, n), plus one uniformly random bridge edge between the clusters.
+/// Returns the graph and the bridge.
+struct BridgeInstance {
+  Graph graph;
+  Edge bridge;
+};
+[[nodiscard]] BridgeInstance two_clusters_with_bridge(Vertex n, double p,
+                                                      util::Rng& rng);
+
+/// Keep each edge of g independently with probability `keep_prob`
+/// (the random subsampling step of distribution D_MM).
+[[nodiscard]] Graph subsample_edges(const Graph& g, double keep_prob,
+                                    util::Rng& rng);
+
+/// The "needle" instance for the one-sided model (related work, Section
+/// 1.3): a random bipartite graph (parts [0, left) and [left, left+right))
+/// where every right vertex has degree >= 2 except ONE uniformly chosen
+/// right vertex — the needle — with degree exactly 1.  In the two-sided
+/// model the needle announces itself in O(log n) bits; with players on
+/// the left only, finding it is hard.
+struct NeedleInstance {
+  Graph graph;
+  Vertex left = 0;
+  Edge needle;  // (left endpoint, needle right vertex)
+};
+[[nodiscard]] NeedleInstance needle_bipartite(Vertex left, Vertex right,
+                                              double p, util::Rng& rng);
+
+}  // namespace ds::graph

@@ -1,0 +1,105 @@
+#include "graph/hopcroft_karp.h"
+
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace ds::graph {
+
+std::optional<std::vector<bool>> bipartition(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  std::vector<int> color(n, -1);
+  std::vector<Vertex> queue;
+  for (Vertex start = 0; start < n; ++start) {
+    if (color[start] != -1) continue;
+    color[start] = 0;
+    queue.assign(1, start);
+    while (!queue.empty()) {
+      const Vertex v = queue.back();
+      queue.pop_back();
+      for (Vertex w : g.neighbors(v)) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          queue.push_back(w);
+        } else if (color[w] == color[v]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  std::vector<bool> side(n);
+  for (Vertex v = 0; v < n; ++v) side[v] = color[v] == 1;
+  return side;
+}
+
+Matching maximum_bipartite_matching(const Graph& g) {
+  const auto side = bipartition(g);
+  assert(side.has_value() && "graph must be bipartite");
+  const Vertex n = g.num_vertices();
+  constexpr Vertex kFree = std::numeric_limits<Vertex>::max();
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+  // match[v] = partner or kFree; BFS layers over left vertices.
+  std::vector<Vertex> match(n, kFree);
+  std::vector<std::uint32_t> dist(n);
+
+  std::vector<Vertex> left;
+  for (Vertex v = 0; v < n; ++v) {
+    if (!(*side)[v]) left.push_back(v);
+  }
+
+  const auto bfs = [&]() {
+    std::queue<Vertex> queue;
+    for (Vertex l : left) {
+      if (match[l] == kFree) {
+        dist[l] = 0;
+        queue.push(l);
+      } else {
+        dist[l] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const Vertex l = queue.front();
+      queue.pop();
+      for (Vertex r : g.neighbors(l)) {
+        const Vertex next = match[r];
+        if (next == kFree) {
+          found_free_right = true;
+        } else if (dist[next] == kInf) {
+          dist[next] = dist[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found_free_right;
+  };
+
+  const std::function<bool(Vertex)> dfs = [&](Vertex l) -> bool {
+    for (Vertex r : g.neighbors(l)) {
+      const Vertex next = match[r];
+      if (next == kFree || (dist[next] == dist[l] + 1 && dfs(next))) {
+        match[l] = r;
+        match[r] = l;
+        return true;
+      }
+    }
+    dist[l] = kInf;
+    return false;
+  };
+
+  while (bfs()) {
+    for (Vertex l : left) {
+      if (match[l] == kFree) (void)dfs(l);
+    }
+  }
+
+  Matching result;
+  for (Vertex l : left) {
+    if (match[l] != kFree) result.push_back(Edge{l, match[l]}.normalized());
+  }
+  return result;
+}
+
+}  // namespace ds::graph

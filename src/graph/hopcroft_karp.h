@@ -1,0 +1,24 @@
+// Maximum matching in bipartite graphs (Hopcroft-Karp, O(E sqrt V)).
+//
+// The techniques section (§1.2) builds on lower bounds for APPROXIMATING
+// maximum matching [AKLY16]; measuring a protocol's approximation ratio
+// needs the exact optimum, and every D_MM instance built from the
+// bipartite RS construction is bipartite, so Hopcroft-Karp applies.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace ds::graph {
+
+/// A two-coloring of g, or nullopt if g has an odd cycle.
+[[nodiscard]] std::optional<std::vector<bool>> bipartition(const Graph& g);
+
+/// Maximum matching of a bipartite graph. Asserts bipartiteness.
+[[nodiscard]] Matching maximum_bipartite_matching(const Graph& g);
+
+}  // namespace ds::graph

@@ -1,0 +1,112 @@
+#include "graph/independent_set.h"
+
+#include <algorithm>
+
+namespace ds::graph {
+
+bool is_independent_set(const Graph& g, std::span<const Vertex> s) {
+  std::vector<bool> member(g.num_vertices(), false);
+  for (Vertex v : s) {
+    if (v >= g.num_vertices()) return false;
+    if (member[v]) return false;  // duplicate
+    member[v] = true;
+  }
+  for (Vertex v : s) {
+    for (Vertex w : g.neighbors(v)) {
+      if (member[w]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal_independent_set(const Graph& g, std::span<const Vertex> s) {
+  if (!is_independent_set(g, s)) return false;
+  std::vector<bool> member(g.num_vertices(), false);
+  for (Vertex v : s) member[v] = true;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (member[v]) continue;
+    bool dominated = false;
+    for (Vertex w : g.neighbors(v)) {
+      if (member[w]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;  // v could be added
+  }
+  return true;
+}
+
+VertexSet greedy_mis(const Graph& g, std::span<const Vertex> order) {
+  std::vector<bool> blocked(g.num_vertices(), false);
+  VertexSet result;
+  for (Vertex v : order) {
+    if (blocked[v]) continue;
+    result.push_back(v);
+    blocked[v] = true;
+    for (Vertex w : g.neighbors(v)) blocked[w] = true;
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+VertexSet greedy_mis(const Graph& g) {
+  std::vector<Vertex> order(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) order[v] = v;
+  return greedy_mis(g, order);
+}
+
+VertexSet greedy_mis_random(const Graph& g, util::Rng& rng) {
+  std::vector<Vertex> order = rng.permutation(g.num_vertices());
+  return greedy_mis(g, order);
+}
+
+VertexSet luby_mis(const Graph& g, util::Rng& rng) {
+  const Vertex n = g.num_vertices();
+  enum class State : unsigned char { kActive, kInMis, kRemoved };
+  std::vector<State> state(n, State::kActive);
+  std::vector<std::uint64_t> priority(n);
+
+  VertexSet result;
+  bool any_active = n > 0;
+  while (any_active) {
+    for (Vertex v = 0; v < n; ++v) {
+      if (state[v] == State::kActive) priority[v] = rng.next();
+    }
+    // A vertex joins if it is a strict local minimum among active
+    // neighbors (ties broken by id; priorities are 64-bit so ties are
+    // vanishingly rare anyway).
+    std::vector<Vertex> joiners;
+    for (Vertex v = 0; v < n; ++v) {
+      if (state[v] != State::kActive) continue;
+      bool is_min = true;
+      for (Vertex w : g.neighbors(v)) {
+        if (state[w] != State::kActive) continue;
+        if (priority[w] < priority[v] ||
+            (priority[w] == priority[v] && w < v)) {
+          is_min = false;
+          break;
+        }
+      }
+      if (is_min) joiners.push_back(v);
+    }
+    for (Vertex v : joiners) {
+      state[v] = State::kInMis;
+      result.push_back(v);
+      for (Vertex w : g.neighbors(v)) {
+        if (state[w] == State::kActive) state[w] = State::kRemoved;
+      }
+    }
+    any_active = false;
+    for (Vertex v = 0; v < n; ++v) {
+      if (state[v] == State::kActive) {
+        any_active = true;
+        break;
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace ds::graph

@@ -1,0 +1,42 @@
+// Independent sets: validation, maximality, greedy and Luby-style
+// construction.  Mirrors matching.h; see the error-model note there — an
+// MIS protocol may output a vertex set that is not independent or not
+// maximal, and the harness scores those outcomes separately.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ds::graph {
+
+using VertexSet = std::vector<Vertex>;
+
+/// No two members adjacent in g (members must be in range; duplicates
+/// rejected).
+[[nodiscard]] bool is_independent_set(const Graph& g,
+                                      std::span<const Vertex> s);
+
+/// is_independent_set and every non-member has a member neighbor.
+[[nodiscard]] bool is_maximal_independent_set(const Graph& g,
+                                              std::span<const Vertex> s);
+
+/// Greedy MIS scanning vertices in the given order.
+[[nodiscard]] VertexSet greedy_mis(const Graph& g,
+                                   std::span<const Vertex> order);
+
+/// Greedy MIS in vertex-id order.
+[[nodiscard]] VertexSet greedy_mis(const Graph& g);
+
+/// Greedy MIS over a uniformly random vertex order.
+[[nodiscard]] VertexSet greedy_mis_random(const Graph& g, util::Rng& rng);
+
+/// Luby's algorithm (synchronous rounds with random priorities).  Included
+/// as the classic distributed baseline; in the sketching model it is only
+/// runnable by an omniscient referee, which is exactly the contrast the
+/// lower bound draws.
+[[nodiscard]] VertexSet luby_mis(const Graph& g, util::Rng& rng);
+
+}  // namespace ds::graph

@@ -1,0 +1,85 @@
+#include "graph/matching.h"
+
+#include <algorithm>
+
+namespace ds::graph {
+
+bool is_matching(std::span<const Edge> m, Vertex n) {
+  std::vector<bool> used(n, false);
+  for (const Edge& e : m) {
+    if (e.u >= n || e.v >= n || e.u == e.v) return false;
+    if (used[e.u] || used[e.v]) return false;
+    used[e.u] = used[e.v] = true;
+  }
+  return true;
+}
+
+bool is_valid_matching(const Graph& g, std::span<const Edge> m) {
+  if (!is_matching(m, g.num_vertices())) return false;
+  return std::all_of(m.begin(), m.end(),
+                     [&g](const Edge& e) { return g.has_edge(e.u, e.v); });
+}
+
+bool is_maximal_matching(const Graph& g, std::span<const Edge> m) {
+  if (!is_valid_matching(g, m)) return false;
+  const std::vector<bool> used = matched_set(m, g.num_vertices());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (used[u]) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (!used[v]) return false;  // extendable edge (u, v)
+    }
+  }
+  return true;
+}
+
+Matching greedy_matching(const Graph& g, std::span<const Edge> order) {
+  std::vector<bool> used(g.num_vertices(), false);
+  Matching result;
+  for (const Edge& e : order) {
+    if (!used[e.u] && !used[e.v]) {
+      used[e.u] = used[e.v] = true;
+      result.push_back(e.normalized());
+    }
+  }
+  return result;
+}
+
+Matching greedy_matching(const Graph& g) {
+  const std::vector<Edge> order = g.edges();
+  return greedy_matching(g, order);
+}
+
+Matching greedy_matching_random(const Graph& g, util::Rng& rng) {
+  std::vector<Edge> order = g.edges();
+  rng.shuffle(std::span<Edge>(order));
+  return greedy_matching(g, order);
+}
+
+Matching greedy_matching_preferring(const Graph& g,
+                                    std::span<const Vertex> preferred) {
+  std::vector<bool> is_preferred(g.num_vertices(), false);
+  for (Vertex v : preferred) is_preferred[v] = true;
+
+  std::vector<Edge> order = g.edges();
+  // Edges touching a preferred vertex first (touching two come before
+  // touching one), canonical order within each class.
+  auto rank = [&is_preferred](const Edge& e) {
+    return (is_preferred[e.u] ? 1 : 0) + (is_preferred[e.v] ? 1 : 0);
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&rank](const Edge& a, const Edge& b) {
+                     return rank(a) > rank(b);
+                   });
+  return greedy_matching(g, order);
+}
+
+std::vector<bool> matched_set(std::span<const Edge> m, Vertex n) {
+  std::vector<bool> used(n, false);
+  for (const Edge& e : m) {
+    used[e.u] = true;
+    used[e.v] = true;
+  }
+  return used;
+}
+
+}  // namespace ds::graph

@@ -1,0 +1,52 @@
+// Matchings: validation, maximality checks, and referee-side greedy
+// construction.
+//
+// The paper's error model matters here (Section 2.1, "Types of error"): a
+// protocol may output a set of vertex pairs that is not even a subset of
+// the input graph's edges.  Validation therefore distinguishes
+//   * structurally a matching (pairwise disjoint endpoints),
+//   * valid (all pairs are edges of G),
+//   * maximal (no G-edge has both endpoints unmatched).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ds::graph {
+
+using Matching = std::vector<Edge>;
+
+/// Pairwise-disjoint endpoints (does not consult any graph).
+[[nodiscard]] bool is_matching(std::span<const Edge> m, Vertex n);
+
+/// is_matching and every pair is an edge of g.
+[[nodiscard]] bool is_valid_matching(const Graph& g, std::span<const Edge> m);
+
+/// is_valid_matching and no edge of g joins two unmatched vertices.
+[[nodiscard]] bool is_maximal_matching(const Graph& g,
+                                       std::span<const Edge> m);
+
+/// Greedy maximal matching scanning edges in the given order.
+[[nodiscard]] Matching greedy_matching(const Graph& g,
+                                       std::span<const Edge> order);
+
+/// Greedy maximal matching over g.edges() in canonical order.
+[[nodiscard]] Matching greedy_matching(const Graph& g);
+
+/// Greedy maximal matching over a uniformly random edge order.
+[[nodiscard]] Matching greedy_matching_random(const Graph& g, util::Rng& rng);
+
+/// Greedy maximal matching that prefers edges incident on `preferred`
+/// vertices first (used to build adversarial maximal matchings that touch
+/// as many public vertices as possible when stress-testing Claim 3.1).
+[[nodiscard]] Matching greedy_matching_preferring(
+    const Graph& g, std::span<const Vertex> preferred);
+
+/// Characteristic vector of matched vertices.
+[[nodiscard]] std::vector<bool> matched_set(std::span<const Edge> m, Vertex n);
+
+}  // namespace ds::graph

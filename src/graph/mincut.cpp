@@ -1,0 +1,94 @@
+#include "graph/mincut.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "graph/dsu.h"
+
+namespace ds::graph {
+
+std::uint64_t global_min_cut(const Graph& g) {
+  const Vertex n = g.num_vertices();
+  if (n < 2) return 0;
+  if (connected_components(g).count > 1) return 0;
+
+  // Stoer-Wagner with an adjacency matrix of (merged) edge multiplicities.
+  std::vector<std::vector<std::uint64_t>> w(
+      n, std::vector<std::uint64_t>(n, 0));
+  for (const Edge& e : g.edges()) {
+    w[e.u][e.v] += 1;
+    w[e.v][e.u] += 1;
+  }
+  std::vector<Vertex> active(n);
+  for (Vertex v = 0; v < n; ++v) active[v] = v;
+
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  while (active.size() > 1) {
+    // Maximum-adjacency order over the active supervertices.
+    std::vector<std::uint64_t> connect(active.size(), 0);
+    std::vector<bool> added(active.size(), false);
+    std::size_t prev = 0, last = 0;
+    for (std::size_t step = 0; step < active.size(); ++step) {
+      std::size_t pick = active.size();
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i] && (pick == active.size() ||
+                          connect[i] > connect[pick])) {
+          pick = i;
+        }
+      }
+      added[pick] = true;
+      prev = last;
+      last = pick;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (!added[i]) connect[i] += w[active[pick]][active[i]];
+      }
+    }
+    // Cut of the phase: the last-added supervertex vs the rest.
+    std::uint64_t cut = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (i != last) cut += w[active[last]][active[i]];
+    }
+    best = std::min(best, cut);
+
+    // Merge `last` into `prev`.
+    const Vertex keep = active[prev];
+    const Vertex gone = active[last];
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Vertex other = active[i];
+      if (other == keep || other == gone) continue;
+      w[keep][other] += w[gone][other];
+      w[other][keep] = w[keep][other];
+    }
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(last));
+  }
+  return best;
+}
+
+std::uint32_t edge_connectivity_at_most(const Graph& g, std::uint32_t k) {
+  const Vertex n = g.num_vertices();
+  if (n < 2) return 0;
+  // Nagamochi-Ibaraki style sparse certificate: peel k edge-disjoint
+  // spanning forests; their union preserves min(lambda, k).
+  std::vector<Edge> remaining = g.edges();
+  std::vector<Edge> certificate;
+  for (std::uint32_t round = 0; round < k && !remaining.empty(); ++round) {
+    Dsu dsu(n);
+    std::vector<Edge> next;
+    next.reserve(remaining.size());
+    for (const Edge& e : remaining) {
+      if (dsu.unite(e.u, e.v)) {
+        certificate.push_back(e);
+      } else {
+        next.push_back(e);
+      }
+    }
+    remaining = std::move(next);
+  }
+  const std::uint64_t cut =
+      global_min_cut(Graph::from_edges(n, certificate));
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(cut, k));
+}
+
+}  // namespace ds::graph

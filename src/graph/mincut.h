@@ -1,0 +1,22 @@
+// Global minimum edge cut (Stoer-Wagner).  Referee-side verification tool
+// for the k-edge-connectivity certificates: a valid certificate H of G
+// satisfies min(mincut(H), k) == min(mincut(G), k).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ds::graph {
+
+/// Weight of the global minimum cut of g (unweighted: number of cut
+/// edges). Returns 0 for disconnected or trivial (< 2 vertices) graphs.
+[[nodiscard]] std::uint64_t global_min_cut(const Graph& g);
+
+/// Edge connectivity capped at k, in O(k * (n + m)) via k rounds of
+/// forest peeling — cheaper than Stoer-Wagner when only "is it >= k?"
+/// matters.
+[[nodiscard]] std::uint32_t edge_connectivity_at_most(const Graph& g,
+                                                      std::uint32_t k);
+
+}  // namespace ds::graph

@@ -1,0 +1,120 @@
+#include "graph/weighted.h"
+
+#include <algorithm>
+#include <cassert>
+#include <tuple>
+
+#include "graph/dsu.h"
+
+namespace ds::graph {
+
+WeightedGraph WeightedGraph::from_edges(Vertex n,
+                                        std::span<const WeightedEdge> edges) {
+  WeightedGraph g(n);
+  std::vector<WeightedEdge> normalized;
+  normalized.reserve(edges.size());
+  for (const WeightedEdge& e : edges) {
+    assert(e.u != e.v && e.u < n && e.v < n);
+    assert(e.weight >= 1);
+    WeightedEdge ne = e;
+    if (ne.u > ne.v) std::swap(ne.u, ne.v);
+    normalized.push_back(ne);
+  }
+  std::sort(normalized.begin(), normalized.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return std::tie(a.u, a.v, a.weight) <
+                     std::tie(b.u, b.v, b.weight);
+            });
+  // Keep the lightest copy of duplicated pairs.
+  normalized.erase(
+      std::unique(normalized.begin(), normalized.end(),
+                  [](const WeightedEdge& a, const WeightedEdge& b) {
+                    return a.u == b.u && a.v == b.v;
+                  }),
+      normalized.end());
+
+  g.edges_ = std::move(normalized);
+  std::vector<Edge> plain;
+  plain.reserve(g.edges_.size());
+  for (const WeightedEdge& e : g.edges_) {
+    plain.push_back(e.edge());
+    g.max_weight_ = std::max(g.max_weight_, e.weight);
+  }
+  g.topology_ = Graph::from_edges(n, plain);
+
+  // CSR-aligned weights for the model's weighted views.
+  g.weight_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    g.weight_offsets_[v + 1] =
+        g.weight_offsets_[v] + g.topology_.degree(v);
+  }
+  g.adj_weights_.resize(g.weight_offsets_[n]);
+  for (Vertex v = 0; v < n; ++v) {
+    const auto nbrs = g.topology_.neighbors(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      g.adj_weights_[g.weight_offsets_[v] + i] = g.weight(v, nbrs[i]);
+    }
+  }
+  return g;
+}
+
+std::span<const std::uint32_t> WeightedGraph::neighbor_weights(
+    Vertex v) const {
+  assert(v < num_vertices());
+  return {adj_weights_.data() + weight_offsets_[v],
+          weight_offsets_[v + 1] - weight_offsets_[v]};
+}
+
+std::uint32_t WeightedGraph::weight(Vertex u, Vertex v) const {
+  if (u > v) std::swap(u, v);
+  const auto it = std::lower_bound(
+      edges_.begin(), edges_.end(), WeightedEdge{u, v, 1},
+      [](const WeightedEdge& a, const WeightedEdge& b) {
+        return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+      });
+  assert(it != edges_.end() && it->u == u && it->v == v);
+  return it->weight;
+}
+
+Graph WeightedGraph::threshold_subgraph(std::uint32_t threshold) const {
+  std::vector<Edge> kept;
+  for (const WeightedEdge& e : edges_) {
+    if (e.weight <= threshold) kept.push_back(e.edge());
+  }
+  return Graph::from_edges(num_vertices(), kept);
+}
+
+WeightedGraph random_weighted_gnp(Vertex n, double p,
+                                  std::uint32_t max_weight, util::Rng& rng) {
+  assert(max_weight >= 1);
+  // Reuse the unweighted generator for topology, then assign weights.
+  std::vector<WeightedEdge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.next_bernoulli(p)) {
+        edges.push_back(
+            {u, v, static_cast<std::uint32_t>(1 + rng.next_below(max_weight))});
+      }
+    }
+  }
+  return WeightedGraph::from_edges(n, edges);
+}
+
+MstResult kruskal_mst(const WeightedGraph& g) {
+  std::vector<WeightedEdge> sorted(g.edges().begin(), g.edges().end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const WeightedEdge& a, const WeightedEdge& b) {
+                     return a.weight < b.weight;
+                   });
+  Dsu dsu(g.num_vertices());
+  MstResult result;
+  for (const WeightedEdge& e : sorted) {
+    if (dsu.unite(e.u, e.v)) {
+      result.tree.push_back(e);
+      result.total_weight += e.weight;
+    }
+  }
+  return result;
+}
+
+}  // namespace ds::graph

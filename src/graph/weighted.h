@@ -1,0 +1,85 @@
+// Weighted graphs, for the MST-flavored members of the introduction's
+// "problem zoo" (minimum spanning tree / MST-weight estimation via AGM
+// sketches).
+//
+// Weights are positive integers in [1, max_weight]; the sketching
+// protocols threshold on weight classes, so an integer range keeps the
+// class structure exact.  The unweighted topology is exposed as a Graph
+// so every unweighted algorithm applies directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ds::graph {
+
+struct WeightedEdge {
+  Vertex u;
+  Vertex v;
+  std::uint32_t weight;  // >= 1
+
+  [[nodiscard]] Edge edge() const noexcept { return {u, v}; }
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(Vertex n = 0)
+      : topology_(n),
+        weight_offsets_(static_cast<std::size_t>(n) + 1, 0) {}
+
+  /// Duplicate pairs keep the smallest weight.
+  static WeightedGraph from_edges(Vertex n,
+                                  std::span<const WeightedEdge> edges);
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return topology_.num_vertices();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] const Graph& topology() const noexcept { return topology_; }
+  [[nodiscard]] std::span<const WeightedEdge> edges() const noexcept {
+    return edges_;
+  }
+
+  /// Weight of edge (u, v); asserts the edge exists.
+  [[nodiscard]] std::uint32_t weight(Vertex u, Vertex v) const;
+
+  [[nodiscard]] std::uint32_t max_weight() const noexcept {
+    return max_weight_;
+  }
+
+  /// The subgraph of edges with weight <= threshold.
+  [[nodiscard]] Graph threshold_subgraph(std::uint32_t threshold) const;
+
+  /// Weights aligned with topology().neighbors(v): entry i is the weight
+  /// of the edge to the i-th neighbor.
+  [[nodiscard]] std::span<const std::uint32_t> neighbor_weights(
+      Vertex v) const;
+
+ private:
+  Graph topology_;
+  std::vector<WeightedEdge> edges_;  // normalized, sorted by (u, v)
+  std::uint32_t max_weight_ = 0;
+  std::vector<std::size_t> weight_offsets_;   // n + 1
+  std::vector<std::uint32_t> adj_weights_;    // CSR-aligned with topology
+};
+
+/// G(n, p) with uniform random weights in [1, max_weight].
+[[nodiscard]] WeightedGraph random_weighted_gnp(Vertex n, double p,
+                                                std::uint32_t max_weight,
+                                                util::Rng& rng);
+
+/// Exact MST (forest) weight by Kruskal — the referee-side baseline.
+struct MstResult {
+  std::vector<WeightedEdge> tree;
+  std::uint64_t total_weight = 0;
+};
+[[nodiscard]] MstResult kruskal_mst(const WeightedGraph& g);
+
+}  // namespace ds::graph

@@ -1,0 +1,48 @@
+#include "info/distribution.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace ds::info {
+
+double xlog2_term(double x) noexcept {
+  return x <= 0.0 ? 0.0 : -x * std::log2(x);
+}
+
+double binary_entropy(double p) noexcept {
+  return xlog2_term(p) + xlog2_term(1.0 - p);
+}
+
+void Distribution::add(std::uint64_t outcome, double mass) {
+  assert(mass >= 0.0);
+  if (mass == 0.0) return;
+  mass_[outcome] += mass;
+  total_ += mass;
+}
+
+void Distribution::normalize() {
+  if (total_ == 0.0) return;
+  for (auto& [outcome, mass] : mass_) mass /= total_;
+  total_ = 1.0;
+}
+
+double Distribution::probability(std::uint64_t outcome) const {
+  const auto it = mass_.find(outcome);
+  return it == mass_.end() ? 0.0 : it->second;
+}
+
+double Distribution::entropy() const {
+  assert(std::abs(total_ - 1.0) < 1e-9);
+  double h = 0.0;
+  for (const auto& [outcome, mass] : mass_) h += xlog2_term(mass);
+  return h;
+}
+
+Distribution Distribution::uniform(std::uint64_t n) {
+  Distribution d;
+  for (std::uint64_t i = 0; i < n; ++i) d.add(i, 1.0);
+  d.normalize();
+  return d;
+}
+
+}  // namespace ds::info

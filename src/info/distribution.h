@@ -1,0 +1,55 @@
+// Discrete probability distributions over abstract outcome keys.
+//
+// The lower-bound accounting (Lemmas 3.3-3.5) manipulates entropies and
+// mutual informations of tuples of random variables:  (M_1,J..M_k,J), the
+// transcript Pi, the permutation Sigma, the index J.  For enumerable
+// instances we represent their joint law exactly; `Distribution` is the
+// single-variable building block.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ds::info {
+
+/// A finitely supported distribution over uint64 outcome keys.
+class Distribution {
+ public:
+  Distribution() = default;
+
+  /// Add probability mass to an outcome (accumulates).
+  void add(std::uint64_t outcome, double mass);
+
+  /// Scale so total mass is 1. No-op on an empty distribution.
+  void normalize();
+
+  [[nodiscard]] double total_mass() const noexcept { return total_; }
+  [[nodiscard]] std::size_t support_size() const noexcept {
+    return mass_.size();
+  }
+  [[nodiscard]] double probability(std::uint64_t outcome) const;
+
+  /// Shannon entropy in bits. Requires a normalized distribution.
+  [[nodiscard]] double entropy() const;
+
+  /// Uniform distribution over [0, n).
+  [[nodiscard]] static Distribution uniform(std::uint64_t n);
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, double>& masses()
+      const noexcept {
+    return mass_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> mass_;
+  double total_ = 0.0;
+};
+
+/// x * log2(1/x) extended continuously to x = 0.
+[[nodiscard]] double xlog2_term(double x) noexcept;
+
+/// Binary entropy h(p) in bits.
+[[nodiscard]] double binary_entropy(double p) noexcept;
+
+}  // namespace ds::info

@@ -1,0 +1,84 @@
+#include "info/entropy.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ds::info {
+
+namespace {
+
+std::vector<std::string> vars(std::initializer_list<std::string> names) {
+  return {names.begin(), names.end()};
+}
+
+}  // namespace
+
+CheckResult check_conditioning_reduces_entropy(const JointTable& table,
+                                               const std::string& a,
+                                               const std::string& b,
+                                               const std::string& c) {
+  const auto va = vars({a});
+  const double lhs = table.conditional_entropy(va, vars({b, c}));
+  const double rhs = table.conditional_entropy(va, vars({b}));
+  return {lhs, rhs, lhs <= rhs + kTolerance};
+}
+
+CheckResult check_entropy_chain_rule(const JointTable& table,
+                                     const std::string& a,
+                                     const std::string& b,
+                                     const std::string& c) {
+  const double lhs = table.conditional_entropy(vars({a, b}), vars({c}));
+  const double rhs = table.conditional_entropy(vars({a}), vars({c})) +
+                     table.conditional_entropy(vars({b}), vars({c, a}));
+  return {lhs, rhs, std::abs(lhs - rhs) <= kTolerance};
+}
+
+CheckResult check_mi_chain_rule(const JointTable& table, const std::string& a,
+                                const std::string& b, const std::string& c,
+                                const std::string& d) {
+  const double lhs =
+      table.mutual_information(vars({a, b}), vars({c}), vars({d}));
+  const double rhs =
+      table.mutual_information(vars({a}), vars({c}), vars({d})) +
+      table.mutual_information(vars({b}), vars({c}), vars({a, d}));
+  return {lhs, rhs, std::abs(lhs - rhs) <= kTolerance};
+}
+
+CheckResult check_proposition_2_3(const JointTable& table,
+                                  const std::string& a, const std::string& b,
+                                  const std::string& c, const std::string& d) {
+  const double lhs = table.mutual_information(vars({a}), vars({b}), vars({c}));
+  const double rhs =
+      table.mutual_information(vars({a}), vars({b}), vars({c, d}));
+  return {lhs, rhs, lhs <= rhs + kTolerance};
+}
+
+CheckResult check_proposition_2_4(const JointTable& table,
+                                  const std::string& a, const std::string& b,
+                                  const std::string& c, const std::string& d) {
+  const double lhs = table.mutual_information(vars({a}), vars({b}), vars({c}));
+  const double rhs =
+      table.mutual_information(vars({a}), vars({b}), vars({c, d}));
+  return {lhs, rhs, lhs + kTolerance >= rhs};
+}
+
+bool conditionally_independent(const JointTable& table, const std::string& a,
+                               const std::string& b, const std::string& c) {
+  return table.mutual_information(vars({a}), vars({b}), vars({c})) <=
+         kTolerance;
+}
+
+JointTable random_joint_table(const std::vector<std::string>& columns,
+                              std::uint64_t alphabet, std::size_t support,
+                              util::Rng& rng) {
+  JointTable table(columns);
+  std::vector<std::uint64_t> outcome(columns.size());
+  for (std::size_t row = 0; row < support; ++row) {
+    for (auto& value : outcome) value = rng.next_below(alphabet);
+    table.add_row(outcome, rng.next_double() + 1e-3);
+  }
+  table.normalize();
+  return table;
+}
+
+}  // namespace ds::info

@@ -1,0 +1,73 @@
+// Checkers for the information-theoretic toolkit of Section 2.3.
+//
+// These functions evaluate both sides of Fact 2.2 and Propositions 2.3/2.4
+// on a concrete JointTable.  The tests run them on randomly generated joint
+// laws (where the hypotheses are arranged by construction) and the
+// accounting bench runs them on the actual protocol transcripts.
+#pragma once
+
+#include <string>
+
+#include "info/joint_table.h"
+#include "util/rng.h"
+
+namespace ds::info {
+
+/// Result of checking an inequality lhs <= rhs (or identity lhs == rhs).
+struct CheckResult {
+  double lhs;
+  double rhs;
+  bool holds;  // within tolerance
+};
+
+inline constexpr double kTolerance = 1e-9;
+
+/// Fact 2.2-(3): H(A | B, C) <= H(A | B).
+[[nodiscard]] CheckResult check_conditioning_reduces_entropy(
+    const JointTable& table, const std::string& a, const std::string& b,
+    const std::string& c);
+
+/// Fact 2.2-(4): H(A, B | C) == H(A | C) + H(B | C, A).
+[[nodiscard]] CheckResult check_entropy_chain_rule(const JointTable& table,
+                                                   const std::string& a,
+                                                   const std::string& b,
+                                                   const std::string& c);
+
+/// Fact 2.2-(5): I(A, B ; C | D) == I(A ; C | D) + I(B ; C | A, D).
+[[nodiscard]] CheckResult check_mi_chain_rule(const JointTable& table,
+                                              const std::string& a,
+                                              const std::string& b,
+                                              const std::string& c,
+                                              const std::string& d);
+
+/// Proposition 2.3: if A independent of D given C then
+/// I(A ; B | C) <= I(A ; B | C, D).
+[[nodiscard]] CheckResult check_proposition_2_3(const JointTable& table,
+                                                const std::string& a,
+                                                const std::string& b,
+                                                const std::string& c,
+                                                const std::string& d);
+
+/// Proposition 2.4: if A independent of D given (B, C) then
+/// I(A ; B | C) >= I(A ; B | C, D).
+[[nodiscard]] CheckResult check_proposition_2_4(const JointTable& table,
+                                                const std::string& a,
+                                                const std::string& b,
+                                                const std::string& c,
+                                                const std::string& d);
+
+/// True iff A is independent of B given C in the table (tests the exact
+/// factorization within tolerance), i.e. I(A ; B | C) == 0.
+[[nodiscard]] bool conditionally_independent(const JointTable& table,
+                                             const std::string& a,
+                                             const std::string& b,
+                                             const std::string& c);
+
+/// A random joint table on the given columns: outcomes drawn over
+/// alphabet [0, alphabet) per column, with `support` rows of uniform
+/// random mass.  Used by the property tests.
+[[nodiscard]] JointTable random_joint_table(
+    const std::vector<std::string>& columns, std::uint64_t alphabet,
+    std::size_t support, util::Rng& rng);
+
+}  // namespace ds::info

@@ -1,0 +1,118 @@
+#include "info/joint_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ds::info {
+
+namespace {
+
+/// Hash of a projected outcome tuple. Collisions across distinct tuples
+/// would silently merge probability mass, so we keep the full tuple as the
+/// map key instead of hashing down to 64 bits.
+struct TupleHash {
+  std::size_t operator()(const std::vector<std::uint64_t>& key) const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL + key.size();
+    for (std::uint64_t word : key) h = ds::util::mix64(h, word);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+JointTable::JointTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void JointTable::add_row(std::span<const std::uint64_t> outcome, double mass) {
+  assert(outcome.size() == columns_.size());
+  assert(mass >= 0.0);
+  if (mass == 0.0) return;
+  rows_.push_back({{outcome.begin(), outcome.end()}, mass});
+  total_ += mass;
+}
+
+void JointTable::add_row(std::initializer_list<std::uint64_t> outcome,
+                         double mass) {
+  add_row(std::span<const std::uint64_t>(outcome.begin(), outcome.size()),
+          mass);
+}
+
+void JointTable::normalize() {
+  if (total_ == 0.0) return;
+  for (Row& row : rows_) row.mass /= total_;
+  total_ = 1.0;
+}
+
+std::vector<std::size_t> JointTable::column_indices(
+    std::span<const std::string> vars) const {
+  std::vector<std::size_t> indices;
+  indices.reserve(vars.size());
+  for (const std::string& name : vars) {
+    const auto it = std::find(columns_.begin(), columns_.end(), name);
+    if (it == columns_.end()) {
+      throw std::invalid_argument("JointTable: unknown column '" + name + "'");
+    }
+    indices.push_back(static_cast<std::size_t>(it - columns_.begin()));
+  }
+  return indices;
+}
+
+double JointTable::entropy_of_indices(
+    std::span<const std::size_t> indices) const {
+  assert(std::abs(total_ - 1.0) < 1e-9 && "normalize() before querying");
+  if (indices.empty()) return 0.0;
+  std::unordered_map<std::vector<std::uint64_t>, double, TupleHash> marginal;
+  std::vector<std::uint64_t> key(indices.size());
+  for (const Row& row : rows_) {
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      key[i] = row.outcome[indices[i]];
+    marginal[key] += row.mass;
+  }
+  double h = 0.0;
+  for (const auto& [outcome, mass] : marginal) h += xlog2_term(mass);
+  return h;
+}
+
+double JointTable::entropy(std::span<const std::string> vars) const {
+  const auto indices = column_indices(vars);
+  return entropy_of_indices(indices);
+}
+
+double JointTable::entropy(std::initializer_list<std::string> vars) const {
+  return entropy(std::span<const std::string>(vars.begin(), vars.size()));
+}
+
+double JointTable::conditional_entropy(
+    std::span<const std::string> a, std::span<const std::string> given) const {
+  // H(A | B) = H(A, B) - H(B).
+  std::vector<std::string> joint(a.begin(), a.end());
+  joint.insert(joint.end(), given.begin(), given.end());
+  return entropy(joint) - entropy(given);
+}
+
+double JointTable::mutual_information(std::span<const std::string> a,
+                                      std::span<const std::string> b,
+                                      std::span<const std::string> given) const {
+  // I(A ; B | C) = H(A | C) - H(A | B, C).
+  std::vector<std::string> b_and_given(b.begin(), b.end());
+  b_and_given.insert(b_and_given.end(), given.begin(), given.end());
+  return conditional_entropy(a, given) - conditional_entropy(a, b_and_given);
+}
+
+double JointTable::mutual_information(
+    std::initializer_list<std::string> a, std::initializer_list<std::string> b,
+    std::initializer_list<std::string> given) const {
+  return mutual_information(
+      std::span<const std::string>(a.begin(), a.size()),
+      std::span<const std::string>(b.begin(), b.size()),
+      std::span<const std::string>(given.begin(), given.size()));
+}
+
+}  // namespace ds::info

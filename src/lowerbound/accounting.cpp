@@ -1,0 +1,212 @@
+#include "lowerbound/accounting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "info/entropy.h"
+
+namespace ds::lowerbound {
+
+using graph::Vertex;
+
+namespace {
+
+std::uint64_t hash_message(const util::BitString& message) {
+  std::uint64_t h = util::mix64(0x6d657373, message.bit_count());
+  for (std::uint64_t word : message.words()) h = util::mix64(h, word);
+  return h;
+}
+
+std::uint64_t hash_messages(std::span<const util::BitString> messages) {
+  std::uint64_t h = 0x636f6e63;
+  for (const util::BitString& m : messages) h = util::mix64(h, hash_message(m));
+  return h;
+}
+
+struct EnumerationContext {
+  const rs::RsGraph* base;
+  std::uint64_t k, t, r;
+  const RefinedEncoder* encoder;
+
+  double success_mass = 0.0;
+  std::size_t max_message_bits = 0;
+
+  info::JointTable table;
+
+  EnumerationContext(const rs::RsGraph& base_graph, std::uint64_t copies,
+                     const RefinedEncoder& enc)
+      : base(&base_graph),
+        k(copies),
+        t(base_graph.t()),
+        r(base_graph.r()),
+        encoder(&enc),
+        table(make_columns(copies)) {}
+
+  static std::vector<std::string> make_columns(std::uint64_t k) {
+    std::vector<std::string> columns{"Sigma", "J", "M", "PiP", "Pi"};
+    for (std::uint64_t i = 0; i < k; ++i) {
+      columns.push_back("M" + std::to_string(i + 1));
+      columns.push_back("PiU" + std::to_string(i + 1));
+    }
+    return columns;
+  }
+
+  void visit(std::uint64_t sigma_index, const std::vector<Vertex>& sigma,
+             std::size_t j_star, std::uint64_t mask, double mass) {
+    DmmInstance inst =
+        build_dmm(*base, k, j_star, EdgeBits::from_mask(k, t, r, mask), sigma);
+    const std::vector<RefinedPlayer> players = build_refined_players(inst);
+    const std::vector<util::BitString> messages =
+        run_refined(inst, players, *encoder);
+
+    const std::uint64_t num_public = inst.params.num_public();
+    const std::uint64_t per_copy = inst.params.big_n;
+
+    for (const util::BitString& m : messages) {
+      max_message_bits = std::max(max_message_bits, m.bit_count());
+    }
+
+    std::vector<std::uint64_t> row;
+    row.reserve(5 + 2 * k);
+    row.push_back(sigma_index);
+    row.push_back(j_star);
+    // M = all copies' special-matching patterns combined.
+    std::uint64_t m_key = 0;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      m_key |= inst.bits.pattern(i, j_star) << (i * r);
+    }
+    row.push_back(m_key);
+    row.push_back(hash_messages(
+        std::span<const util::BitString>(messages).first(num_public)));
+    row.push_back(hash_messages(messages));
+    for (std::uint64_t i = 0; i < k; ++i) {
+      row.push_back(inst.bits.pattern(i, j_star));
+      row.push_back(hash_messages(std::span<const util::BitString>(messages)
+                                      .subspan(num_public + i * per_copy,
+                                               per_copy)));
+    }
+    table.add_row(row, mass);
+
+    // Exact success: referee recovers the surviving special matching.
+    graph::Matching decoded =
+        refined_referee(inst, players, *encoder, messages);
+    graph::Matching expected = inst.all_surviving_special();
+    auto canonicalize = [](graph::Matching& m) {
+      for (graph::Edge& e : m) e = e.normalized();
+      std::sort(m.begin(), m.end());
+    };
+    canonicalize(decoded);
+    canonicalize(expected);
+    if (decoded == expected) success_mass += mass;
+  }
+};
+
+EnumerationContext enumerate_all(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder,
+    std::span<const std::vector<Vertex>> sigmas) {
+  const std::uint64_t t = base.t();
+  const std::uint64_t r = base.r();
+  const std::uint64_t bits = k * t * r;
+  assert(bits <= 20 && "enumeration space too large");
+  assert(!sigmas.empty());
+
+  EnumerationContext ctx(base, k, encoder);
+  const double mass = 1.0 / (static_cast<double>(sigmas.size()) *
+                             static_cast<double>(t) *
+                             std::exp2(static_cast<double>(bits)));
+  for (std::uint64_t s = 0; s < sigmas.size(); ++s) {
+    for (std::size_t j_star = 0; j_star < t; ++j_star) {
+      for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << bits);
+           ++mask) {
+        ctx.visit(s, sigmas[s], j_star, mask, mass);
+      }
+    }
+  }
+  ctx.table.normalize();
+  return ctx;
+}
+
+std::vector<Vertex> identity_permutation(std::uint32_t n) {
+  std::vector<Vertex> sigma(n);
+  std::iota(sigma.begin(), sigma.end(), 0u);
+  return sigma;
+}
+
+}  // namespace
+
+info::JointTable accounting_table(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder,
+    std::span<const std::vector<Vertex>> sigmas) {
+  return std::move(enumerate_all(base, k, encoder, sigmas).table);
+}
+
+AccountingResult enumerate_accounting(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder,
+    std::span<const std::vector<Vertex>> sigmas) {
+  const EnumerationContext ctx = enumerate_all(base, k, encoder, sigmas);
+  const info::JointTable& table = ctx.table;
+
+  AccountingResult result;
+  result.kr = static_cast<double>(ctx.k * ctx.r);
+  result.success_prob = ctx.success_mass;
+  result.max_message_bits = ctx.max_message_bits;
+
+  result.info_m_pi = table.mutual_information({"M"}, {"Pi"}, {"Sigma", "J"});
+  result.h_pi_public = table.entropy({"PiP"});
+  for (std::uint64_t i = 0; i < ctx.k; ++i) {
+    const std::string mi = "M" + std::to_string(i + 1);
+    const std::string piui = "PiU" + std::to_string(i + 1);
+    result.info_mi_piui.push_back(
+        table.mutual_information({mi}, {piui}, {"Sigma", "J"}));
+    result.h_piui.push_back(table.entropy({piui}));
+  }
+
+  result.lemma33_applicable = result.success_prob >= 0.98;
+  result.lemma33_holds =
+      result.info_m_pi + info::kTolerance >= result.kr / 6.0;
+  result.lemma34_rhs =
+      result.h_pi_public +
+      std::accumulate(result.info_mi_piui.begin(), result.info_mi_piui.end(),
+                      0.0);
+  result.lemma34_holds =
+      result.info_m_pi <= result.lemma34_rhs + info::kTolerance;
+  result.lemma35_holds = true;
+  for (std::uint64_t i = 0; i < ctx.k; ++i) {
+    if (result.info_mi_piui[i] >
+        result.h_piui[i] / static_cast<double>(ctx.t) + info::kTolerance) {
+      result.lemma35_holds = false;
+    }
+  }
+  return result;
+}
+
+AccountingResult enumerate_accounting(const rs::RsGraph& base, std::uint64_t k,
+                                      const RefinedEncoder& encoder) {
+  const DmmParameters params = dmm_parameters(base, k);
+  const std::vector<std::vector<Vertex>> sigmas{
+      identity_permutation(params.n)};
+  return enumerate_accounting(base, k, encoder, sigmas);
+}
+
+std::vector<std::vector<Vertex>> all_permutations(std::uint32_t n) {
+  assert(n <= 8);
+  std::vector<Vertex> current = identity_permutation(n);
+  std::vector<std::vector<Vertex>> result;
+  do {
+    result.push_back(current);
+  } while (std::next_permutation(current.begin(), current.end()));
+  return result;
+}
+
+std::vector<std::vector<Vertex>> sampled_permutations(std::uint32_t n,
+                                                      std::size_t count,
+                                                      util::Rng& rng) {
+  std::vector<std::vector<Vertex>> result;
+  result.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) result.push_back(rng.permutation(n));
+  return result;
+}
+
+}  // namespace ds::lowerbound

@@ -1,0 +1,49 @@
+#include "lowerbound/claims.h"
+
+#include <cmath>
+
+#include "graph/matching.h"
+
+namespace ds::lowerbound {
+
+using graph::Edge;
+
+Claim31Audit audit_claim31(const DmmInstance& inst,
+                           std::span<const Edge> m) {
+  Claim31Audit audit;
+  const DmmParameters& p = inst.params;
+  audit.threshold = p.claim31_threshold();
+
+  for (const graph::Matching& mi : inst.special_surviving) {
+    audit.union_special_size += mi.size();
+  }
+  audit.chernoff_event = 3 * audit.union_special_size >= p.k * p.r;
+
+  audit.matching_size = m.size();
+  audit.unique_unique = count_unique_unique(inst, m);
+  audit.claim_holds = audit.unique_unique >= audit.threshold;
+
+  // "These edges must be in M, as M is maximal": a surviving special edge
+  // with both endpoints unmatched contradicts maximality.
+  const std::vector<bool> matched = graph::matched_set(m, p.n);
+  for (const graph::Matching& mi : inst.special_surviving) {
+    for (const Edge& e : mi) {
+      if (!matched[e.u] && !matched[e.v]) ++audit.forced_edges_missing;
+    }
+  }
+  return audit;
+}
+
+graph::Matching adversarial_maximal_matching(const DmmInstance& inst) {
+  std::vector<graph::Vertex> public_vertices;
+  for (graph::Vertex v = 0; v < inst.params.n; ++v) {
+    if (inst.is_public[v]) public_vertices.push_back(v);
+  }
+  return graph::greedy_matching_preferring(inst.g, public_vertices);
+}
+
+double claim31_failure_bound(const DmmParameters& params) {
+  return std::exp2(-static_cast<double>(params.k * params.r) / 10.0);
+}
+
+}  // namespace ds::lowerbound

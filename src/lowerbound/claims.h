@@ -1,0 +1,47 @@
+// Empirical machinery for Claim 3.1 and the surrounding counting
+// arguments of Section 3.
+//
+// Claim 3.1: w.p. >= 1 - 2^{-kr/10} over G ~ D_MM, EVERY maximal matching
+// of G has at least k*r/4 unique-unique edges.  The proof has two halves,
+// both checkable per sample:
+//   (a) |union_i M_i| >= k*r/3 (Chernoff over the kr fair coins);
+//   (b) at most N - 2r matched edges can touch a public vertex, and the
+//       remaining surviving special edges are FORCED into any maximal
+//       matching because the RS matchings are induced and their other
+//       endpoints are unique.
+// `audit_claim31` evaluates both halves against adversarially chosen
+// maximal matchings (greedy orders that try to touch public vertices
+// first — the worst case for the claim).
+#pragma once
+
+#include <span>
+
+#include "lowerbound/dmm.h"
+
+namespace ds::lowerbound {
+
+struct Claim31Audit {
+  std::size_t union_special_size = 0;   // |union_i M_i| (surviving)
+  bool chernoff_event = false;          // union >= k*r/3
+  std::size_t matching_size = 0;        // |M| for the audited matching
+  std::size_t unique_unique = 0;        // unique-unique edges in M
+  std::size_t threshold = 0;            // k*r/4
+  bool claim_holds = false;             // unique_unique >= threshold
+  std::size_t forced_edges_missing = 0; // surviving special edges not in M
+                                        // with both endpoints unmatched —
+                                        // must be 0 if M is truly maximal
+};
+
+/// Audit one maximal matching against the claim.
+[[nodiscard]] Claim31Audit audit_claim31(const DmmInstance& inst,
+                                         std::span<const graph::Edge> m);
+
+/// The adversarial maximal matching: greedy order that matches edges
+/// touching public vertices first, minimizing unique-unique edges.
+[[nodiscard]] graph::Matching adversarial_maximal_matching(
+    const DmmInstance& inst);
+
+/// Claim 3.1's failure-probability bound 2^{-kr/10} for the parameters.
+[[nodiscard]] double claim31_failure_bound(const DmmParameters& params);
+
+}  // namespace ds::lowerbound

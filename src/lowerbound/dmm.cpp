@@ -1,0 +1,158 @@
+#include "lowerbound/dmm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ds::lowerbound {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Matching;
+using graph::Vertex;
+
+DmmParameters dmm_parameters(const rs::RsGraph& base, std::uint64_t k) {
+  DmmParameters p;
+  p.big_n = base.num_vertices();
+  p.r = base.r();
+  p.t = base.t();
+  p.k = k;
+  p.n = static_cast<std::uint32_t>(p.big_n - 2 * p.r + 2 * p.r * k);
+  return p;
+}
+
+EdgeBits::EdgeBits(std::uint64_t k, std::uint64_t t, std::uint64_t r)
+    : k_(k), t_(t), r_(r), bits_(static_cast<std::size_t>(k * t * r), false) {}
+
+std::uint64_t EdgeBits::pattern(std::uint64_t i, std::uint64_t j) const {
+  assert(r_ <= 64);
+  std::uint64_t p = 0;
+  for (std::uint64_t e = 0; e < r_; ++e) {
+    if (get(i, j, e)) p |= std::uint64_t{1} << e;
+  }
+  return p;
+}
+
+EdgeBits EdgeBits::random(std::uint64_t k, std::uint64_t t, std::uint64_t r,
+                          util::Rng& rng) {
+  EdgeBits bits(k, t, r);
+  for (std::size_t idx = 0; idx < bits.bits_.size(); ++idx) {
+    bits.bits_[idx] = rng.next_bit();
+  }
+  return bits;
+}
+
+EdgeBits EdgeBits::from_mask(std::uint64_t k, std::uint64_t t, std::uint64_t r,
+                             std::uint64_t mask) {
+  assert(k * t * r <= 64);
+  EdgeBits bits(k, t, r);
+  for (std::size_t idx = 0; idx < bits.bits_.size(); ++idx) {
+    bits.bits_[idx] = ((mask >> idx) & 1) != 0;
+  }
+  return bits;
+}
+
+Matching DmmInstance::all_surviving_special() const {
+  Matching all;
+  for (const Matching& m : special_surviving) {
+    all.insert(all.end(), m.begin(), m.end());
+  }
+  return all;
+}
+
+DmmInstance build_dmm(const rs::RsGraph& base, std::uint64_t k,
+                      std::size_t j_star, EdgeBits bits,
+                      std::vector<Vertex> sigma) {
+  DmmInstance inst;
+  inst.params = dmm_parameters(base, k);
+  inst.base = &base;
+  inst.j_star = j_star;
+  inst.sigma = std::move(sigma);
+  inst.bits = std::move(bits);
+
+  const DmmParameters& p = inst.params;
+  assert(j_star < p.t);
+  assert(inst.sigma.size() == p.n);
+  assert(inst.bits.total_bits() == p.k * p.t * p.r);
+
+  // V* (sorted base labels) and each base vertex's role.
+  const std::vector<Vertex> v_star = base.matching_vertices(j_star);
+  assert(v_star.size() == 2 * p.r);
+  // position of a base vertex: in V* (index into v_star) or among publics.
+  std::vector<std::uint32_t> star_pos(p.big_n, 0xffffffffu);
+  for (std::size_t l = 0; l < v_star.size(); ++l) star_pos[v_star[l]] = l;
+
+  inst.public_final.clear();
+  std::vector<std::uint32_t> public_pos(p.big_n, 0xffffffffu);
+  {
+    std::uint32_t next = 0;
+    for (Vertex b = 0; b < p.big_n; ++b) {
+      if (star_pos[b] == 0xffffffffu) public_pos[b] = next++;
+    }
+    assert(next == p.num_public());
+  }
+  inst.public_final.resize(p.num_public());
+  for (Vertex b = 0; b < p.big_n; ++b) {
+    if (public_pos[b] != 0xffffffffu) {
+      inst.public_final[public_pos[b]] = inst.sigma[public_pos[b]];
+    }
+  }
+
+  inst.unique_final.assign(p.k, {});
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    inst.unique_final[i].resize(2 * p.r);
+    for (std::uint64_t l = 0; l < 2 * p.r; ++l) {
+      inst.unique_final[i][l] =
+          inst.sigma[p.num_public() + i * 2 * p.r + l];
+    }
+  }
+
+  inst.is_public.assign(p.n, false);
+  for (Vertex v : inst.public_final) inst.is_public[v] = true;
+
+  // Final label of base vertex b in copy i.
+  auto final_label = [&](std::uint64_t i, Vertex b) -> Vertex {
+    return star_pos[b] != 0xffffffffu ? inst.unique_final[i][star_pos[b]]
+                                      : inst.public_final[public_pos[b]];
+  };
+
+  // Build the union graph and the special matchings.
+  std::vector<Edge> union_edges;
+  inst.special_full.assign(p.k, {});
+  inst.special_surviving.assign(p.k, {});
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    for (std::uint64_t j = 0; j < p.t; ++j) {
+      const Matching& mj = base.matchings[j];
+      for (std::uint64_t e = 0; e < p.r; ++e) {
+        const Edge mapped{final_label(i, mj[e].u), final_label(i, mj[e].v)};
+        const bool survived = inst.bits.get(i, j, e);
+        if (survived) union_edges.push_back(mapped);
+        if (j == j_star) {
+          inst.special_full[i].push_back(mapped);
+          if (survived) inst.special_surviving[i].push_back(mapped);
+        }
+      }
+    }
+  }
+  inst.g = Graph::from_edges(p.n, union_edges);
+  return inst;
+}
+
+DmmInstance sample_dmm(const rs::RsGraph& base, std::uint64_t k,
+                       util::Rng& rng) {
+  const DmmParameters p = dmm_parameters(base, k);
+  const std::size_t j_star = static_cast<std::size_t>(rng.next_below(p.t));
+  EdgeBits bits = EdgeBits::random(p.k, p.t, p.r, rng);
+  std::vector<Vertex> sigma = rng.permutation(p.n);
+  return build_dmm(base, k, j_star, std::move(bits), std::move(sigma));
+}
+
+std::size_t count_unique_unique(const DmmInstance& inst,
+                                std::span<const Edge> m) {
+  std::size_t count = 0;
+  for (const Edge& e : m) {
+    if (!inst.is_public[e.u] && !inst.is_public[e.v]) ++count;
+  }
+  return count;
+}
+
+}  // namespace ds::lowerbound

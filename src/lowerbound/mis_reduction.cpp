@@ -1,0 +1,133 @@
+#include "lowerbound/mis_reduction.h"
+
+#include <algorithm>
+
+namespace ds::lowerbound {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Matching;
+using graph::Vertex;
+
+Graph build_reduction_graph(const DmmInstance& inst) {
+  const Vertex n = inst.params.n;
+  std::vector<Edge> edges;
+  // Two copies of G.
+  for (const Edge& e : inst.g.edges()) {
+    edges.push_back({e.u, e.v});
+    edges.push_back({static_cast<Vertex>(n + e.u),
+                     static_cast<Vertex>(n + e.v)});
+  }
+  // Biclique between left-public and right-public (including u's own
+  // right copy, so no public vertex can appear on both sides of S).
+  for (Vertex u : inst.public_final) {
+    for (Vertex v : inst.public_final) {
+      edges.push_back({u, static_cast<Vertex>(n + v)});
+    }
+  }
+  return Graph::from_edges(2 * n, edges);
+}
+
+namespace {
+
+struct SideDecode {
+  Matching matching;  // pre-images (u, v) recovered on this side
+};
+
+/// Apply the "not both copies in S" rule on one side (offset 0 = left,
+/// offset n = right).
+SideDecode decode_side(const DmmInstance& inst,
+                       const std::vector<bool>& in_mis, Vertex offset) {
+  SideDecode side;
+  for (const Matching& full : inst.special_full) {
+    for (const Edge& e : full) {
+      const bool both = in_mis[offset + e.u] && in_mis[offset + e.v];
+      if (!both) side.matching.push_back(e.normalized());
+    }
+  }
+  return side;
+}
+
+std::vector<bool> membership(const DmmInstance& inst,
+                             std::span<const Vertex> mis) {
+  std::vector<bool> in_mis(2 * static_cast<std::size_t>(inst.params.n), false);
+  for (Vertex v : mis) in_mis[v] = true;
+  return in_mis;
+}
+
+}  // namespace
+
+Matching decode_matching_from_mis(const DmmInstance& inst,
+                                  std::span<const Vertex> mis) {
+  const Vertex n = inst.params.n;
+  const std::vector<bool> in_mis = membership(inst, mis);
+
+  // Lemma 4.1 certifies EXACT recovery on a side whose public copies are
+  // absent from S; the other side is merely a superset of the surviving
+  // edges (direction 1 of the lemma holds on both sides, direction 2 only
+  // on the empty side).  The paper's step 4 selects by |M_l| >= |M_r|,
+  // but the superset side is never smaller, so we select by the test the
+  // lemma actually wants — the referee knows S and sigma, so it can check
+  // S cap P_side == empty directly.  See DESIGN.md ("reduction decoding").
+  bool left_empty = true;
+  bool right_empty = true;
+  for (Vertex u : inst.public_final) {
+    if (in_mis[u]) left_empty = false;
+    if (in_mis[n + u]) right_empty = false;
+  }
+  if (left_empty) return decode_side(inst, in_mis, 0).matching;
+  if (right_empty) return decode_side(inst, in_mis, n).matching;
+  // MIS was invalid (biclique violated): fall back to the smaller side,
+  // which is closer to exact.
+  SideDecode left = decode_side(inst, in_mis, 0);
+  SideDecode right = decode_side(inst, in_mis, n);
+  return left.matching.size() <= right.matching.size()
+             ? std::move(left.matching)
+             : std::move(right.matching);
+}
+
+Lemma41Audit audit_lemma41(const DmmInstance& inst,
+                           std::span<const Vertex> mis) {
+  const Vertex n = inst.params.n;
+  const std::vector<bool> in_mis = membership(inst, mis);
+
+  Lemma41Audit audit;
+  audit.left_public_empty = true;
+  audit.right_public_empty = true;
+  for (Vertex u : inst.public_final) {
+    if (in_mis[u]) audit.left_public_empty = false;
+    if (in_mis[n + u]) audit.right_public_empty = false;
+  }
+  audit.some_side_empty =
+      audit.left_public_empty || audit.right_public_empty;
+
+  // Equivalence check per side: survived <=> not both copies in S.
+  auto check_side = [&](Vertex offset) {
+    for (std::size_t i = 0; i < inst.special_full.size(); ++i) {
+      const Matching& full = inst.special_full[i];
+      for (std::size_t e = 0; e < full.size(); ++e) {
+        const bool survived = inst.bits.get(i, inst.j_star, e);
+        const bool both =
+            in_mis[offset + full[e].u] && in_mis[offset + full[e].v];
+        if (survived == both) return false;  // must be opposites
+      }
+    }
+    return true;
+  };
+  if (audit.left_public_empty) audit.left_equivalence = check_side(0);
+  if (audit.right_public_empty) audit.right_equivalence = check_side(n);
+
+  // Does the full decode recover exactly the surviving special edges?
+  Matching decoded = decode_matching_from_mis(inst, mis);
+  Matching expected = inst.all_surviving_special();
+  auto canonicalize = [](Matching& m) {
+    for (Edge& e : m) e = e.normalized();
+    std::sort(m.begin(), m.end());
+  };
+  canonicalize(decoded);
+  canonicalize(expected);
+  audit.decoded_exactly = decoded == expected;
+  return audit;
+}
+
+}  // namespace ds::lowerbound

@@ -1,0 +1,47 @@
+// The Section 4 reduction: maximal matching on D_MM from maximal
+// independent set.
+//
+// Given G ~ D_MM on n vertices, the players build H on 2n vertices:
+//   * two disjoint copies of G (left: v, right: n + v);
+//   * a complete bipartite graph between left-public and right-public
+//     copies (every player simulating a public vertex knows the identity
+//     of all public vertices, Remark 3.6(iii)).
+// Each original player simulates both of its copies, so an MIS protocol
+// with b-bit sketches yields a matching protocol with 2b-bit sketches.
+//
+// Referee decoding (steps 3-4): any MIS S of H misses Pl or Pr entirely
+// (they form a biclique).  On the side S misses, Lemma 4.1 gives for every
+// candidate pair (u, v) in M^RS_{i,j*}:
+//     (u, v) survived the random drop  <=>  not both copies of u, v in S,
+// so reading S off the candidate pairs recovers the surviving special
+// matching exactly.
+#pragma once
+
+#include <span>
+
+#include "lowerbound/dmm.h"
+
+namespace ds::lowerbound {
+
+/// H on 2n vertices (left copy = v, right copy = n + v).
+[[nodiscard]] graph::Graph build_reduction_graph(const DmmInstance& inst);
+
+/// The referee's steps 3-4: recover a matching in G from an MIS of H.
+[[nodiscard]] graph::Matching decode_matching_from_mis(
+    const DmmInstance& inst, std::span<const graph::Vertex> mis);
+
+/// Per-side audit of Lemma 4.1 plus the biclique argument.
+struct Lemma41Audit {
+  bool left_public_empty = false;   // S cap Pl == empty
+  bool right_public_empty = false;  // S cap Pr == empty
+  bool some_side_empty = false;     // the biclique guarantee
+  // On each empty side, does "survived <=> not both copies in S" hold for
+  // every candidate pair?  (Vacuously true for non-empty sides.)
+  bool left_equivalence = true;
+  bool right_equivalence = true;
+  bool decoded_exactly = false;  // decode == surviving special edges
+};
+[[nodiscard]] Lemma41Audit audit_lemma41(const DmmInstance& inst,
+                                         std::span<const graph::Vertex> mis);
+
+}  // namespace ds::lowerbound

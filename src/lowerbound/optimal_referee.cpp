@@ -1,0 +1,143 @@
+#include "lowerbound/optimal_referee.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "info/distribution.h"
+
+namespace ds::lowerbound {
+
+using graph::Vertex;
+
+namespace {
+
+std::uint64_t hash_message(const util::BitString& message) {
+  std::uint64_t h = util::mix64(0x6d657373, message.bit_count());
+  for (std::uint64_t word : message.words()) h = util::mix64(h, word);
+  return h;
+}
+
+std::uint64_t hash_all(std::span<const util::BitString> messages) {
+  std::uint64_t h = 0x636f6e63;
+  for (const util::BitString& m : messages) h = util::mix64(h, hash_message(m));
+  return h;
+}
+
+/// Key identifying what the optimal referee conditions on: (sigma index,
+/// j*, full transcript).
+struct ConditionKey {
+  std::uint64_t sigma;
+  std::uint64_t j;
+  std::uint64_t pi;
+  friend bool operator<(const ConditionKey& a, const ConditionKey& b) {
+    return std::tie(a.sigma, a.j, a.pi) < std::tie(b.sigma, b.j, b.pi);
+  }
+};
+
+}  // namespace
+
+OptimalRefereeResult optimal_referee_success(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder,
+    std::span<const std::vector<Vertex>> sigmas) {
+  const std::uint64_t t = base.t();
+  const std::uint64_t r = base.r();
+  const std::uint64_t bits = k * t * r;
+  assert(bits <= 20 && "enumeration space too large");
+  assert(!sigmas.empty());
+
+  OptimalRefereeResult result;
+  result.kr = static_cast<double>(k * r);
+
+  // posterior[(sigma, j, pi)][m_key] = mass; success of MAP referee is the
+  // sum over groups of the largest per-m mass.
+  std::map<ConditionKey, std::map<std::uint64_t, double>> posterior;
+  // For I(M ; Pi | Sigma, J): accumulate H(M | Sigma, J) and
+  // H(M | Pi, Sigma, J) directly from the same grouping.
+  double greedy_success = 0.0;
+
+  const double mass = 1.0 / (static_cast<double>(sigmas.size()) *
+                             static_cast<double>(t) *
+                             std::exp2(static_cast<double>(bits)));
+  for (std::uint64_t s = 0; s < sigmas.size(); ++s) {
+    for (std::size_t j_star = 0; j_star < t; ++j_star) {
+      for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << bits);
+           ++mask) {
+        DmmInstance inst = build_dmm(base, k, j_star,
+                                     EdgeBits::from_mask(k, t, r, mask),
+                                     sigmas[s]);
+        const std::vector<RefinedPlayer> players =
+            build_refined_players(inst);
+        const std::vector<util::BitString> messages =
+            run_refined(inst, players, encoder);
+
+        for (const util::BitString& m : messages) {
+          result.max_message_bits =
+              std::max(result.max_message_bits, m.bit_count());
+        }
+
+        std::uint64_t m_key = 0;
+        for (std::uint64_t i = 0; i < k; ++i) {
+          m_key |= inst.bits.pattern(i, j_star) << (i * r);
+        }
+        posterior[{s, j_star, hash_all(messages)}][m_key] += mass;
+
+        // Greedy referee for comparison.
+        graph::Matching decoded =
+            refined_referee(inst, players, encoder, messages);
+        graph::Matching expected = inst.all_surviving_special();
+        auto canon = [](graph::Matching& mm) {
+          for (graph::Edge& e : mm) e = e.normalized();
+          std::sort(mm.begin(), mm.end());
+        };
+        canon(decoded);
+        canon(expected);
+        if (decoded == expected) greedy_success += mass;
+      }
+    }
+  }
+
+  result.greedy_success = greedy_success;
+
+  // MAP success and the conditional entropy H(M | Pi, Sigma, J).
+  double optimal = 0.0;
+  double h_m_given_all = 0.0;
+  for (const auto& [key, law] : posterior) {
+    double group_mass = 0.0;
+    double best = 0.0;
+    for (const auto& [m_key, p] : law) {
+      group_mass += p;
+      best = std::max(best, p);
+    }
+    optimal += best;
+    for (const auto& [m_key, p] : law) {
+      h_m_given_all += p * std::log2(group_mass / p);
+    }
+  }
+  result.optimal_success = optimal;
+
+  // H(M | Sigma, J) = kr exactly (the survival bits are fair coins,
+  // independent of sigma and j*).
+  result.info_m_pi = result.kr - h_m_given_all;
+
+  // Fano: H(M | Pi, Sigma, J) <= h(Pe) + Pe * log(2^kr - 1), so
+  //   1 - Pe <= (I(M ; Pi | Sigma, J) + 1) / kr.
+  result.fano_success_bound =
+      std::min(1.0, (result.info_m_pi + 1.0) / result.kr);
+  return result;
+}
+
+OptimalRefereeResult optimal_referee_success(const rs::RsGraph& base,
+                                             std::uint64_t k,
+                                             const RefinedEncoder& encoder) {
+  const DmmParameters params = dmm_parameters(base, k);
+  std::vector<Vertex> identity(params.n);
+  std::iota(identity.begin(), identity.end(), 0u);
+  const std::vector<std::vector<Vertex>> sigmas{std::move(identity)};
+  return optimal_referee_success(base, k, encoder, sigmas);
+}
+
+}  // namespace ds::lowerbound

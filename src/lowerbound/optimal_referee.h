@@ -1,0 +1,64 @@
+// The information-theoretically optimal referee, computed exactly.
+//
+// Lemma 3.3 argues: if the referee succeeds, the transcript must carry
+// ~k*r bits about the survival pattern M.  The converse direction is what
+// this module quantifies: for a FIXED deterministic encoder family, the
+// best possible referee is MAP decoding — on seeing (transcript, sigma,
+// j*), output the most probable value of the surviving special matching.
+// On enumerable mini-instances we compute
+//
+//   * optimal_success  — sup over all referees of P[exact recovery]
+//                        (attained by MAP; no cleverer referee exists);
+//   * greedy_success   — the natural union-of-reports referee, for
+//                        comparison;
+//   * info_m_pi        — I(M ; Pi | Sigma, J), the proof's quantity;
+//   * fano_success_bound — the Fano-inequality ceiling
+//                        P[success] <= (I + 1) / (k*r),
+//                        making "low information => low success" concrete.
+//
+// Together with bench_info_accounting this closes the loop: Lemmas
+// 3.3-3.5 bound the information a cheap protocol can reveal, and Fano/MAP
+// convert that cap into a success-probability cap no referee can beat.
+#pragma once
+
+#include "lowerbound/players.h"
+
+namespace ds::lowerbound {
+
+struct OptimalRefereeResult {
+  double optimal_success = 0.0;
+  double greedy_success = 0.0;
+  double info_m_pi = 0.0;           // I(M ; Pi | Sigma, J), bits
+  double fano_success_bound = 0.0;  // (info + 1) / kr, clamped to [0, 1]
+  double kr = 0.0;
+  std::size_t max_message_bits = 0;
+};
+
+/// Exact enumeration over (sigma in sigmas, j*, survival bits); requires
+/// k * t * r <= 20.
+[[nodiscard]] OptimalRefereeResult optimal_referee_success(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder,
+    std::span<const std::vector<graph::Vertex>> sigmas);
+
+/// Single identity-sigma convenience.
+[[nodiscard]] OptimalRefereeResult optimal_referee_success(
+    const rs::RsGraph& base, std::uint64_t k, const RefinedEncoder& encoder);
+
+/// One-bit-per-player encoder: each player sends the parity of its number
+/// of visible edges.  Strictly information-limited (k*N + |P| bits total),
+/// useful for exercising the MAP referee away from the full/silent
+/// extremes.
+class ParityEncoder final : public RefinedEncoder {
+ public:
+  void encode(const DmmParameters&, const RefinedPlayer& player,
+              util::BitWriter& out) const override {
+    out.put_bit(player.edges.size() % 2 == 1);
+  }
+  [[nodiscard]] std::vector<graph::Edge> decode(
+      const DmmParameters&, util::BitReader&) const override {
+    return {};  // parity carries no decodable edge list
+  }
+  [[nodiscard]] std::string name() const override { return "parity"; }
+};
+
+}  // namespace ds::lowerbound

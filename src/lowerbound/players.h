@@ -1,0 +1,102 @@
+// The refined player model of Section 3.2 ("A Slight Change of The
+// Model"): instead of one player per vertex there are
+//   N - 2r public players  — p_l sees ALL edges of G incident on the l-th
+//                            public vertex, and
+//   k * N unique players   — u_{i,j} sees only the edges of G that come
+//                            from edges incident on base vertex j in G_i.
+//
+// This is the model the proof actually charges: a unique player holding an
+// extra copy of a public vertex sees a strict subset of what the original
+// per-vertex player saw, so lower bounds here imply lower bounds in the
+// original model (the referee may ignore the extra players).
+//
+// Encoders for refined players are deterministic (the proof fixes the
+// protocol's randomness by Yao); the accounting experiments enumerate the
+// full input distribution against them.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lowerbound/dmm.h"
+#include "util/bitio.h"
+
+namespace ds::lowerbound {
+
+struct RefinedPlayer {
+  bool is_public = false;
+  std::uint64_t copy = 0;          // i, for unique players
+  std::uint32_t base_index = 0;    // public: l; unique: base vertex j
+  std::vector<graph::Edge> edges;  // what this player sees (final labels)
+};
+
+/// All N - 2r + k*N players for an instance, public players first, then
+/// unique players grouped by copy (the order Pi = Pi(P), Pi(U_1), ...,
+/// Pi(U_k) of the proof).
+[[nodiscard]] std::vector<RefinedPlayer> build_refined_players(
+    const DmmInstance& inst);
+
+/// A deterministic per-player message function plus its decoder.
+class RefinedEncoder {
+ public:
+  virtual ~RefinedEncoder() = default;
+  virtual void encode(const DmmParameters& params, const RefinedPlayer& player,
+                      util::BitWriter& out) const = 0;
+  /// Parse a message back into the edge list it reported.
+  [[nodiscard]] virtual std::vector<graph::Edge> decode(
+      const DmmParameters& params, util::BitReader& in) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Report every visible edge.
+class FullReportEncoder final : public RefinedEncoder {
+ public:
+  void encode(const DmmParameters& params, const RefinedPlayer& player,
+              util::BitWriter& out) const override;
+  [[nodiscard]] std::vector<graph::Edge> decode(
+      const DmmParameters& params, util::BitReader& in) const override;
+  [[nodiscard]] std::string name() const override { return "full-report"; }
+};
+
+/// Report the first `cap` visible edges (canonical order) — the
+/// deterministic budget-limited family.
+class CappedReportEncoder final : public RefinedEncoder {
+ public:
+  explicit CappedReportEncoder(std::size_t cap) : cap_(cap) {}
+  void encode(const DmmParameters& params, const RefinedPlayer& player,
+              util::BitWriter& out) const override;
+  [[nodiscard]] std::vector<graph::Edge> decode(
+      const DmmParameters& params, util::BitReader& in) const override;
+  [[nodiscard]] std::string name() const override { return "capped-report"; }
+
+ private:
+  std::size_t cap_;
+};
+
+/// Send nothing.
+class SilentEncoder final : public RefinedEncoder {
+ public:
+  void encode(const DmmParameters&, const RefinedPlayer&,
+              util::BitWriter&) const override {}
+  [[nodiscard]] std::vector<graph::Edge> decode(
+      const DmmParameters&, util::BitReader&) const override {
+    return {};
+  }
+  [[nodiscard]] std::string name() const override { return "silent"; }
+};
+
+/// Messages of all refined players under `encoder`, in player order.
+[[nodiscard]] std::vector<util::BitString> run_refined(
+    const DmmInstance& inst, const std::vector<RefinedPlayer>& players,
+    const RefinedEncoder& encoder);
+
+/// The Remark 3.6(iv) referee: knowing (sigma, j*), collect the reported
+/// edges and output the subset of the candidate special edges (the
+/// M^RS_{i,j*} pairs) that some player reported.  Success for the
+/// accounting experiments is "output == the surviving special edges".
+[[nodiscard]] graph::Matching refined_referee(
+    const DmmInstance& inst, const std::vector<RefinedPlayer>& players,
+    const RefinedEncoder& encoder,
+    std::span<const util::BitString> messages);
+
+}  // namespace ds::lowerbound

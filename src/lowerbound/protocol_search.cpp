@@ -1,0 +1,46 @@
+#include "lowerbound/protocol_search.h"
+
+#include <cmath>
+
+namespace ds::lowerbound {
+
+ProtocolSearchResult search_degree_protocols(const rs::RsGraph& base,
+                                             std::uint64_t k, unsigned bits,
+                                             std::size_t degree_cap) {
+  const std::size_t states = degree_cap + 1;
+  const std::uint64_t values = std::uint64_t{1} << bits;
+  // Every table is a function [states] -> [values]: values^states choices.
+  std::uint64_t table_count = 1;
+  for (std::size_t s = 0; s < states; ++s) table_count *= values;
+
+  const auto nth_table = [&](std::uint64_t index) {
+    std::vector<std::uint8_t> table(states);
+    for (std::size_t s = 0; s < states; ++s) {
+      table[s] = static_cast<std::uint8_t>(index % values);
+      index /= values;
+    }
+    return table;
+  };
+
+  ProtocolSearchResult result;
+  result.silent_baseline =
+      std::exp2(-static_cast<double>(k * base.r()));
+  for (std::uint64_t pi = 0; pi < table_count; ++pi) {
+    const std::vector<std::uint8_t> public_table = nth_table(pi);
+    for (std::uint64_t ui = 0; ui < table_count; ++ui) {
+      const DegreeTableEncoder encoder(bits, public_table, nth_table(ui));
+      const OptimalRefereeResult r =
+          optimal_referee_success(base, k, encoder);
+      ++result.protocols_searched;
+      if (r.optimal_success > result.best_success) {
+        result.best_success = r.optimal_success;
+        result.fano_cap_at_best = r.fano_success_bound;
+        result.best_public_table = public_table;
+        result.best_unique_table = nth_table(ui);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ds::lowerbound

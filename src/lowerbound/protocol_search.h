@@ -1,0 +1,69 @@
+// Exhaustive search over a complete class of tiny protocols, scored by
+// the exact optimal (MAP) referee.
+//
+// "Any protocol" is the hardest part of a lower bound to probe
+// empirically.  On enumerable instances we can do it exactly for a
+// natural restricted class: *degree-table* encoders, where every player
+// sends b bits determined by its class (public / unique) and its number
+// of surviving incident edges (capped).  The class is label-invariant
+// (computable without knowing sigma), contains the silent and parity
+// encoders, and for b >= slots it can transmit the player's entire local
+// survival state.  Enumerating ALL (2^b)^(states) x (2^b)^(states) table
+// pairs and MAP-scoring each yields the exact optimum of the class —
+// a certified "no protocol of this shape does better".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lowerbound/optimal_referee.h"
+
+namespace ds::lowerbound {
+
+/// b-bit message = table[min(degree, cap)] with separate tables for
+/// public and unique players.
+class DegreeTableEncoder final : public RefinedEncoder {
+ public:
+  DegreeTableEncoder(unsigned bits, std::vector<std::uint8_t> public_table,
+                     std::vector<std::uint8_t> unique_table)
+      : bits_(bits),
+        public_table_(std::move(public_table)),
+        unique_table_(std::move(unique_table)) {}
+
+  void encode(const DmmParameters&, const RefinedPlayer& player,
+              util::BitWriter& out) const override {
+    const auto& table = player.is_public ? public_table_ : unique_table_;
+    const std::size_t state =
+        std::min(player.edges.size(), table.size() - 1);
+    out.put_bits(table[state], bits_);
+  }
+  [[nodiscard]] std::vector<graph::Edge> decode(
+      const DmmParameters&, util::BitReader&) const override {
+    return {};  // table codes carry no decodable edge list
+  }
+  [[nodiscard]] std::string name() const override { return "degree-table"; }
+
+ private:
+  unsigned bits_;
+  std::vector<std::uint8_t> public_table_;
+  std::vector<std::uint8_t> unique_table_;
+};
+
+struct ProtocolSearchResult {
+  double best_success = 0.0;           // max over the class, MAP referee
+  double silent_baseline = 0.0;        // 2^{-kr}
+  double fano_cap_at_best = 0.0;       // Fano bound of the best protocol
+  std::size_t protocols_searched = 0;
+  std::vector<std::uint8_t> best_public_table;
+  std::vector<std::uint8_t> best_unique_table;
+};
+
+/// Enumerate every degree-table protocol with `bits`-bit messages and
+/// degree states 0..degree_cap, scoring each with the exact MAP referee
+/// (identity sigma).  Cost: (2^bits)^(2*(degree_cap+1)) full enumerations
+/// — keep bits * (degree_cap+1) small.
+[[nodiscard]] ProtocolSearchResult search_degree_protocols(
+    const rs::RsGraph& base, std::uint64_t k, unsigned bits,
+    std::size_t degree_cap);
+
+}  // namespace ds::lowerbound

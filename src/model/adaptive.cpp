@@ -1,0 +1,5 @@
+#include "model/adaptive.h"
+
+// run_adaptive is a template defined in the header; this translation unit
+// anchors the library.
+namespace ds::model {}

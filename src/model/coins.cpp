@@ -1,0 +1,6 @@
+#include "model/coins.h"
+
+// PublicCoins is header-only; this translation unit exists so the model
+// library always has at least one object file and to hold future
+// out-of-line definitions.
+namespace ds::model {}

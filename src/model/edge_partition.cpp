@@ -1,0 +1,20 @@
+#include "model/edge_partition.h"
+
+#include "util/rng.h"
+
+namespace ds::model {
+
+EdgePartitionedInstance partition_edges_randomly(const graph::Graph& g,
+                                                 std::uint32_t players,
+                                                 util::Rng& rng) {
+  EdgePartitionedInstance instance;
+  instance.graph = g;
+  instance.num_players = players;
+  instance.player_edges.assign(players, {});
+  for (const graph::Edge& e : g.edges()) {
+    instance.player_edges[rng.next_below(players)].push_back(e);
+  }
+  return instance;
+}
+
+}  // namespace ds::model

@@ -1,0 +1,83 @@
+// The edge-partitioned simultaneous model of [AKLY16] — the starting
+// point of the paper's technique (§1.2).
+//
+// The edge set is split among a small number of players (no sharing: each
+// edge belongs to exactly ONE player); players simultaneously message a
+// referee.  Contrast with the paper's model, where the input is
+// vertex-partitioned WITH sharing (each edge seen by both endpoints).
+// §1.2 explains why lifting the [AKLY16] argument to vertex partitioning
+// is the hard part — this runner lets experiments quantify the gap
+// between the two partitions on the same instances.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "model/protocol.h"
+#include "util/bitio.h"
+
+namespace ds::model {
+
+/// What an edge-partition player sees: its own edge list (plus n and the
+/// coins). There is no vertex identity — a player may hold edges all over
+/// the graph.
+struct EdgePlayerView {
+  graph::Vertex n;
+  std::uint32_t player;
+  std::span<const graph::Edge> edges;
+  const PublicCoins* coins;
+};
+
+template <typename Output>
+class EdgePartitionProtocol {
+ public:
+  virtual ~EdgePartitionProtocol() = default;
+  virtual void encode(const EdgePlayerView& view,
+                      util::BitWriter& out) const = 0;
+  [[nodiscard]] virtual Output decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const PublicCoins& coins) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+struct EdgePartitionedInstance {
+  graph::Graph graph;
+  std::uint32_t num_players = 0;
+  /// player_edges[p] = the edges assigned to player p (disjoint union =
+  /// graph.edges()).
+  std::vector<std::vector<graph::Edge>> player_edges;
+};
+
+/// Uniformly random assignment of each edge to one of `players`.
+[[nodiscard]] EdgePartitionedInstance partition_edges_randomly(
+    const graph::Graph& g, std::uint32_t players, util::Rng& rng);
+
+template <typename Output>
+struct EdgePartitionRunResult {
+  Output output;
+  CommStats comm;
+};
+
+template <typename Output>
+[[nodiscard]] EdgePartitionRunResult<Output> run_edge_partitioned(
+    const EdgePartitionedInstance& instance,
+    const EdgePartitionProtocol<Output>& protocol, const PublicCoins& coins) {
+  EdgePartitionRunResult<Output> result{};
+  std::vector<util::BitString> sketches;
+  sketches.reserve(instance.num_players);
+  for (std::uint32_t p = 0; p < instance.num_players; ++p) {
+    const EdgePlayerView view{instance.graph.num_vertices(), p,
+                              instance.player_edges[p], &coins};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    result.comm.record(writer.bit_count());
+    sketches.emplace_back(writer);
+  }
+  result.output =
+      protocol.decode(instance.graph.num_vertices(), sketches, coins);
+  return result;
+}
+
+}  // namespace ds::model

@@ -1,0 +1,58 @@
+// The one-sided bipartite model of Section 1.3's related work
+// ([ANRW15, BO17, DNO14, A17]): the input graph is bipartite, and only
+// the LEFT side has players — right-side vertices send nothing.
+//
+// The paper highlights this model because it flips the difficulty: with
+// no shared inputs, even spanning forest is hard ("the source of
+// hardness ... are vertices of degree one on the non-player side that
+// are hard to find for the player side"), whereas in the two-sided model
+// a degree-one vertex simply announces its edge.  This module makes that
+// contrast executable: the same protocols can be run with both runners
+// and their success compared (see tests and bench_sketch_zoo).
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::model {
+
+/// A bipartite instance: left vertices are [0, left), right vertices are
+/// [left, n). Only left vertices get a player.
+struct BipartiteInstance {
+  graph::Graph graph;
+  graph::Vertex left = 0;
+
+  [[nodiscard]] graph::Vertex right() const noexcept {
+    return graph.num_vertices() - left;
+  }
+};
+
+template <typename Output>
+struct OneSidedRunResult {
+  Output output;
+  CommStats comm;  // over the `left` players only
+};
+
+/// Run a one-round protocol where only left-side vertices speak.  The
+/// referee's `decode` receives `left` sketches (indexed by left vertex
+/// id); the protocol knows the split via the instance it was built for.
+template <typename Output>
+[[nodiscard]] OneSidedRunResult<Output> run_one_sided(
+    const BipartiteInstance& instance,
+    const SketchingProtocol<Output>& protocol, const PublicCoins& coins) {
+  OneSidedRunResult<Output> result{};
+  std::vector<util::BitString> sketches;
+  sketches.reserve(instance.left);
+  for (graph::Vertex v = 0; v < instance.left; ++v) {
+    const VertexView view{instance.graph.num_vertices(), v,
+                          instance.graph.neighbors(v), &coins};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    result.comm.record(writer.bit_count());
+    sketches.emplace_back(writer);
+  }
+  result.output =
+      protocol.decode(instance.graph.num_vertices(), sketches, coins);
+  return result;
+}
+
+}  // namespace ds::model

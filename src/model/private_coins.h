@@ -1,0 +1,42 @@
+// Private-coin execution: each player draws its own independent
+// randomness and the referee gets yet another stream — nobody shares.
+//
+// [BMRT14] (cited in §1.3) separates deterministic, private-coin and
+// public-coin simultaneous protocols.  This runner makes the separation
+// executable: protocols whose correctness rides on SHARED hash functions
+// (AGM sketches: the referee must rebuild the exact same samplers)
+// collapse under private coins, while protocols that only use randomness
+// locally (footnote-1 bridge finding: sampling is local, the signed sum
+// is deterministic, the referee never touches coins) keep working.
+#pragma once
+
+#include "model/runner.h"
+
+namespace ds::model {
+
+/// Run `protocol` giving player v the coins derived from
+/// (seed_base, v+1) and the referee the coins derived from
+/// (seed_base, 0) — all mutually independent streams.
+template <typename Output>
+[[nodiscard]] RunResult<Output> run_protocol_private_coins(
+    const graph::Graph& g, const SketchingProtocol<Output>& protocol,
+    std::uint64_t seed_base) {
+  RunResult<Output> result{};
+  std::vector<util::BitString> sketches;
+  sketches.reserve(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const PublicCoins private_coins(util::mix64(seed_base, v + 1));
+    const VertexView view{g.num_vertices(), v, g.neighbors(v),
+                          &private_coins};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    result.comm.record(writer.bit_count());
+    sketches.emplace_back(writer);
+  }
+  const PublicCoins referee_coins(util::mix64(seed_base, 0));
+  result.output =
+      protocol.decode(g.num_vertices(), sketches, referee_coins);
+  return result;
+}
+
+}  // namespace ds::model

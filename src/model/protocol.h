@@ -1,0 +1,90 @@
+// The distributed sketching model (Section 2.1).
+//
+// One player per vertex.  A player's entire input is captured by
+// `VertexView`: the number of vertices, its own id, its sorted neighbor
+// list, and the public coins.  The encoder is a const member receiving only
+// the view and a BitWriter — by construction it cannot read the rest of the
+// graph, other players' messages, or the referee's state.  The referee
+// receives all n sketches plus the coins and produces the output.
+//
+// Outputs are plain value types (Matching, VertexSet, Forest, Coloring);
+// protocols are typed on their output so the harness can score them with
+// the right validator.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "model/coins.h"
+#include "util/bitio.h"
+
+namespace ds::model {
+
+struct VertexView {
+  graph::Vertex n;                           // |V|
+  graph::Vertex id;                          // this player's vertex
+  std::span<const graph::Vertex> neighbors;  // sorted
+  const PublicCoins* coins;                  // shared random string
+  /// For weighted inputs: weights[i] is the weight of the edge to
+  /// neighbors[i]. Empty on unweighted runs.
+  std::span<const std::uint32_t> neighbor_weights{};
+
+  [[nodiscard]] std::uint32_t degree() const noexcept {
+    return static_cast<std::uint32_t>(neighbors.size());
+  }
+  [[nodiscard]] bool weighted() const noexcept {
+    return !neighbor_weights.empty() || neighbors.empty();
+  }
+};
+
+/// One-round simultaneous protocol with output type Output.
+template <typename Output>
+class SketchingProtocol {
+ public:
+  virtual ~SketchingProtocol() = default;
+
+  /// The player algorithm: write this vertex's sketch.
+  virtual void encode(const VertexView& view, util::BitWriter& out) const = 0;
+
+  /// The referee algorithm: sketches[v] is vertex v's message.
+  [[nodiscard]] virtual Output decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const PublicCoins& coins) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Common output types.
+using MatchingOutput = graph::Matching;             // maximal matching
+using VertexSetOutput = std::vector<graph::Vertex>; // MIS
+using ForestOutput = std::vector<graph::Edge>;      // spanning forest
+using ColoringOutput = std::vector<std::uint32_t>;  // color per vertex
+
+/// Exact bit accounting for one run.
+struct CommStats {
+  std::size_t max_bits = 0;    // the paper's cost measure (worst player)
+  std::size_t total_bits = 0;  // summed over players
+  std::size_t num_players = 0;
+
+  [[nodiscard]] double avg_bits() const noexcept {
+    return num_players == 0
+               ? 0.0
+               : static_cast<double>(total_bits) /
+                     static_cast<double>(num_players);
+  }
+  void record(std::size_t bits) noexcept {
+    max_bits = bits > max_bits ? bits : max_bits;
+    total_bits += bits;
+    ++num_players;
+  }
+  void merge(const CommStats& other) noexcept {
+    max_bits = other.max_bits > max_bits ? other.max_bits : max_bits;
+    total_bits += other.total_bits;
+    num_players += other.num_players;
+  }
+};
+
+}  // namespace ds::model

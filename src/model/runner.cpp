@@ -1,0 +1,5 @@
+#include "model/runner.h"
+
+// run_protocol/collect_sketches are templates defined in the header; this
+// translation unit anchors the library.
+namespace ds::model {}

@@ -1,0 +1,77 @@
+// Executes a one-round sketching protocol on a graph.
+//
+// The runner is the only code that sees both the whole graph and the
+// protocol: it slices the graph into per-vertex views, collects the
+// sketches (charging exact bit counts), and hands them to the referee.
+#pragma once
+
+#include <span>
+
+#include "graph/weighted.h"
+#include "model/protocol.h"
+
+namespace ds::model {
+
+template <typename Output>
+struct RunResult {
+  Output output;
+  CommStats comm;
+};
+
+/// Materialize every player's sketch for `g` under `protocol`.
+template <typename Output>
+[[nodiscard]] std::vector<util::BitString> collect_sketches(
+    const graph::Graph& g, const SketchingProtocol<Output>& protocol,
+    const PublicCoins& coins, CommStats& comm) {
+  std::vector<util::BitString> sketches;
+  sketches.reserve(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const VertexView view{g.num_vertices(), v, g.neighbors(v), &coins};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    comm.record(writer.bit_count());
+    sketches.emplace_back(writer);
+  }
+  return sketches;
+}
+
+template <typename Output>
+[[nodiscard]] RunResult<Output> run_protocol(
+    const graph::Graph& g, const SketchingProtocol<Output>& protocol,
+    const PublicCoins& coins) {
+  CommStats comm;
+  const std::vector<util::BitString> sketches =
+      collect_sketches(g, protocol, coins, comm);
+  return {protocol.decode(g.num_vertices(), sketches, coins),
+          comm};
+}
+
+/// Weighted runner: views additionally carry per-neighbor weights.
+template <typename Output>
+[[nodiscard]] std::vector<util::BitString> collect_sketches(
+    const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
+    const PublicCoins& coins, CommStats& comm) {
+  std::vector<util::BitString> sketches;
+  sketches.reserve(g.num_vertices());
+  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
+    const VertexView view{g.num_vertices(), v, g.topology().neighbors(v),
+                          &coins, g.neighbor_weights(v)};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    comm.record(writer.bit_count());
+    sketches.emplace_back(writer);
+  }
+  return sketches;
+}
+
+template <typename Output>
+[[nodiscard]] RunResult<Output> run_protocol(
+    const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
+    const PublicCoins& coins) {
+  CommStats comm;
+  const std::vector<util::BitString> sketches =
+      collect_sketches(g, protocol, coins, comm);
+  return {protocol.decode(g.num_vertices(), sketches, coins), comm};
+}
+
+}  // namespace ds::model

@@ -1,0 +1,39 @@
+// The footnote-1 protocol from the paper's introduction, implemented
+// exactly: find the unique bridge between two dense clusters with
+// O(log n)-size sketches.
+//
+// Player side: vertex w sends (a) O(log n) uniformly sampled incident
+// edges, and (b) the 64-bit signed sum
+//     s_w = sum_{z in N(w), z > w} (z*n + w)  -  sum_{z in N(w), z < w} (w*n + z)
+// (mod 2^64).  Referee side: the sampled edges identify the two-cluster
+// partition w.h.p.; summing s_w over one part cancels every intra-part
+// edge's contribution and leaves +/-(v*n + u) for the bridge (u, v), u < v
+// — which decodes to the bridge directly.
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+class BridgeFinding final : public model::SketchingProtocol<graph::Edge> {
+ public:
+  /// samples_per_vertex = how many random incident edges each vertex
+  /// reports for the partition-identification step.
+  explicit BridgeFinding(unsigned samples_per_vertex)
+      : samples_(samples_per_vertex) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+
+  /// Returns the recovered bridge, or {0, 0} on failure.
+  [[nodiscard]] graph::Edge decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override { return "bridge-finding"; }
+
+ private:
+  unsigned samples_;
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,37 @@
+// Shared machinery for budget-constrained one-round protocols.
+//
+// The lower-bound experiments sweep a per-player budget b and ask how well
+// a natural protocol family can do.  The family implemented here is
+// "random edge reporting": each vertex spends its budget on as many
+// uniformly-chosen incident edges as fit (all of them when the budget
+// allows — which is the point: on D_MM a unique vertex cannot know which
+// of its ~r incident edges is the one that matters, so nothing smarter is
+// available to it, exactly the intuition Lemma 3.5 formalizes).
+//
+// Encoding: gamma-coded count, then neighbor ids at ceil(log2 n) bits.
+// The referee unions all reports into a subgraph G' of G.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.h"
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+/// Max number of neighbor ids that fit in `budget_bits` (accounting for
+/// the gamma-coded count header).
+[[nodiscard]] std::size_t edges_fitting_budget(std::size_t budget_bits,
+                                               graph::Vertex n,
+                                               std::size_t degree);
+
+/// Report min(degree, capacity) incident edges, sampled uniformly without
+/// replacement from the public-coin stream keyed by the vertex id.
+void encode_edge_report(const model::VertexView& view,
+                        std::size_t budget_bits, util::BitWriter& out);
+
+/// Union of every vertex's reported edges: the referee's knowledge G'.
+[[nodiscard]] graph::Graph decode_reported_graph(
+    graph::Vertex n, std::span<const util::BitString> sketches);
+
+}  // namespace ds::protocols

@@ -1,0 +1,57 @@
+// (Delta+1)-coloring by palette sparsification [Assadi-Chen-Khanna
+// SODA'19] — the paper's sharpest contrast point: a symmetry-breaking
+// problem that *does* admit O(log^3 n)-bit sketches, unlike MM and MIS.
+//
+// Public coins assign every vertex v a random color list L(v) of size
+// O(log n) from the palette [num_colors]; since lists are public-coin
+// derived, vertex v can compute L(w) for each neighbor w without
+// communication.  ACK19 prove that w.h.p. the graph restricted to
+// "conflict edges" — edges whose endpoints' lists intersect — admits a
+// proper coloring with each vertex colored from its own list, and only
+// conflict edges matter for properness of a list-respecting coloring.
+//
+// So each vertex sends just its conflict edges: O(log^2 n) neighbors of
+// O(log n) bits each.  The referee list-colors the conflict graph
+// (randomized greedy with retries stands in for ACK19's constructive
+// argument; the bench records its empirical success rate).
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+/// Sentinel for "referee failed to color this vertex".
+inline constexpr std::uint32_t kUncolored = 0xffffffffu;
+
+class PaletteSparsificationColoring final
+    : public model::SketchingProtocol<model::ColoringOutput> {
+ public:
+  /// num_colors: palette size (use max degree + 1); list_size: |L(v)|;
+  /// retries: referee greedy restart attempts.
+  PaletteSparsificationColoring(std::uint32_t num_colors,
+                                std::uint32_t list_size,
+                                unsigned retries = 32)
+      : num_colors_(num_colors), list_size_(list_size), retries_(retries) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+
+  [[nodiscard]] model::ColoringOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "palette-sparsification";
+  }
+
+  /// The public-coin color list of v (sorted, distinct).
+  [[nodiscard]] std::vector<std::uint32_t> color_list(
+      const model::PublicCoins& coins, graph::Vertex v) const;
+
+ private:
+  std::uint32_t num_colors_;
+  std::uint32_t list_size_;
+  unsigned retries_;
+};
+
+}  // namespace ds::protocols

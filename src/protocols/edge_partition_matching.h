@@ -1,0 +1,35 @@
+// Budgeted matching in the edge-partitioned model: the [AKLY16]-style
+// protocol family.  Each player greedily computes a LOCAL matching over
+// its own edges and reports as much of it as fits (reporting a local
+// matching dominates reporting raw edges: a player's best strategy for a
+// matching objective is matching-structured, and it mirrors [AKLY16]'s
+// upper-bound side).  The referee greedily merges the reported matchings.
+#pragma once
+
+#include "graph/matching.h"
+#include "model/edge_partition.h"
+
+namespace ds::protocols {
+
+class EdgePartitionMatching final
+    : public model::EdgePartitionProtocol<graph::Matching> {
+ public:
+  explicit EdgePartitionMatching(std::size_t budget_bits)
+      : budget_bits_(budget_bits) {}
+
+  void encode(const model::EdgePlayerView& view,
+              util::BitWriter& out) const override;
+
+  [[nodiscard]] graph::Matching decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "edge-partition-matching";
+  }
+
+ private:
+  std::size_t budget_bits_;
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,55 @@
+// Needle discovery: find the edge of the unique degree-1 right vertex in
+// a bipartite graph.  Runs in both the standard (two-sided) and the
+// one-sided vertex-partition model of related work Section 1.3, making
+// the paper's point executable: *shared inputs* (every edge seen by both
+// endpoints) are what make the sketching model strong — remove one side's
+// players and even this trivial problem becomes expensive.
+//
+//  * NeedleTwoSided — degree-1 vertices announce their single edge; the
+//    referee reads it off the needle's own message.  O(log n) bits, and
+//    only the degree-1 vertices speak at all.
+//  * NeedleOneSided — with only left players, each reports a budgeted
+//    random sample of its edges; the referee looks for a right vertex of
+//    reported degree exactly 1.  Until the budget covers essentially all
+//    left edges, unreported edges make heavy right vertices masquerade as
+//    needles.
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+class NeedleTwoSided final : public model::SketchingProtocol<graph::Edge> {
+ public:
+  /// `left` = size of the left part (right vertices are >= left).
+  explicit NeedleTwoSided(graph::Vertex left) : left_(left) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] graph::Edge decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override { return "needle-2sided"; }
+
+ private:
+  graph::Vertex left_;
+};
+
+class NeedleOneSided final : public model::SketchingProtocol<graph::Edge> {
+ public:
+  NeedleOneSided(graph::Vertex left, std::size_t budget_bits)
+      : left_(left), budget_bits_(budget_bits) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] graph::Edge decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override { return "needle-1sided"; }
+
+ private:
+  graph::Vertex left_;
+  std::size_t budget_bits_;
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,35 @@
+// One-round budgeted maximal matching: random edge reports + referee-side
+// greedy matching on the reported subgraph.  The protocol family swept by
+// experiment E3: success transitions from ~0 to ~1 as the budget crosses
+// what D_MM's structure demands (~r * log n bits).
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+class BudgetedMatching final
+    : public model::SketchingProtocol<model::MatchingOutput> {
+ public:
+  explicit BudgetedMatching(std::size_t budget_bits)
+      : budget_bits_(budget_bits) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+
+  [[nodiscard]] model::MatchingOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "budgeted-matching";
+  }
+  [[nodiscard]] std::size_t budget_bits() const noexcept {
+    return budget_bits_;
+  }
+
+ private:
+  std::size_t budget_bits_;
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,21 @@
+#include "protocols/sampled_mis.h"
+
+#include "graph/independent_set.h"
+#include "protocols/budgeted.h"
+
+namespace ds::protocols {
+
+void BudgetedMis::encode(const model::VertexView& view,
+                         util::BitWriter& out) const {
+  encode_edge_report(view, budget_bits_, out);
+}
+
+model::VertexSetOutput BudgetedMis::decode(
+    graph::Vertex n, std::span<const util::BitString> sketches,
+    const model::PublicCoins& coins) const {
+  const graph::Graph known = decode_reported_graph(n, sketches);
+  util::Rng rng = coins.stream(model::coin_tag(model::CoinTag::kShuffle, 3));
+  return graph::greedy_mis_random(known, rng);
+}
+
+}  // namespace ds::protocols

@@ -1,0 +1,33 @@
+// One-round budgeted MIS: random edge reports + referee-side greedy MIS on
+// the reported subgraph.  With missing edges the output can be non-
+// independent (two adjacent vertices whose edge went unreported) or non-
+// maximal; both failure modes are scored by the harness (Section 2.1's
+// error model).
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+class BudgetedMis final
+    : public model::SketchingProtocol<model::VertexSetOutput> {
+ public:
+  explicit BudgetedMis(std::size_t budget_bits) : budget_bits_(budget_bits) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+
+  [[nodiscard]] model::VertexSetOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override { return "budgeted-mis"; }
+  [[nodiscard]] std::size_t budget_bits() const noexcept {
+    return budget_bits_;
+  }
+
+ private:
+  std::size_t budget_bits_;
+};
+
+}  // namespace ds::protocols

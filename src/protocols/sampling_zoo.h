@@ -1,0 +1,102 @@
+// Subsampling-based members of the introduction's problem zoo: edge
+// counting [AGM12b-style], densest subgraph [BHNT15, MTVV15], and
+// degeneracy [FT16].
+//
+// All three use the same public-coin trick: a shared hash h over edge ids
+// defines the sample "h(e) < threshold" — both endpoints of an edge make
+// the SAME sampling decision without communication, so the referee's
+// union of reports is a consistent uniform edge sample (another face of
+// the edge-sharing property the lower bound has to fight).
+#pragma once
+
+#include "graph/densest.h"
+#include "model/protocol.h"
+#include "sketch/kmv.h"
+
+namespace ds::protocols {
+
+/// Estimate |E| with a KMV distinct-elements sketch over canonical edge
+/// ids (each edge inserted twice, deduped by hashing).
+class EdgeCountEstimate final : public model::SketchingProtocol<double> {
+ public:
+  explicit EdgeCountEstimate(std::uint32_t k) : k_(k) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] double decode(graph::Vertex n,
+                              std::span<const util::BitString> sketches,
+                              const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override { return "edge-count-kmv"; }
+
+ private:
+  std::uint32_t k_;
+};
+
+/// Shared Bernoulli(p) edge sample + referee-side peeling; returns the
+/// best peeling suffix of the sample and its density estimate (sample
+/// density / p).
+class SampledDensestSubgraph final
+    : public model::SketchingProtocol<graph::DensestResult> {
+ public:
+  explicit SampledDensestSubgraph(double sample_prob)
+      : sample_prob_(sample_prob) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] graph::DensestResult decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override {
+    return "sampled-densest-subgraph";
+  }
+
+  /// The shared sampling predicate (exposed for tests).
+  [[nodiscard]] static bool sampled(const model::PublicCoins& coins,
+                                    std::uint64_t edge_id, double p);
+
+ private:
+  double sample_prob_;
+};
+
+/// The raw shared-sample subgraph itself — the primitive behind uniform
+/// cut sparsification [AGM12b]: for any vertex set S, |cut_sample(S)| / p
+/// estimates |cut_G(S)| (unbiased; concentrated for cuts of size
+/// >> 1/p).  Also a convenient debugging window into the sampling trick.
+class SampledSubgraph final : public model::SketchingProtocol<graph::Graph> {
+ public:
+  explicit SampledSubgraph(double sample_prob) : sample_prob_(sample_prob) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] graph::Graph decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override {
+    return "sampled-subgraph";
+  }
+  [[nodiscard]] double sample_prob() const noexcept { return sample_prob_; }
+
+ private:
+  double sample_prob_;
+};
+
+/// Degeneracy estimate: degeneracy(sample) / p.
+class SampledDegeneracy final : public model::SketchingProtocol<double> {
+ public:
+  explicit SampledDegeneracy(double sample_prob)
+      : sample_prob_(sample_prob) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+  [[nodiscard]] double decode(graph::Vertex n,
+                              std::span<const util::BitString> sketches,
+                              const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override {
+    return "sampled-degeneracy";
+  }
+
+ private:
+  double sample_prob_;
+};
+
+}  // namespace ds::protocols

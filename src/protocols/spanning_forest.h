@@ -1,0 +1,31 @@
+// One-round spanning forest via AGM sketches — the O(log^3 n) upper bound
+// the paper's introduction contrasts against (experiment E6).
+#pragma once
+
+#include "model/protocol.h"
+#include "sketch/agm.h"
+
+namespace ds::protocols {
+
+class AgmSpanningForest final
+    : public model::SketchingProtocol<model::ForestOutput> {
+ public:
+  /// rounds == 0 picks the Boruvka default (~log2 n + 3).
+  explicit AgmSpanningForest(unsigned rounds = 0) : rounds_(rounds) {}
+
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override;
+
+  [[nodiscard]] model::ForestOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "agm-spanning-forest";
+  }
+
+ private:
+  unsigned rounds_;
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,51 @@
+#include "protocols/trivial.h"
+
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+
+namespace ds::protocols {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+void encode_adjacency_bitmap(const model::VertexView& view,
+                             util::BitWriter& out) {
+  // n bits: bit w set iff w is a neighbor. Exactly the Theta(n) bound.
+  std::size_t cursor = 0;
+  for (Vertex w = 0; w < view.n; ++w) {
+    const bool adjacent =
+        cursor < view.neighbors.size() && view.neighbors[cursor] == w;
+    if (adjacent) ++cursor;
+    out.put_bit(adjacent);
+  }
+}
+
+Graph decode_full_graph(Vertex n, std::span<const util::BitString> sketches) {
+  std::vector<Edge> edges;
+  for (Vertex v = 0; v < n; ++v) {
+    util::BitReader reader(sketches[v]);
+    for (Vertex w = 0; w < n; ++w) {
+      if (reader.get_bit() && v < w) edges.push_back({v, w});
+    }
+  }
+  return Graph::from_edges(n, edges);
+}
+
+model::MatchingOutput TrivialMaximalMatching::decode(
+    Vertex n, std::span<const util::BitString> sketches,
+    const model::PublicCoins& coins) const {
+  const Graph g = decode_full_graph(n, sketches);
+  util::Rng rng = coins.stream(model::coin_tag(model::CoinTag::kShuffle, 0));
+  return graph::greedy_matching_random(g, rng);
+}
+
+model::VertexSetOutput TrivialMis::decode(
+    Vertex n, std::span<const util::BitString> sketches,
+    const model::PublicCoins& coins) const {
+  const Graph g = decode_full_graph(n, sketches);
+  util::Rng rng = coins.stream(model::coin_tag(model::CoinTag::kShuffle, 1));
+  return graph::greedy_mis_random(g, rng);
+}
+
+}  // namespace ds::protocols

@@ -1,0 +1,46 @@
+// The trivial Theta(n)-bit upper bound (Section 1: "the problem is trivial
+// with sketches of size Theta(n)"): every vertex ships its adjacency
+// bitmap, the referee reconstructs G exactly and solves the problem
+// centrally.  These protocols anchor the top of every budget sweep and
+// provide the omniscient-referee baselines.
+#pragma once
+
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+/// Reconstruct G from adjacency bitmaps.  Shared by the trivial protocols.
+[[nodiscard]] graph::Graph decode_full_graph(
+    graph::Vertex n, std::span<const util::BitString> sketches);
+
+/// Write view's adjacency row as an n-bit bitmap.
+void encode_adjacency_bitmap(const model::VertexView& view,
+                             util::BitWriter& out);
+
+class TrivialMaximalMatching final
+    : public model::SketchingProtocol<model::MatchingOutput> {
+ public:
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override {
+    encode_adjacency_bitmap(view, out);
+  }
+  [[nodiscard]] model::MatchingOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override { return "trivial-mm"; }
+};
+
+class TrivialMis final
+    : public model::SketchingProtocol<model::VertexSetOutput> {
+ public:
+  void encode(const model::VertexView& view,
+              util::BitWriter& out) const override {
+    encode_adjacency_bitmap(view, out);
+  }
+  [[nodiscard]] model::VertexSetOutput decode(
+      graph::Vertex n, std::span<const util::BitString> sketches,
+      const model::PublicCoins& coins) const override;
+  [[nodiscard]] std::string name() const override { return "trivial-mis"; }
+};
+
+}  // namespace ds::protocols

@@ -1,0 +1,114 @@
+#include "rs/ap_free.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace ds::rs {
+
+bool is_3ap_free(std::span<const std::uint64_t> set) {
+  // For every pair a < c with the same parity sum, check the midpoint.
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    for (std::size_t j = i + 1; j < set.size(); ++j) {
+      assert(set[i] < set[j] && "set must be strictly increasing");
+      const std::uint64_t sum = set[i] + set[j];
+      if (sum % 2 != 0) continue;
+      if (std::binary_search(set.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                             set.begin() + static_cast<std::ptrdiff_t>(j),
+                             sum / 2)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> ternary_ap_free_set(std::uint64_t m) {
+  // x has only digits 0/1 in base 3  <=>  x is a sum of distinct powers of
+  // 3 <=> x = sum_{i in S} 3^i for the binary digit set S. Enumerate by
+  // counting in binary and mapping bit i -> 3^i, which emits the set in
+  // increasing order without scanning all of [0, m).
+  std::vector<std::uint64_t> set;
+  for (std::uint64_t bits = 0;; ++bits) {
+    std::uint64_t value = 0;
+    std::uint64_t power = 1;
+    for (std::uint64_t b = bits; b != 0; b >>= 1) {
+      if (b & 1) value += power;
+      power *= 3;
+    }
+    if (value >= m) break;
+    set.push_back(value);
+  }
+  return set;
+}
+
+std::vector<std::uint64_t> behrend_set(std::uint64_t m, unsigned dims) {
+  assert(dims >= 1);
+  // Largest q with (2q-1)^dims <= m.
+  std::uint64_t q = 1;
+  auto fits = [m, dims](std::uint64_t qq) {
+    __uint128_t v = 1;
+    const std::uint64_t base = 2 * qq - 1;
+    for (unsigned i = 0; i < dims; ++i) {
+      v *= base;
+      if (v > m) return false;
+    }
+    return true;
+  };
+  while (fits(q + 1)) ++q;
+  if (q < 2) return ternary_ap_free_set(std::min<std::uint64_t>(m, 2));
+
+  const std::uint64_t base = 2 * q - 1;
+  // Enumerate all vectors in {0..q-1}^dims, bucket by squared norm, and
+  // keep the most populous sphere.  Points on a sphere are 3-AP-free after
+  // base-(2q-1) encoding: digit sums never carry (digits < q, so pairwise
+  // sums < 2q-1), hence x + y = 2z in Z implies x + y = 2z coordinatewise,
+  // and a sphere contains no midpoint of a proper chord.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> spheres;
+  std::vector<std::uint64_t> digits(dims, 0);
+  while (true) {
+    std::uint64_t norm = 0;
+    std::uint64_t encoded = 0;
+    for (unsigned i = 0; i < dims; ++i) {
+      norm += digits[i] * digits[i];
+      encoded = encoded * base + digits[i];
+    }
+    if (encoded < m) spheres[norm].push_back(encoded);
+
+    // Odometer increment over {0..q-1}^dims.
+    unsigned pos = 0;
+    while (pos < dims && ++digits[pos] == q) {
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == dims) break;
+  }
+
+  const std::vector<std::uint64_t>* best = nullptr;
+  for (const auto& [norm, members] : spheres) {
+    if (norm == 0) continue;  // the origin alone
+    if (best == nullptr || members.size() > best->size()) best = &members;
+  }
+  if (best == nullptr) return {};
+  std::vector<std::uint64_t> result = *best;
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::uint64_t> densest_ap_free_set(std::uint64_t m) {
+  std::vector<std::uint64_t> best = ternary_ap_free_set(m);
+  // Behrend's optimal dimension is ~ sqrt(log m / log 2); try a window
+  // around it (the enumeration is O(m) per attempt, so this stays cheap).
+  const double center = std::sqrt(std::log2(static_cast<double>(m) + 2));
+  const unsigned lo = center > 2.0 ? static_cast<unsigned>(center) - 1 : 1;
+  const unsigned hi = static_cast<unsigned>(center) + 2;
+  for (unsigned dims = lo; dims <= hi; ++dims) {
+    std::vector<std::uint64_t> candidate = behrend_set(m, dims);
+    if (candidate.size() > best.size()) best = std::move(candidate);
+  }
+  assert(is_3ap_free(best));
+  return best;
+}
+
+}  // namespace ds::rs

@@ -1,0 +1,38 @@
+// Sets of integers with no 3-term arithmetic progression.
+//
+// Proposition 2.1's Ruzsa-Szemeredi graphs are built from a dense 3-AP-free
+// subset of [m].  Two constructions are provided:
+//
+//  * the ternary ("no digit 2") greedy set — simple, good for small m,
+//    density m^{log_3 2 - 1};
+//  * Behrend's sphere construction [Behrend 1946] — the one the paper
+//    cites, density 1/e^{Theta(sqrt(log m))}, asymptotically far denser.
+//
+// `densest_ap_free_set` returns the better of the two for a given m, which
+// is what the RS-graph builder consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ds::rs {
+
+/// True iff no three elements a < b < c of the set satisfy a + c == 2b.
+/// `set` must be strictly increasing.
+[[nodiscard]] bool is_3ap_free(std::span<const std::uint64_t> set);
+
+/// Elements of [0, m) with only digits {0, 1} in base 3, increasing.
+[[nodiscard]] std::vector<std::uint64_t> ternary_ap_free_set(std::uint64_t m);
+
+/// Behrend's construction restricted to [0, m), with `dims` dimensions:
+/// base-(2q-1) encodings of integer points on the densest sphere in
+/// {0..q-1}^dims.  Increasing.
+[[nodiscard]] std::vector<std::uint64_t> behrend_set(std::uint64_t m,
+                                                     unsigned dims);
+
+/// Behrend with the dimension chosen near sqrt(log m) and tuned by search,
+/// or the ternary set if that is denser (small m). Increasing, 3-AP-free.
+[[nodiscard]] std::vector<std::uint64_t> densest_ap_free_set(std::uint64_t m);
+
+}  // namespace ds::rs

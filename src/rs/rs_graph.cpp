@@ -1,0 +1,203 @@
+#include "rs/rs_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+#include "rs/ap_free.h"
+
+namespace ds::rs {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Matching;
+using graph::Vertex;
+
+std::vector<Vertex> RsGraph::matching_vertices(std::size_t j) const {
+  assert(j < matchings.size());
+  std::vector<Vertex> vertices;
+  vertices.reserve(2 * matchings[j].size());
+  for (const Edge& e : matchings[j]) {
+    vertices.push_back(e.u);
+    vertices.push_back(e.v);
+  }
+  std::sort(vertices.begin(), vertices.end());
+  return vertices;
+}
+
+RsGraph rs_from_ap_free(std::uint64_t m, std::span<const std::uint64_t> s) {
+  assert(m >= 2);
+  assert(!s.empty());
+  assert(s.back() < m);
+  // Blocks: B holds values x+s in [0, 2m-2], C holds values x+2s in
+  // [0, 3m-3]; ids are B-value, then (2m-1) + C-value.
+  const Vertex b_size = static_cast<Vertex>(2 * m - 1);
+  const Vertex c_size = static_cast<Vertex>(3 * m - 2);
+  const Vertex n = b_size + c_size;
+
+  RsGraph rs;
+  rs.matchings.reserve(m);
+  std::vector<Edge> edges;
+  edges.reserve(m * s.size());
+  for (std::uint64_t x = 0; x < m; ++x) {
+    Matching mx;
+    mx.reserve(s.size());
+    for (std::uint64_t sv : s) {
+      const Vertex b = static_cast<Vertex>(x + sv);
+      const Vertex c = static_cast<Vertex>(b_size + x + 2 * sv);
+      mx.push_back(Edge{b, c});
+      edges.push_back(Edge{b, c});
+    }
+    rs.matchings.push_back(std::move(mx));
+  }
+  rs.graph = Graph::from_edges(n, edges);
+  // The (x, s) -> edge map is injective (s = c-b, x = 2b-c in values), so
+  // no dedup can have occurred:
+  assert(rs.graph.num_edges() == m * s.size());
+  return rs;
+}
+
+RsGraph rs_graph(std::uint64_t m) {
+  const std::vector<std::uint64_t> s = densest_ap_free_set(m);
+  return rs_from_ap_free(m, s);
+}
+
+RsGraph book_rs(std::uint32_t r, std::uint32_t t) {
+  assert(r >= 1 && t >= 1);
+  const Vertex n = r + r * t;
+  RsGraph rs;
+  std::vector<Edge> edges;
+  rs.matchings.reserve(t);
+  for (std::uint32_t j = 0; j < t; ++j) {
+    Matching mj;
+    for (std::uint32_t i = 0; i < r; ++i) {
+      const Vertex spine = i;
+      const Vertex leaf = r + j * r + i;
+      mj.push_back(Edge{spine, leaf});
+      edges.push_back(Edge{spine, leaf});
+    }
+    rs.matchings.push_back(std::move(mj));
+  }
+  rs.graph = Graph::from_edges(n, edges);
+  return rs;
+}
+
+RsGraph tripartite_rs(std::uint64_t q, std::span<const std::uint64_t> s) {
+  assert(!s.empty());
+  assert(q % 2 == 1 && "q must be odd (2s must be injective mod q)");
+  assert(q > 3 * s.back() && "wrap-guard: q > 3 * max(S)");
+  // Blocks: X = [0, q), Y = [q, 2q), Z = [2q, 3q).
+  const auto x_id = [](std::uint64_t v) { return static_cast<Vertex>(v); };
+  const auto y_id = [q](std::uint64_t v) { return static_cast<Vertex>(q + v); };
+  const auto z_id = [q](std::uint64_t v) {
+    return static_cast<Vertex>(2 * q + v);
+  };
+
+  RsGraph rs;
+  std::vector<Edge> edges;
+  edges.reserve(3 * q * s.size());
+  // Family 1 (Y-Z): the link of x.  M_x = {(x+s, x+2s)}.
+  for (std::uint64_t x = 0; x < q; ++x) {
+    Matching m;
+    for (std::uint64_t sv : s) {
+      const Edge e{y_id((x + sv) % q), z_id((x + 2 * sv) % q)};
+      m.push_back(e);
+      edges.push_back(e);
+    }
+    rs.matchings.push_back(std::move(m));
+  }
+  // Family 2 (X-Y), indexed by c = x + 2s:  M'_c = {(c-2s, c-s)}.
+  for (std::uint64_t c = 0; c < q; ++c) {
+    Matching m;
+    for (std::uint64_t sv : s) {
+      const Edge e{x_id((c + 2 * q - 2 * sv) % q),
+                   y_id((c + q - sv) % q)};
+      m.push_back(e);
+      edges.push_back(e);
+    }
+    rs.matchings.push_back(std::move(m));
+  }
+  // Family 3 (X-Z), indexed by b = x + s:  M''_b = {(b-s, b+s)}.
+  for (std::uint64_t b = 0; b < q; ++b) {
+    Matching m;
+    for (std::uint64_t sv : s) {
+      const Edge e{x_id((b + q - sv) % q), z_id((b + sv) % q)};
+      m.push_back(e);
+      edges.push_back(e);
+    }
+    rs.matchings.push_back(std::move(m));
+  }
+  rs.graph = Graph::from_edges(static_cast<Vertex>(3 * q), edges);
+  assert(rs.graph.num_edges() == 3 * q * s.size());
+  return rs;
+}
+
+RsGraph tripartite_rs(std::uint64_t q) {
+  assert(q % 2 == 1);
+  // S must fit below q/3 for the wrap-guard.
+  std::vector<std::uint64_t> s = densest_ap_free_set((q - 1) / 3);
+  // densest_ap_free_set gives values < (q-1)/3, so 3*max(S) < q - 1 < q.
+  return tripartite_rs(q, s);
+}
+
+RsGraph cycle_rs(std::uint32_t t) {
+  assert(t >= 3 && "antipodal pairs are induced only from C6 up");
+  const Vertex n = 2 * t;
+  RsGraph rs;
+  std::vector<Edge> edges;
+  // Cycle edges e_j = (j, j+1 mod n), j in [0, 2t).
+  const auto cycle_edge = [n](std::uint32_t j) {
+    return Edge{static_cast<Vertex>(j), static_cast<Vertex>((j + 1) % n)};
+  };
+  for (std::uint32_t j = 0; j < t; ++j) {
+    Matching m{cycle_edge(j), cycle_edge(j + t)};
+    edges.push_back(m[0]);
+    edges.push_back(m[1]);
+    rs.matchings.push_back(std::move(m));
+  }
+  rs.graph = Graph::from_edges(n, edges);
+  return rs;
+}
+
+bool verify_rs(const RsGraph& rs) {
+  if (rs.matchings.empty()) return false;
+  const std::size_t r = rs.matchings.front().size();
+  std::set<std::pair<Vertex, Vertex>> seen;
+  std::size_t total = 0;
+  for (const Matching& m : rs.matchings) {
+    if (m.size() != r) return false;
+    if (!graph::is_valid_matching(rs.graph, m)) return false;
+    for (const Edge& e : m) {
+      const Edge ne = e.normalized();
+      if (!seen.insert({ne.u, ne.v}).second) return false;  // not disjoint
+      ++total;
+    }
+    // Induced: the only graph edges between endpoints of m are m itself.
+    const std::vector<Vertex> vertices = [&m]() {
+      std::vector<Vertex> v;
+      for (const Edge& e : m) {
+        v.push_back(e.u);
+        v.push_back(e.v);
+      }
+      std::sort(v.begin(), v.end());
+      return v;
+    }();
+    std::size_t internal_edges = 0;
+    for (Vertex u : vertices) {
+      for (Vertex w : rs.graph.neighbors(u)) {
+        if (u < w && std::binary_search(vertices.begin(), vertices.end(), w)) {
+          ++internal_edges;
+        }
+      }
+    }
+    if (internal_edges != m.size()) return false;
+  }
+  return total == rs.graph.num_edges();  // partition covers everything
+}
+
+RsParameters rs_parameters(std::uint64_t m) {
+  const std::vector<std::uint64_t> s = densest_ap_free_set(m);
+  return {5 * m - 3, s.size(), m};
+}
+
+}  // namespace ds::rs

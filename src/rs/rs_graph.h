@@ -1,0 +1,96 @@
+// Ruzsa-Szemeredi graphs: graphs whose edge set partitions into t induced
+// matchings of size r each (Section 2.2 of the paper).
+//
+// Two constructions:
+//
+//  * `rs_from_ap_free` — the Behrend-based construction behind
+//    Proposition 2.1.  Given a 3-AP-free S subset of [m], build the
+//    bipartite graph on blocks B (size 2m-1) and C (size 3m-2) with an
+//    edge (x+s, x+2s) for every x in [m], s in S.  The matchings
+//    M_x = {(x+s, x+2s) : s in S} partition the edges; 3-AP-freeness of S
+//    makes each M_x induced.  Parameters: N = 5m-3 vertices, t = m
+//    matchings of size r = |S| = m / e^{Theta(sqrt(log m))}.  (The paper
+//    states t = N/3; our block layout gives t = N/5 — a constant factor
+//    absorbed by the Theta in r and irrelevant to every experiment.)
+//
+//  * `book_rs` — a tiny non-dense (r,t)-RS "book": spine a_1..a_r and one
+//    page of leaves per matching.  Used for the exactly-enumerable
+//    instances in the information-accounting experiments.
+//
+// `verify_rs` brute-force checks the full RS property and is used by the
+// tests against both constructions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace ds::rs {
+
+struct RsGraph {
+  graph::Graph graph;
+  std::vector<graph::Matching> matchings;  // the induced partition, |M_j| = r
+
+  [[nodiscard]] std::uint32_t num_vertices() const {
+    return graph.num_vertices();
+  }
+  [[nodiscard]] std::size_t t() const { return matchings.size(); }
+  [[nodiscard]] std::size_t r() const {
+    return matchings.empty() ? 0 : matchings.front().size();
+  }
+
+  /// The 2r vertices incident on matching j (the paper's V* when j = j*).
+  [[nodiscard]] std::vector<graph::Vertex> matching_vertices(
+      std::size_t j) const;
+};
+
+/// Behrend-based construction from an explicit 3-AP-free set S in [0, m).
+/// Requires m >= 2 and S non-empty, strictly increasing, max(S) < m.
+[[nodiscard]] RsGraph rs_from_ap_free(std::uint64_t m,
+                                      std::span<const std::uint64_t> s);
+
+/// Construction with the densest available AP-free set for the given m.
+[[nodiscard]] RsGraph rs_graph(std::uint64_t m);
+
+/// The (r, t) "book": N = r + r*t vertices, matching j joins spine vertex
+/// i to leaf (j, i).  Valid RS graph for any r, t >= 1 (but sparse).
+[[nodiscard]] RsGraph book_rs(std::uint32_t r, std::uint32_t t);
+
+/// The original tripartite Ruzsa-Szemeredi construction, in modular form:
+/// vertex set X union Y union Z, each a copy of Z_q, with the triangle
+/// (x, x+s, x+2s) (mod q) for every x in Z_q and s in a 3-AP-free
+/// S subset of [0, q/3).  Each of the three edge families partitions into
+/// q induced matchings (the links), giving t = 3q = N matchings of size
+/// r = |S| — the modular wrap removes the boundary effects that make the
+/// integer version's matchings unequal.  Requires q > 3 * max(S).
+[[nodiscard]] RsGraph tripartite_rs(std::uint64_t q,
+                                    std::span<const std::uint64_t> s);
+
+/// Tripartite construction with the densest available AP-free set.
+[[nodiscard]] RsGraph tripartite_rs(std::uint64_t q);
+
+/// The cycle C_{2t} as an (r=2, t) RS graph: matching j pairs edge j with
+/// its antipodal edge j+t (induced for t >= 3).  The smallest RS family
+/// in which EVERY vertex has two matching slots — so no player's degree
+/// pins its edges down (alternating survival patterns are degree-
+/// indistinguishable), which makes it the right substrate for probing
+/// degree-oblivious protocol classes.
+[[nodiscard]] RsGraph cycle_rs(std::uint32_t t);
+
+/// Full check of the RS property: matchings are pairwise edge-disjoint,
+/// their union is exactly the edge set, each is a matching of the common
+/// size, and each is induced (no non-matching edge joins two of its
+/// endpoints).  O(t * (r^2 + m)) — test/bench use only.
+[[nodiscard]] bool verify_rs(const RsGraph& rs);
+
+/// Achieved Proposition 2.1 parameters for a target vertex budget.
+struct RsParameters {
+  std::uint64_t n;  // vertices actually used
+  std::uint64_t r;
+  std::uint64_t t;
+};
+[[nodiscard]] RsParameters rs_parameters(std::uint64_t m);
+
+}  // namespace ds::rs

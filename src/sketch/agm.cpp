@@ -1,0 +1,118 @@
+#include "sketch/agm.h"
+
+#include <bit>
+#include <cassert>
+
+#include "graph/dsu.h"
+
+namespace ds::sketch {
+
+using graph::Edge;
+using graph::Vertex;
+
+unsigned agm_default_rounds(Vertex n) noexcept {
+  return static_cast<unsigned>(std::bit_width(static_cast<std::uint64_t>(n))) +
+         3;
+}
+
+AgmVertexSketch AgmVertexSketch::make(const model::PublicCoins& coins,
+                                      Vertex n, unsigned rounds,
+                                      std::uint64_t tag) {
+  assert(n >= 2);
+  if (rounds == 0) rounds = agm_default_rounds(n);
+  AgmVertexSketch s;
+  s.n_ = n;
+  const std::uint64_t universe = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  s.samplers_.reserve(rounds);
+  for (unsigned round = 0; round < rounds; ++round) {
+    s.samplers_.push_back(
+        L0Sampler::make(coins, util::mix64(tag, round), universe));
+  }
+  return s;
+}
+
+void AgmVertexSketch::add_vertex_edges(Vertex v,
+                                       std::span<const Vertex> neighbors) {
+  for (Vertex w : neighbors) add_single_edge(v, w);
+}
+
+void AgmVertexSketch::add_single_edge(Vertex v, Vertex w, std::int64_t scale) {
+  const std::uint64_t id = graph::pair_id(n_, v, w);
+  const std::int64_t sign = (v < w ? +1 : -1) * scale;
+  for (L0Sampler& sampler : samplers_) sampler.add(id, sign);
+}
+
+void AgmVertexSketch::merge(const AgmVertexSketch& other) {
+  assert(n_ == other.n_ && samplers_.size() == other.samplers_.size());
+  for (std::size_t i = 0; i < samplers_.size(); ++i)
+    samplers_[i].merge(other.samplers_[i]);
+}
+
+void AgmVertexSketch::write(util::BitWriter& out) const {
+  for (const L0Sampler& sampler : samplers_) sampler.write(out);
+}
+
+void AgmVertexSketch::read(util::BitReader& in) {
+  for (L0Sampler& sampler : samplers_) sampler.read(in);
+}
+
+std::size_t AgmVertexSketch::state_bits() const {
+  std::size_t bits = 0;
+  for (const L0Sampler& sampler : samplers_) bits += sampler.state_bits();
+  return bits;
+}
+
+SpanningForestDecode agm_spanning_forest(Vertex n,
+                                         std::vector<AgmVertexSketch> sketches) {
+  assert(sketches.size() == n);
+  const unsigned rounds = sketches.empty() ? 0 : sketches.front().rounds();
+
+  graph::Dsu dsu(n);
+  SpanningForestDecode result;
+  // `component_sketch[root]` accumulates the merged sketch of the whole
+  // component; we rebuild it lazily per round from scratch to keep the
+  // code simple (the referee is not bandwidth-constrained).
+  for (unsigned round = 0; round < rounds && dsu.num_sets() > 1; ++round) {
+    // Group vertices by component root.
+    std::vector<Vertex> root_of(n);
+    std::vector<Vertex> roots;
+    for (Vertex v = 0; v < n; ++v) {
+      root_of[v] = dsu.find(v);
+      if (root_of[v] == v) roots.push_back(v);
+    }
+    // Merge this round's sampler per component.
+    std::vector<L0Sampler> merged;
+    std::vector<Vertex> merged_root;
+    merged.reserve(roots.size());
+    {
+      // index of root in `merged`
+      std::vector<std::uint32_t> slot(n, 0xffffffffu);
+      for (Vertex root : roots) {
+        slot[root] = static_cast<std::uint32_t>(merged.size());
+        merged.push_back(sketches[root].sampler(round));
+        merged_root.push_back(root);
+      }
+      for (Vertex v = 0; v < n; ++v) {
+        if (v == root_of[v]) continue;
+        merged[slot[root_of[v]]].merge(sketches[v].sampler(round));
+      }
+    }
+    // Boruvka step: each component proposes one outgoing edge.
+    bool progress = false;
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      const std::optional<Recovered> sample = merged[i].decode();
+      if (!sample.has_value()) continue;
+      if (sample->count != 1 && sample->count != -1) continue;  // corrupt
+      const Edge e = graph::pair_from_id(n, sample->index);
+      if (dsu.unite(e.u, e.v)) {
+        result.forest.push_back(e);
+        progress = true;
+      }
+    }
+    if (!progress && round + 1 == rounds) break;
+  }
+  result.components = dsu.num_sets();
+  return result;
+}
+
+}  // namespace ds::sketch

@@ -1,0 +1,52 @@
+// K-minimum-values (KMV) distinct-elements sketch.
+//
+// Mergeable summary of a SET of uint64 ids: keep the k smallest values of
+// a shared pairwise-independent hash.  Supports the distinct-count
+// estimate  F0 ~ (k-1) * RANGE / h_(k)  (exact when fewer than k distinct
+// ids were seen).  Used by the edge-counting protocol: both endpoints of
+// an edge insert the same canonical edge id, so double-reporting
+// deduplicates by construction — a small showcase of the "each edge is
+// seen twice" structure the paper's model has.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/coins.h"
+#include "util/bitio.h"
+#include "util/hashing.h"
+
+namespace ds::sketch {
+
+class KmvSketch {
+ public:
+  /// Shape from public coins; identical (coins, tag, k) = identical hash.
+  static KmvSketch make(const model::PublicCoins& coins, std::uint64_t tag,
+                        std::uint32_t k);
+
+  void add(std::uint64_t id);
+  void merge(const KmvSketch& other);
+
+  /// Estimated number of distinct ids added. Exact when < k were seen.
+  [[nodiscard]] double estimate() const;
+  /// True iff fewer than k distinct ids were seen (estimate is exact).
+  [[nodiscard]] bool is_exact() const noexcept {
+    return values_.size() < k_;
+  }
+
+  void write(util::BitWriter& out) const;
+  void read(util::BitReader& in);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+ private:
+  KmvSketch() = default;
+  void insert_hash(std::uint64_t h);
+
+  std::uint32_t k_ = 0;
+  std::optional<util::KWiseHash> hash_;
+  std::vector<std::uint64_t> values_;  // sorted ascending, size <= k
+};
+
+}  // namespace ds::sketch

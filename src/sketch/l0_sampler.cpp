@@ -1,0 +1,69 @@
+#include "sketch/l0_sampler.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ds::sketch {
+
+L0Sampler L0Sampler::make(const model::PublicCoins& coins, std::uint64_t tag,
+                          std::uint64_t universe) {
+  assert(universe > 0);
+  L0Sampler s;
+  s.universe_ = universe;
+  s.level_hash_ =
+      coins.hash(model::coin_tag(model::CoinTag::kLevelHash, tag), 2);
+  const unsigned num_levels =
+      static_cast<unsigned>(std::bit_width(universe)) + 2;
+  s.levels_.reserve(num_levels);
+  for (unsigned level = 0; level < num_levels; ++level) {
+    s.levels_.push_back(
+        OneSparse::make(coins, util::mix64(tag, 0xCC00 + level), universe));
+  }
+  return s;
+}
+
+void L0Sampler::add(std::uint64_t index, std::int64_t delta) {
+  assert(index < universe_);
+  const unsigned max_level = num_levels() - 1;
+  const unsigned level = util::sample_level(*level_hash_, index, max_level);
+  // Index participates in every level up to its sampled level (the nested
+  // subsampling makes level l's survivor set a subset of level l-1's).
+  for (unsigned l = 0; l <= level; ++l) levels_[l].add(index, delta);
+}
+
+void L0Sampler::merge(const L0Sampler& other) {
+  assert(universe_ == other.universe_ &&
+         levels_.size() == other.levels_.size());
+  for (std::size_t l = 0; l < levels_.size(); ++l)
+    levels_[l].merge(other.levels_[l]);
+}
+
+std::optional<Recovered> L0Sampler::decode() const {
+  // Prefer the sparsest non-empty level: scan from the top.
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    const DecodeResult r = it->decode();
+    if (r.status == DecodeStatus::kOne) return r.value;
+  }
+  return std::nullopt;
+}
+
+bool L0Sampler::looks_zero() const {
+  for (const OneSparse& level : levels_) {
+    if (level.decode().status != DecodeStatus::kZero) return false;
+  }
+  return true;
+}
+
+void L0Sampler::write(util::BitWriter& out) const {
+  for (const OneSparse& level : levels_) level.write(out);
+}
+
+void L0Sampler::read(util::BitReader& in) {
+  for (OneSparse& level : levels_) level.read(in);
+}
+
+std::size_t L0Sampler::state_bits() const {
+  return levels_.size() * OneSparse::state_bits();
+}
+
+}  // namespace ds::sketch

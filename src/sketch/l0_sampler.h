@@ -1,0 +1,53 @@
+// L0 sampling: return a (near-)uniform nonzero coordinate of a signed
+// vector, from a small linear summary.
+//
+// Geometric level subsampling with a pairwise-independent hash: level l
+// keeps each index with probability 2^-l; the level whose survivor count
+// is ~1 decodes via OneSparse.  A single sampler succeeds with constant
+// probability; callers needing high probability keep several independent
+// samplers (the AGM sketch keeps one per Boruvka round anyway).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/coins.h"
+#include "sketch/one_sparse.h"
+#include "util/hashing.h"
+
+namespace ds::sketch {
+
+class L0Sampler {
+ public:
+  static L0Sampler make(const model::PublicCoins& coins, std::uint64_t tag,
+                        std::uint64_t universe);
+
+  void add(std::uint64_t index, std::int64_t delta);
+  void merge(const L0Sampler& other);
+
+  /// A nonzero coordinate, or nullopt (vector zero at every level, or all
+  /// levels failed to be 1-sparse).
+  [[nodiscard]] std::optional<Recovered> decode() const;
+
+  /// True iff every level decodes to zero — evidence (not proof) that the
+  /// summarized vector is zero.
+  [[nodiscard]] bool looks_zero() const;
+
+  void write(util::BitWriter& out) const;
+  void read(util::BitReader& in);
+  [[nodiscard]] std::size_t state_bits() const;
+
+  [[nodiscard]] unsigned num_levels() const noexcept {
+    return static_cast<unsigned>(levels_.size());
+  }
+
+ private:
+  L0Sampler() = default;
+
+  std::uint64_t universe_ = 0;
+  std::optional<util::KWiseHash> level_hash_;
+  std::vector<OneSparse> levels_;
+};
+
+}  // namespace ds::sketch

@@ -1,0 +1,82 @@
+#include "sketch/one_sparse.h"
+
+#include <cassert>
+
+namespace ds::sketch {
+
+namespace {
+
+constexpr std::uint64_t kP = util::kDefaultPrime;
+constexpr unsigned kFieldBits = 61;  // kDefaultPrime = 2^61 - 1
+constexpr unsigned kCounterBits = 64;
+
+/// Map a signed count into F_p.
+std::uint64_t to_field(std::int64_t v) {
+  if (v >= 0) return static_cast<std::uint64_t>(v) % kP;
+  return util::sub_mod(0, static_cast<std::uint64_t>(-v) % kP, kP);
+}
+
+}  // namespace
+
+OneSparse OneSparse::make(const model::PublicCoins& coins, std::uint64_t tag,
+                          std::uint64_t universe) {
+  assert(universe > 0 && universe < kP);
+  OneSparse s;
+  s.universe_ = universe;
+  util::Rng rng =
+      coins.stream(model::coin_tag(model::CoinTag::kFingerprint, tag));
+  s.z_ = 1 + rng.next_below(kP - 1);  // z in [1, p)
+  return s;
+}
+
+void OneSparse::add(std::uint64_t index, std::int64_t delta) {
+  assert(index < universe_);
+  if (delta == 0) return;
+  const std::uint64_t d = to_field(delta);
+  ell0_ += delta;
+  ell1_ = util::add_mod(ell1_, util::mul_mod(d, index % kP, kP), kP);
+  fp_ = util::add_mod(fp_, util::mul_mod(d, util::pow_mod(z_, index, kP), kP),
+                      kP);
+}
+
+void OneSparse::merge(const OneSparse& other) {
+  assert(universe_ == other.universe_ && z_ == other.z_ &&
+         "sketches with different shapes cannot merge");
+  ell0_ += other.ell0_;
+  ell1_ = util::add_mod(ell1_, other.ell1_, kP);
+  fp_ = util::add_mod(fp_, other.fp_, kP);
+}
+
+DecodeResult OneSparse::decode() const {
+  if (ell0_ == 0 && ell1_ == 0 && fp_ == 0) {
+    return {DecodeStatus::kZero, {}};
+  }
+  const std::uint64_t c = to_field(ell0_);
+  if (c == 0) return {DecodeStatus::kFail, {}};  // cancelling counts
+
+  // Candidate index = ell1 / ell0 in F_p.
+  const std::uint64_t index = util::mul_mod(ell1_, util::inv_mod(c, kP), kP);
+  if (index >= universe_) return {DecodeStatus::kFail, {}};
+
+  // Fingerprint check: fp must equal ell0 * z^index.
+  const std::uint64_t expected =
+      util::mul_mod(c, util::pow_mod(z_, index, kP), kP);
+  if (expected != fp_) return {DecodeStatus::kFail, {}};
+  return {DecodeStatus::kOne, {index, ell0_}};
+}
+
+void OneSparse::write(util::BitWriter& out) const {
+  out.put_bits(static_cast<std::uint64_t>(ell0_), kCounterBits);
+  out.put_bits(ell1_, kFieldBits);
+  out.put_bits(fp_, kFieldBits);
+}
+
+void OneSparse::read(util::BitReader& in) {
+  ell0_ = static_cast<std::int64_t>(in.get_bits(kCounterBits));
+  ell1_ = in.get_bits(kFieldBits);
+  fp_ = in.get_bits(kFieldBits);
+}
+
+std::size_t OneSparse::state_bits() { return kCounterBits + 2 * kFieldBits; }
+
+}  // namespace ds::sketch

@@ -1,0 +1,72 @@
+// Exact recovery of 1-sparse signed vectors, with a fingerprint test.
+//
+// The basic building block of the AGM sketch.  A OneSparse summary of a
+// vector x in Z^U holds
+//     ell0 = sum_i x_i,
+//     ell1 = sum_i x_i * i            (mod p),
+//     fp   = sum_i x_i * z^i          (mod p, random z),
+// which is linear, so summaries of two vectors merge by addition — this is
+// what lets the referee combine per-vertex sketches into per-component
+// sketches.  If x has exactly one nonzero coordinate (i*, c) then
+// ell1/ell0 = i* and fp = c * z^{i*}; the fingerprint check fails for
+// non-1-sparse x except with probability <= U/p over z.
+//
+// The *shape* (index space, modulus, z) is derived from public coins so
+// players and referee agree on it without communication; only the *state*
+// (three field words and a counter) is serialized into messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "model/coins.h"
+#include "util/bitio.h"
+#include "util/modular.h"
+
+namespace ds::sketch {
+
+struct Recovered {
+  std::uint64_t index;
+  std::int64_t count;
+};
+
+enum class DecodeStatus { kZero, kOne, kFail };
+
+struct DecodeResult {
+  DecodeStatus status;
+  Recovered value;  // meaningful only when status == kOne
+};
+
+class OneSparse {
+ public:
+  /// Shape from public coins: index space [0, universe), fingerprint base
+  /// z ~ U(F_p). Equal (coins, tag, universe) give equal shapes.
+  static OneSparse make(const model::PublicCoins& coins, std::uint64_t tag,
+                        std::uint64_t universe);
+
+  void add(std::uint64_t index, std::int64_t delta);
+  void merge(const OneSparse& other);
+
+  [[nodiscard]] DecodeResult decode() const;
+
+  /// Serialize / deserialize state (not shape).
+  void write(util::BitWriter& out) const;
+  void read(util::BitReader& in);
+
+  /// Exact state bits as written by write().
+  [[nodiscard]] static std::size_t state_bits();
+
+  [[nodiscard]] std::uint64_t universe() const noexcept { return universe_; }
+
+ private:
+  OneSparse() = default;
+
+  std::uint64_t universe_ = 0;
+  std::uint64_t z_ = 0;  // fingerprint base
+
+  std::int64_t ell0_ = 0;    // sum of counts (exact, signed)
+  std::uint64_t ell1_ = 0;   // sum of count*index mod p
+  std::uint64_t fp_ = 0;     // fingerprint mod p
+};
+
+}  // namespace ds::sketch

@@ -1,0 +1,85 @@
+#include "sketch/s_sparse.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ds::sketch {
+
+SSparse SSparse::make(const model::PublicCoins& coins, std::uint64_t tag,
+                      std::uint64_t universe, std::uint32_t sparsity,
+                      std::uint32_t rows) {
+  assert(sparsity >= 1 && rows >= 1);
+  SSparse s;
+  s.universe_ = universe;
+  s.sparsity_ = sparsity;
+  s.rows_ = rows;
+  s.cols_ = 2 * sparsity;
+  s.row_hash_.reserve(rows);
+  s.cells_.reserve(static_cast<std::size_t>(rows) * s.cols_);
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    const std::uint64_t row_tag = util::mix64(tag, 0xBB00 + row);
+    s.row_hash_.push_back(
+        coins.hash(model::coin_tag(model::CoinTag::kBucketHash, row_tag), 2));
+    for (std::uint32_t col = 0; col < s.cols_; ++col) {
+      s.cells_.push_back(OneSparse::make(
+          coins, util::mix64(row_tag, col), universe));
+    }
+  }
+  return s;
+}
+
+void SSparse::add(std::uint64_t index, std::int64_t delta) {
+  assert(index < universe_);
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    const std::uint64_t col = row_hash_[row].bounded(index, cols_);
+    cells_[static_cast<std::size_t>(row) * cols_ + col].add(index, delta);
+  }
+}
+
+void SSparse::merge(const SSparse& other) {
+  assert(universe_ == other.universe_ && rows_ == other.rows_ &&
+         cols_ == other.cols_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].merge(other.cells_[i]);
+}
+
+std::optional<std::vector<Recovered>> SSparse::decode() const {
+  // Peeling: repeatedly recover a 1-sparse cell and subtract the recovered
+  // element everywhere, until the residual is zero (success) or no cell
+  // decodes (over-sparse or hash-unlucky: fail).
+  SSparse work = *this;
+  std::vector<Recovered> found;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const OneSparse& cell : work.cells_) {
+      const DecodeResult r = cell.decode();
+      if (r.status != DecodeStatus::kOne) continue;
+      found.push_back(r.value);
+      if (found.size() > sparsity_) return std::nullopt;
+      work.add(r.value.index, -r.value.count);
+      progress = true;
+    }
+  }
+  for (const OneSparse& cell : work.cells_) {
+    if (cell.decode().status != DecodeStatus::kZero) return std::nullopt;
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Recovered& a, const Recovered& b) {
+              return a.index < b.index;
+            });
+  return found;
+}
+
+void SSparse::write(util::BitWriter& out) const {
+  for (const OneSparse& cell : cells_) cell.write(out);
+}
+
+void SSparse::read(util::BitReader& in) {
+  for (OneSparse& cell : cells_) cell.read(in);
+}
+
+std::size_t SSparse::state_bits() const {
+  return cells_.size() * OneSparse::state_bits();
+}
+
+}  // namespace ds::sketch

@@ -1,0 +1,91 @@
+// Dynamic (turnstile) graph streams on top of the same linear sketches.
+//
+// Section 1.1 contrasts the sketching lower bounds with streaming: linear
+// sketches ARE dynamic-stream algorithms (a linear summary absorbs edge
+// deletions as subtractions), which is exactly why the [AKLY16]/[CDK19]
+// streaming lower bounds the paper cites translate to *linear* sketches
+// while Theorems 1-2 are needed for general ones.  This module makes the
+// correspondence executable:
+//
+//  * DynamicConnectivity — processes inserts AND deletes with n *
+//    O(log^3 n) bits of state, answering spanning-forest / component
+//    queries at any point (AGM sketches, incremental updates).
+//  * InsertionGreedyMatching — the classic O(n)-memory insertion-only
+//    maximal matching, which deletions break (demonstrated in tests):
+//    the asymmetry motivating the dynamic-stream matching lower bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/matching.h"
+#include "model/coins.h"
+#include "sketch/agm.h"
+
+namespace ds::stream {
+
+struct EdgeUpdate {
+  graph::Edge edge;
+  bool insert = true;  // false: delete
+};
+
+/// Turnstile connectivity: per-vertex AGM sketches updated in O(log^2 n)
+/// field operations per stream element.
+class DynamicConnectivity {
+ public:
+  /// `seed` keys the sketch randomness (a stream algorithm's private
+  /// coins must be independent of the stream).
+  DynamicConnectivity(graph::Vertex n, std::uint64_t seed);
+
+  void apply(const EdgeUpdate& update);
+  void insert(graph::Vertex u, graph::Vertex v) { apply({{u, v}, true}); }
+  void remove(graph::Vertex u, graph::Vertex v) { apply({{u, v}, false}); }
+
+  /// Decode a spanning forest of the current graph (consumes fresh sketch
+  /// copies; the stream state is untouched and can keep absorbing
+  /// updates).
+  [[nodiscard]] sketch::SpanningForestDecode query_forest() const;
+  [[nodiscard]] std::uint32_t query_components() const;
+
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept {
+    return static_cast<graph::Vertex>(sketches_.size());
+  }
+  /// Total sketch state in bits (the algorithm's memory footprint).
+  [[nodiscard]] std::size_t state_bits() const;
+
+ private:
+  model::PublicCoins coins_;
+  std::vector<sketch::AgmVertexSketch> sketches_;
+};
+
+/// Insertion-only greedy maximal matching (one pass, O(n log n) bits).
+/// `apply` with a delete for a matched edge invalidates the state; the
+/// class tracks that honestly via `valid()` instead of pretending.
+class InsertionGreedyMatching {
+ public:
+  explicit InsertionGreedyMatching(graph::Vertex n);
+
+  void apply(const EdgeUpdate& update);
+
+  [[nodiscard]] const graph::Matching& matching() const noexcept {
+    return matching_;
+  }
+  /// False once a deletion removed a matched edge — the single-pass
+  /// greedy cannot repair itself (the motivation for sketch-based
+  /// matchings, and the regime of the paper's lower bound).
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+ private:
+  std::vector<bool> matched_;
+  graph::Matching matching_;
+  bool valid_ = true;
+};
+
+/// A random update sequence whose final graph is `target`: inserts and
+/// spurious insert+delete pairs interleaved. For tests/benches.
+[[nodiscard]] std::vector<EdgeUpdate> scrambled_updates(
+    const graph::Graph& target, std::size_t spurious_pairs, util::Rng& rng);
+
+}  // namespace ds::stream

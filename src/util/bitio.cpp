@@ -1,0 +1,104 @@
+#include "util/bitio.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ds::util {
+
+unsigned bit_width_for(std::uint64_t n) noexcept {
+  if (n <= 1) return 0;
+  return static_cast<unsigned>(std::bit_width(n - 1));
+}
+
+void BitWriter::put_bit(bool bit) { put_bits(bit ? 1u : 0u, 1); }
+
+void BitWriter::put_bits(std::uint64_t value, unsigned width) {
+  assert(width <= 64);
+  if (width == 0) return;
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+
+  const std::size_t word_index = bit_count_ >> 6;
+  const unsigned offset = static_cast<unsigned>(bit_count_ & 63);
+  if (word_index >= words_.size()) words_.push_back(0);
+  words_[word_index] |= value << offset;
+  if (offset + width > 64) {
+    // Spills into the next word.
+    words_.push_back(value >> (64 - offset));
+  }
+  bit_count_ += width;
+}
+
+void BitWriter::put_gamma(std::uint64_t value) {
+  assert(value >= 1);
+  const unsigned len = static_cast<unsigned>(std::bit_width(value));  // >= 1
+  // len-1 zeros, then the value's bits from MSB down (we store the leading
+  // 1 explicitly so the reader can detect the boundary).
+  put_bits(0, len - 1);
+  put_bit(true);
+  if (len > 1) put_bits(value & ((std::uint64_t{1} << (len - 1)) - 1), len - 1);
+}
+
+void BitWriter::put_delta(std::uint64_t value) {
+  assert(value >= 1);
+  const unsigned len = static_cast<unsigned>(std::bit_width(value));
+  put_gamma(len);
+  if (len > 1) put_bits(value & ((std::uint64_t{1} << (len - 1)) - 1), len - 1);
+}
+
+void BitWriter::put_u32_span(std::span<const std::uint32_t> values,
+                             unsigned width) {
+  put_gamma(values.size() + 1);  // +1: gamma cannot encode zero
+  for (std::uint32_t v : values) put_bits(v, width);
+}
+
+bool BitReader::get_bit() { return get_bits(1) != 0; }
+
+std::uint64_t BitReader::get_bits(unsigned width) {
+  assert(width <= 64);
+  if (width == 0) return 0;
+  assert(pos_ + width <= bit_count_);
+  if (pos_ + width > bit_count_) return 0;
+
+  const std::size_t word_index = pos_ >> 6;
+  const unsigned offset = static_cast<unsigned>(pos_ & 63);
+  std::uint64_t value = words_[word_index] >> offset;
+  if (offset + width > 64) value |= words_[word_index + 1] << (64 - offset);
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  pos_ += width;
+  return value;
+}
+
+std::uint64_t BitReader::get_gamma() {
+  unsigned zeros = 0;
+  while (bits_remaining() > 0 && !get_bit()) ++zeros;
+  // A truncated or adversarial stream can present >= 64 leading zeros;
+  // clamp so the shift stays defined (the decoded value is garbage either
+  // way, but must be garbage safely).
+  if (zeros > 63) zeros = 63;
+  std::uint64_t value = std::uint64_t{1} << zeros;
+  if (zeros > 0) value |= get_bits(zeros);
+  return value;
+}
+
+std::uint64_t BitReader::get_delta() {
+  const unsigned len = static_cast<unsigned>(get_gamma());
+  std::uint64_t value = std::uint64_t{1} << (len - 1);
+  if (len > 1) value |= get_bits(len - 1);
+  return value;
+}
+
+std::vector<std::uint32_t> BitReader::get_u32_span(unsigned width) {
+  std::uint64_t count = get_gamma() - 1;
+  // Robustness clamp: a well-formed message cannot contain more elements
+  // than it has bits left; garbage counts must not drive allocation.
+  const std::uint64_t max_possible =
+      width == 0 ? bits_remaining() : bits_remaining() / width;
+  if (count > max_possible) count = max_possible;
+  std::vector<std::uint32_t> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    values.push_back(static_cast<std::uint32_t>(get_bits(width)));
+  return values;
+}
+
+}  // namespace ds::util

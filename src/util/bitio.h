@@ -1,0 +1,101 @@
+// Bit-exact message encoding.
+//
+// The communication cost of a sketching protocol is the worst-case length
+// in *bits* of any player's message (Section 2.1 of the paper).  To keep
+// that accounting honest, every sketch in this codebase is produced through
+// a BitWriter and consumed through a BitReader: the harness charges exactly
+// the number of bits written, not a byte- or word-rounded figure.
+//
+// Supported encodings:
+//   * raw bits / fixed-width unsigned integers (LSB first),
+//   * Elias gamma and delta codes for unbounded positive integers,
+//   * length-prefixed spans of fixed-width values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ds::util {
+
+/// Append-only bit buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  void put_bit(bool bit);
+
+  /// Write the low `width` bits of `value`, LSB first. width in [0, 64].
+  void put_bits(std::uint64_t value, unsigned width);
+
+  /// Elias gamma code of `value` (requires value >= 1): unary length then
+  /// binary remainder; 2*floor(log2 v) + 1 bits.
+  void put_gamma(std::uint64_t value);
+
+  /// Elias delta code of `value` (requires value >= 1): gamma-coded length
+  /// then binary remainder; log v + O(log log v) bits.
+  void put_delta(std::uint64_t value);
+
+  /// Gamma-coded length followed by `width`-bit elements.
+  void put_u32_span(std::span<const std::uint32_t> values, unsigned width);
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_count_ = 0;
+};
+
+/// A finished, immutable message together with its exact bit length.
+class BitString {
+ public:
+  BitString() = default;
+  explicit BitString(const BitWriter& writer)
+      : words_(writer.words()), bit_count_(writer.bit_count()) {}
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Sequential decoder over a BitString. Reading past the end is a
+/// programming error and asserts in debug builds; in release it returns
+/// zero bits (protocol decoders must therefore length-check via
+/// `bits_remaining` when messages are adversarially truncated).
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) noexcept
+      : words_(bits.words()), bit_count_(bits.bit_count()) {}
+  // The reader holds a span into the BitString; a temporary would dangle.
+  explicit BitReader(BitString&&) = delete;
+
+  [[nodiscard]] bool get_bit();
+  [[nodiscard]] std::uint64_t get_bits(unsigned width);
+  [[nodiscard]] std::uint64_t get_gamma();
+  [[nodiscard]] std::uint64_t get_delta();
+  [[nodiscard]] std::vector<std::uint32_t> get_u32_span(unsigned width);
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return bit_count_ - pos_;
+  }
+
+ private:
+  std::span<const std::uint64_t> words_;
+  std::size_t bit_count_ = 0;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to write values in [0, n) with put_bits, i.e.
+/// ceil(log2 n); 0 for n <= 1.
+[[nodiscard]] unsigned bit_width_for(std::uint64_t n) noexcept;
+
+}  // namespace ds::util

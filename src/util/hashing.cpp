@@ -1,0 +1,46 @@
+#include "util/hashing.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ds::util {
+
+KWiseHash::KWiseHash(unsigned k, Rng& rng, std::uint64_t prime)
+    : prime_(prime) {
+  assert(k >= 1);
+  assert(is_prime(prime));
+  coeffs_.reserve(k);
+  for (unsigned i = 0; i < k; ++i) {
+    coeffs_.push_back(rng.next_below(prime));
+  }
+  // A zero leading coefficient only shrinks the family, never breaks
+  // independence, so we accept whatever the draw produced.
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t x) const noexcept {
+  // Horner evaluation, highest coefficient first.
+  std::uint64_t acc = 0;
+  const std::uint64_t xr = x % prime_;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = add_mod(mul_mod(acc, xr, prime_), *it, prime_);
+  }
+  return acc;
+}
+
+std::uint64_t KWiseHash::bounded(std::uint64_t x,
+                                 std::uint64_t range) const noexcept {
+  assert(range > 0);
+  return (*this)(x) % range;
+}
+
+KWiseHash make_pairwise(Rng& rng) { return KWiseHash(2, rng); }
+
+unsigned sample_level(const KWiseHash& hash, std::uint64_t x,
+                      unsigned max_level) noexcept {
+  const std::uint64_t value = hash(x);
+  if (value == 0) return max_level;
+  const unsigned tz = static_cast<unsigned>(std::countr_zero(value));
+  return tz < max_level ? tz : max_level;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,52 @@
+// k-wise independent hash families over a prime field.
+//
+// The L0 samplers behind the AGM spanning-forest sketch need pairwise
+// independence for their level-subsampling and bucket-assignment hashes;
+// palette sparsification and the budgeted sampling protocols key their
+// public-coin choices through these families too, so that every player
+// evaluating the same seeded family sees the same function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/modular.h"
+#include "util/rng.h"
+
+namespace ds::util {
+
+/// Degree-(k-1) polynomial over F_p: h(x) = sum_i c_i x^i mod p, a k-wise
+/// independent family when the coefficients are uniform.
+class KWiseHash {
+ public:
+  /// Draw a function with the given independence k >= 1 from `rng`.
+  KWiseHash(unsigned k, Rng& rng, std::uint64_t prime = kDefaultPrime);
+
+  /// h(x) in [0, p).
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const noexcept;
+
+  /// h(x) reduced to [0, range). Composition with `mod range` keeps
+  /// near-uniformity as long as range << p.
+  [[nodiscard]] std::uint64_t bounded(std::uint64_t x,
+                                      std::uint64_t range) const noexcept;
+
+  [[nodiscard]] unsigned independence() const noexcept {
+    return static_cast<unsigned>(coeffs_.size());
+  }
+  [[nodiscard]] std::uint64_t prime() const noexcept { return prime_; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // c_0 .. c_{k-1}
+  std::uint64_t prime_;
+};
+
+/// Convenience: the pairwise (k=2) family used by the sketches.
+[[nodiscard]] KWiseHash make_pairwise(Rng& rng);
+
+/// Geometric level assignment for L0 sampling: the largest l such that
+/// h(x) is divisible by 2^l, capped at max_level.  With a pairwise-
+/// independent h, Pr[level(x) >= l] ~ 2^-l.
+[[nodiscard]] unsigned sample_level(const KWiseHash& hash, std::uint64_t x,
+                                    unsigned max_level) noexcept;
+
+}  // namespace ds::util

@@ -1,0 +1,86 @@
+#include "util/modular.h"
+
+#include <cassert>
+#include <initializer_list>
+
+namespace ds::util {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t m) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(a) * b) % m);
+}
+
+std::uint64_t add_mod(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t m) noexcept {
+  const std::uint64_t s = a + b;
+  // a, b < m <= 2^63 in all our uses, but handle wrap defensively.
+  return (s >= m || s < a) ? s - m : s;
+}
+
+std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b,
+                      std::uint64_t m) noexcept {
+  return (a >= b) ? a - b : a + (m - b);
+}
+
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e,
+                      std::uint64_t m) noexcept {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mul_mod(result, a, m);
+    a = mul_mod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv_mod(std::uint64_t a, std::uint64_t p) noexcept {
+  assert(a % p != 0);
+  return pow_mod(a % p, p - 2, p);
+}
+
+namespace {
+
+bool miller_rabin_witness(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                          int r) noexcept {
+  std::uint64_t x = pow_mod(a, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 0; i < r - 1; ++i) {
+    x = mul_mod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // composite witness found
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair).
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  assert(n <= (std::uint64_t{1} << 63));
+  if (n <= 2) return 2;
+  std::uint64_t candidate = n | 1;  // first odd >= n
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,44 @@
+// Modular arithmetic over 64-bit primes.
+//
+// Used by the hashing layer (polynomial k-wise-independent families need a
+// prime field) and by the sparse-recovery sketches (fingerprints over F_p
+// make false one-sparse decodes exponentially unlikely in the word size).
+#pragma once
+
+#include <cstdint>
+
+namespace ds::util {
+
+/// (a * b) mod m without overflow, via 128-bit intermediate.
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) noexcept;
+
+/// (a + b) mod m; a, b must already be reduced.
+[[nodiscard]] std::uint64_t add_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) noexcept;
+
+/// (a - b) mod m; a, b must already be reduced.
+[[nodiscard]] std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b,
+                                    std::uint64_t m) noexcept;
+
+/// a^e mod m by square-and-multiply.
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e,
+                                    std::uint64_t m) noexcept;
+
+/// Modular inverse of a mod prime p (a != 0 mod p), via Fermat.
+[[nodiscard]] std::uint64_t inv_mod(std::uint64_t a, std::uint64_t p) noexcept;
+
+/// Deterministic Miller-Rabin, exact for all 64-bit inputs.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Smallest prime >= n (n <= 2^63 so the search cannot wrap).
+[[nodiscard]] std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+/// A fixed 61-bit prime (the Mersenne prime 2^61 - 1), comfortably above
+/// every index space we hash, so a single field serves all default hash
+/// families and fingerprints.
+inline constexpr std::uint64_t kDefaultPrime = (std::uint64_t{1} << 61) - 1;
+
+static_assert(kDefaultPrime < (std::uint64_t{1} << 62));
+
+}  // namespace ds::util

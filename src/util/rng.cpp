@@ -1,0 +1,126 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ds::util {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ rotl(b, 31) ^ 0x2545f4914f6cdd1dULL;
+  std::uint64_t x = splitmix64(s);
+  return x ^ splitmix64(s);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // span == 0 means the full 64-bit range.
+  const std::uint64_t draw = (span == 0) ? next() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Rng Rng::child(std::uint64_t tag) const noexcept {
+  // Mix the full parent state with the tag; the parent state is read-only
+  // here so splitting does not perturb the parent's sequence.
+  std::uint64_t h = mix64(s_[0], tag);
+  h = mix64(h, s_[1]);
+  h = mix64(h, s_[2] ^ rotl(tag, 32));
+  h = mix64(h, s_[3]);
+  return Rng(h);
+}
+
+Rng Rng::child(std::uint64_t tag_hi, std::uint64_t tag_lo) const noexcept {
+  return child(mix64(tag_hi, tag_lo));
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::uint32_t i = 0; i < n; ++i) perm[i] = i;
+  shuffle(std::span<std::uint32_t>(perm));
+  return perm;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm gives k distinct uniform samples in O(k) expected
+  // inserts; we collect then sort for deterministic downstream iteration.
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k);
+  auto contains = [&chosen](std::uint64_t v) {
+    for (std::uint64_t c : chosen)
+      if (c == v) return true;
+    return false;
+  };
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = next_below(j + 1);
+    if (contains(t)) t = j;
+    chosen.push_back(t);
+  }
+  // Insertion into a vector makes `contains` O(k); for the k used in this
+  // codebase (sketch sampling, <= a few thousand) this beats a hash set.
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace ds::util

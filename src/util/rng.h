@@ -1,0 +1,90 @@
+// Deterministic, splittable random number generation.
+//
+// Every source of randomness in this codebase flows through `Rng` so that
+// experiments are exactly reproducible from a single 64-bit seed.  The
+// distributed sketching model additionally needs *public coins*: a random
+// string that all players and the referee can read but that is fixed before
+// the input is revealed.  We realize public coins as a seed from which
+// players derive independent streams via `Rng::child` (a hash-based split),
+// so two players asking for the stream tagged (t, i) always see identical
+// bits without any communication.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace ds::util {
+
+/// xoshiro256** seeded through SplitMix64.  Fast, high-quality, and —
+/// unlike std::mt19937 — cheap to construct, which matters because the
+/// model spawns one stream per (player, purpose) pair.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// UniformRandomBitGenerator interface.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire's rejection method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bernoulli(double p) noexcept;
+
+  /// A fair coin flip.
+  bool next_bit() noexcept { return (next() >> 63) != 0; }
+
+  /// Derive an independent child stream.  Children with distinct tags are
+  /// statistically independent of each other and of the parent's future
+  /// output; the parent's state is not advanced.
+  [[nodiscard]] Rng child(std::uint64_t tag) const noexcept;
+  [[nodiscard]] Rng child(std::uint64_t tag_hi,
+                          std::uint64_t tag_lo) const noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A uniformly random permutation of [0, n).
+  [[nodiscard]] std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  /// Floyd's algorithm: k distinct values sampled uniformly from [0, n),
+  /// returned sorted. Requires k <= n.
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+      std::uint64_t n, std::uint64_t k);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// SplitMix64 step: the canonical 64-bit mixer, used for seeding and for
+/// hash-based stream splitting.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of two words into one (used to build stream tags).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept;
+
+}  // namespace ds::util

@@ -1,0 +1,46 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ds::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) noexcept {
+  if (trials == 0) return {0.0, 1.0};
+  constexpr double z = 1.959963984540054;  // 97.5th percentile of N(0,1)
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (center - margin) / denom),
+          std::min(1.0, (center + margin) / denom)};
+}
+
+double chernoff_lower_tail(double mu, double delta) noexcept {
+  if (mu <= 0.0 || delta <= 0.0) return 1.0;
+  if (delta >= 1.0) delta = 1.0;
+  return std::exp(-delta * delta * mu / 2.0);
+}
+
+}  // namespace ds::util

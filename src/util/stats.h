@@ -1,0 +1,45 @@
+// Small statistics helpers shared by the experiment harness:
+// streaming mean/variance, binomial confidence intervals for success-rate
+// estimation, and the Chernoff tail used by Claim 3.1's analysis.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ds::util {
+
+/// Welford streaming accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Interval {
+  double lo;
+  double hi;
+};
+[[nodiscard]] Interval wilson_interval(std::size_t successes,
+                                       std::size_t trials) noexcept;
+
+/// Upper Chernoff bound Pr[X <= (1-delta) mu] <= exp(-delta^2 mu / 2) for a
+/// sum of independent Bernoullis with mean mu.  Claim 3.1 uses this with
+/// mu = k*r/2 and (1-delta)mu = k*r/3.
+[[nodiscard]] double chernoff_lower_tail(double mu, double delta) noexcept;
+
+}  // namespace ds::util

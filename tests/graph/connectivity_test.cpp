@@ -1,0 +1,81 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dsu.h"
+#include "graph/generators.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(Dsu, Basics) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.num_sets(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already joined
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.num_sets(), 4u);
+  dsu.unite(2, 3);
+  dsu.unite(0, 3);
+  EXPECT_TRUE(dsu.same(1, 2));
+  EXPECT_EQ(dsu.num_sets(), 2u);
+}
+
+TEST(Components, DisjointPieces) {
+  const Graph g = Graph::from_edges(
+      7, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[5], c.label[6]);
+}
+
+TEST(Components, SingleComponent) {
+  EXPECT_EQ(connected_components(cycle(8)).count, 1u);
+}
+
+TEST(Components, EmptyGraph) {
+  EXPECT_EQ(connected_components(Graph(0)).count, 0u);
+  EXPECT_EQ(connected_components(Graph(4)).count, 4u);
+}
+
+TEST(SpanningForest, AcceptsTrueForest) {
+  const Graph g = cycle(6);
+  const std::vector<Edge> forest{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  EXPECT_TRUE(is_spanning_forest(g, forest));
+}
+
+TEST(SpanningForest, RejectsCycle) {
+  const Graph g = cycle(4);
+  const std::vector<Edge> cyclic{{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  EXPECT_FALSE(is_spanning_forest(g, cyclic));
+}
+
+TEST(SpanningForest, RejectsNonSpanning) {
+  const Graph g = cycle(5);
+  EXPECT_FALSE(is_spanning_forest(g, std::vector<Edge>{{0, 1}, {1, 2}}));
+}
+
+TEST(SpanningForest, RejectsFabricatedEdge) {
+  const Graph g = path(4);
+  EXPECT_FALSE(
+      is_spanning_forest(g, std::vector<Edge>{{0, 1}, {1, 2}, {0, 3}}));
+}
+
+TEST(SpanningForest, MultiComponent) {
+  const Graph g =
+      Graph::from_edges(6, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}});
+  // Vertex 5 is isolated; forest must span each component exactly.
+  EXPECT_TRUE(is_spanning_forest(g, std::vector<Edge>{{0, 1}, {1, 2}, {3, 4}}));
+  EXPECT_FALSE(is_spanning_forest(g, std::vector<Edge>{{0, 1}, {3, 4}}));
+}
+
+TEST(SpanningForest, EmptyGraphEmptyForest) {
+  EXPECT_TRUE(is_spanning_forest(Graph(3), {}));
+}
+
+}  // namespace
+}  // namespace ds::graph

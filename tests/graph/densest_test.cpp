@@ -1,0 +1,99 @@
+#include "graph/densest.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(Densest, CliqueIsItsOwnDensest) {
+  const Graph g = complete(8);
+  const DensestResult r = densest_subgraph_peel(g);
+  EXPECT_EQ(r.subset.size(), 8u);
+  EXPECT_DOUBLE_EQ(r.density, 28.0 / 8.0);
+}
+
+TEST(Densest, PlantedCliqueFound) {
+  // K6 planted in a sparse background: peeling must isolate it.
+  util::Rng rng(1);
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = u + 1; v < 6; ++v) edges.push_back({u, v});
+  for (Vertex v = 6; v < 40; ++v) {
+    edges.push_back({v, static_cast<Vertex>(rng.next_below(v))});
+  }
+  const Graph g = Graph::from_edges(40, edges);
+  const DensestResult r = densest_subgraph_peel(g);
+  EXPECT_GE(r.density, 2.0);
+  // All six clique vertices survive in the chosen subset.
+  for (Vertex v = 0; v < 6; ++v) {
+    EXPECT_TRUE(std::binary_search(r.subset.begin(), r.subset.end(), v));
+  }
+}
+
+TEST(Densest, PeelIsTwoApproxAgainstExhaustive) {
+  util::Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = gnp(14, 0.3, rng);
+    const DensestResult exact = densest_subgraph_exact_tiny(g);
+    const DensestResult peeled = densest_subgraph_peel(g);
+    EXPECT_LE(peeled.density, exact.density + 1e-9);
+    EXPECT_GE(peeled.density, exact.density / 2.0 - 1e-9) << "rep " << rep;
+  }
+}
+
+TEST(Densest, EmptyAndEdgeless) {
+  EXPECT_EQ(densest_subgraph_peel(Graph(0)).subset.size(), 0u);
+  const DensestResult r = densest_subgraph_peel(Graph(5));
+  EXPECT_DOUBLE_EQ(r.density, 0.0);
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy(Graph(5)), 0u);
+  EXPECT_EQ(degeneracy(path(10)), 1u);   // forest
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(complete(7)), 6u);
+}
+
+TEST(Degeneracy, StarIsOne) {
+  std::vector<Edge> edges;
+  for (Vertex v = 1; v < 20; ++v) edges.push_back({0, v});
+  EXPECT_EQ(degeneracy(Graph::from_edges(20, edges)), 1u);
+}
+
+TEST(Degeneracy, PlantedCliqueDominates) {
+  util::Rng rng(3);
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 7; ++u)
+    for (Vertex v = u + 1; v < 7; ++v) edges.push_back({u, v});
+  for (Vertex v = 7; v < 50; ++v) {
+    edges.push_back({v, static_cast<Vertex>(rng.next_below(v))});
+  }
+  EXPECT_EQ(degeneracy(Graph::from_edges(50, edges)), 6u);
+}
+
+TEST(Degeneracy, OrderingBoundHolds) {
+  // Every vertex has at most `degeneracy` neighbors later in the order.
+  util::Rng rng(4);
+  const Graph g = gnp(40, 0.2, rng);
+  const std::uint32_t d = degeneracy(g);
+  const auto order = degeneracy_order(g);
+  std::vector<std::uint32_t> position(g.num_vertices());
+  for (std::uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    std::uint32_t later = 0;
+    for (Vertex w : g.neighbors(v)) later += position[w] > position[v];
+    EXPECT_LE(later, d);
+  }
+}
+
+TEST(Degeneracy, MonotoneUnderEdgeRemoval) {
+  util::Rng rng(5);
+  const Graph g = gnp(30, 0.3, rng);
+  const Graph sub = subsample_edges(g, 0.5, rng);
+  EXPECT_LE(degeneracy(sub), degeneracy(g));
+}
+
+}  // namespace
+}  // namespace ds::graph

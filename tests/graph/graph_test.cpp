@@ -1,0 +1,136 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (Vertex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, FromEdgesBasics) {
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {2, 0}, {3, 1}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // symmetric
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Graph, DeduplicatesParallelEdges) {
+  const std::vector<Edge> edges{{0, 1}, {1, 0}, {0, 1}};
+  const Graph g = Graph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const std::vector<Edge> edges{{2, 5}, {2, 1}, {2, 7}, {2, 3}};
+  const Graph g = Graph::from_edges(8, edges);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(Graph, EdgesCanonical) {
+  const std::vector<Edge> in{{3, 0}, {1, 2}, {0, 1}};
+  const Graph g = Graph::from_edges(4, in);
+  const auto out = g.edges();
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_LT(out[i].u, out[i].v);
+    if (i > 0) {
+      EXPECT_LT(out[i - 1], out[i]);
+    }
+  }
+}
+
+TEST(Graph, MaxDegree) {
+  const Graph g = Graph::from_edges(5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_EQ(g.max_degree(), 3u);
+}
+
+TEST(PairId, RoundTripExhaustive) {
+  const Vertex n = 23;
+  std::uint64_t expected = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      const std::uint64_t id = pair_id(n, u, v);
+      EXPECT_EQ(id, expected);
+      const Edge back = pair_from_id(n, id);
+      EXPECT_EQ(back.u, u);
+      EXPECT_EQ(back.v, v);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(expected, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(PairId, SymmetricInArguments) {
+  EXPECT_EQ(pair_id(10, 3, 7), pair_id(10, 7, 3));
+}
+
+TEST(PairId, LargeN) {
+  const Vertex n = 100000;
+  util::Rng rng(55);
+  for (int i = 0; i < 500; ++i) {
+    const Vertex u = static_cast<Vertex>(rng.next_below(n));
+    Vertex v = static_cast<Vertex>(rng.next_below(n));
+    if (u == v) v = (v + 1) % n;
+    const Edge back = pair_from_id(n, pair_id(n, u, v));
+    const Edge norm = Edge{u, v}.normalized();
+    EXPECT_EQ(back, norm);
+  }
+}
+
+TEST(Graph, RelabeledPreservesStructure) {
+  util::Rng rng(77);
+  const std::vector<Edge> edges{{0, 1}, {1, 2}, {3, 4}, {0, 4}};
+  const Graph g = Graph::from_edges(5, edges);
+  const auto perm = rng.permutation(5);
+  const Graph h = g.relabeled(perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (const Edge& e : edges) {
+    EXPECT_TRUE(h.has_edge(perm[e.u], perm[e.v]));
+  }
+}
+
+TEST(Graph, EdgeUnion) {
+  const Graph a = Graph::from_edges(4, std::vector<Edge>{{0, 1}, {1, 2}});
+  const Graph b = Graph::from_edges(4, std::vector<Edge>{{1, 2}, {2, 3}});
+  const Graph u = Graph::edge_union(a, b);
+  EXPECT_EQ(u.num_edges(), 3u);
+  EXPECT_TRUE(u.has_edge(0, 1));
+  EXPECT_TRUE(u.has_edge(1, 2));
+  EXPECT_TRUE(u.has_edge(2, 3));
+}
+
+TEST(Graph, InducedSubgraph) {
+  const Graph g = Graph::from_edges(
+      5, std::vector<Edge>{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const std::vector<Vertex> keep{0, 1, 2};
+  const Graph sub = g.induced(keep);
+  EXPECT_EQ(sub.num_edges(), 2u);  // (0,1), (1,2)
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_edge(4, 0));
+}
+
+TEST(Graph, EqualityOperator) {
+  const std::vector<Edge> edges{{0, 1}, {2, 3}};
+  EXPECT_EQ(Graph::from_edges(4, edges), Graph::from_edges(4, edges));
+  EXPECT_NE(Graph::from_edges(4, edges),
+            Graph::from_edges(4, std::vector<Edge>{{0, 1}}));
+}
+
+}  // namespace
+}  // namespace ds::graph

@@ -1,0 +1,87 @@
+#include "graph/hopcroft_karp.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lowerbound/dmm.h"
+#include "rs/rs_graph.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(Bipartition, DetectsBipartiteness) {
+  EXPECT_TRUE(bipartition(path(6)).has_value());
+  EXPECT_TRUE(bipartition(cycle(8)).has_value());
+  EXPECT_FALSE(bipartition(cycle(7)).has_value());
+  EXPECT_FALSE(bipartition(complete(3)).has_value());
+  EXPECT_TRUE(bipartition(Graph(5)).has_value());
+}
+
+TEST(Bipartition, SidesAreConsistent) {
+  util::Rng rng(1);
+  const Graph g = random_bipartite(15, 20, 0.2, rng);
+  const auto side = bipartition(g);
+  ASSERT_TRUE(side.has_value());
+  for (const Edge& e : g.edges()) EXPECT_NE((*side)[e.u], (*side)[e.v]);
+}
+
+TEST(HopcroftKarp, KnownValues) {
+  // Path 0-1-2-3: maximum matching 2.
+  EXPECT_EQ(maximum_bipartite_matching(path(4)).size(), 2u);
+  // Even cycle: perfect matching.
+  EXPECT_EQ(maximum_bipartite_matching(cycle(10)).size(), 5u);
+  // Star: 1.
+  std::vector<Edge> star;
+  for (Vertex v = 1; v < 9; ++v) star.push_back({0, v});
+  EXPECT_EQ(maximum_bipartite_matching(Graph::from_edges(9, star)).size(),
+            1u);
+}
+
+TEST(HopcroftKarp, OutputIsValidMatching) {
+  util::Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = random_bipartite(20, 25, 0.15, rng);
+    const Matching m = maximum_bipartite_matching(g);
+    EXPECT_TRUE(is_valid_matching(g, m));
+    EXPECT_TRUE(is_maximal_matching(g, m));  // maximum => maximal
+  }
+}
+
+TEST(HopcroftKarp, DominatesGreedyAndWithinFactorTwo) {
+  util::Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = random_bipartite(25, 25, 0.1, rng);
+    const std::size_t greedy = greedy_matching(g).size();
+    const std::size_t maximum = maximum_bipartite_matching(g).size();
+    EXPECT_GE(maximum, greedy);
+    EXPECT_LE(maximum, 2 * greedy);  // any maximal is a 2-approximation
+  }
+}
+
+TEST(HopcroftKarp, AugmentingPathCase) {
+  // Greedy can pick the middle edge of a path of 3 edges; maximum is 2.
+  // 0-1, 1-2, 2-3 with greedy order starting at (1,2).
+  const Graph g = path(4);
+  const std::vector<Edge> bad_order{{1, 2}, {0, 1}, {2, 3}};
+  EXPECT_EQ(greedy_matching(g, bad_order).size(), 1u);
+  EXPECT_EQ(maximum_bipartite_matching(g).size(), 2u);
+}
+
+TEST(HopcroftKarp, DmmInstancesAreBipartite) {
+  // The bipartite RS construction keeps D_MM bipartite, so the maximum
+  // matching baseline applies to the lower-bound instances directly.
+  const rs::RsGraph base = rs::rs_graph(8);
+  util::Rng rng(4);
+  const lowerbound::DmmInstance inst =
+      lowerbound::sample_dmm(base, base.t(), rng);
+  ASSERT_TRUE(bipartition(inst.g).has_value());
+  const Matching maximum = maximum_bipartite_matching(inst.g);
+  EXPECT_TRUE(is_valid_matching(inst.g, maximum));
+  // Maximum covers at least the forced surviving special edges' count.
+  std::size_t surviving = 0;
+  for (const auto& mi : inst.special_surviving) surviving += mi.size();
+  EXPECT_GE(maximum.size(), surviving);
+}
+
+}  // namespace
+}  // namespace ds::graph

@@ -1,0 +1,82 @@
+#include "graph/independent_set.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(IndependentSet, Basics) {
+  const Graph g = path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{0, 2}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<Vertex>{0, 1}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<Vertex>{0, 0}));  // dup
+  EXPECT_FALSE(is_independent_set(g, std::vector<Vertex>{9}));     // range
+}
+
+TEST(IndependentSet, Maximality) {
+  const Graph g = path(4);
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<Vertex>{0, 2}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<Vertex>{1, 3}));
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<Vertex>{0}));
+  // {0,3} is independent but 1 and 2... 1 adjacent to 0? yes (path 0-1).
+  // 2 adjacent to 3: yes. So {0,3} is maximal.
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<Vertex>{0, 3}));
+}
+
+TEST(IndependentSet, EmptySetMaximalOnlyOnEmptyVertexSet) {
+  EXPECT_TRUE(is_maximal_independent_set(Graph(0), {}));
+  EXPECT_FALSE(is_maximal_independent_set(Graph(3), {}));  // isolated verts
+}
+
+TEST(IndependentSet, IsolatedVerticesMustBeIncluded) {
+  const Graph g = Graph::from_edges(4, std::vector<Edge>{{0, 1}});
+  EXPECT_FALSE(is_maximal_independent_set(g, std::vector<Vertex>{0}));
+  EXPECT_TRUE(is_maximal_independent_set(g, std::vector<Vertex>{0, 2, 3}));
+}
+
+TEST(IndependentSet, GreedyMaximal) {
+  util::Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Graph g = gnp(40, 0.15, rng);
+    EXPECT_TRUE(is_maximal_independent_set(g, greedy_mis(g)));
+    EXPECT_TRUE(is_maximal_independent_set(g, greedy_mis_random(g, rng)));
+  }
+}
+
+TEST(IndependentSet, GreedyOnComplete) {
+  EXPECT_EQ(greedy_mis(complete(7)).size(), 1u);
+}
+
+TEST(IndependentSet, GreedyOnEmptyGraphTakesEverything) {
+  EXPECT_EQ(greedy_mis(Graph(9)).size(), 9u);
+}
+
+TEST(IndependentSet, LubyProducesMis) {
+  util::Rng rng(2);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Graph g = gnp(50, 0.1, rng);
+    EXPECT_TRUE(is_maximal_independent_set(g, luby_mis(g, rng)));
+  }
+}
+
+TEST(IndependentSet, LubyOnStructuredGraphs) {
+  util::Rng rng(3);
+  EXPECT_TRUE(is_maximal_independent_set(path(10), luby_mis(path(10), rng)));
+  EXPECT_TRUE(is_maximal_independent_set(cycle(9), luby_mis(cycle(9), rng)));
+  EXPECT_EQ(luby_mis(complete(8), rng).size(), 1u);
+  EXPECT_EQ(luby_mis(Graph(5), rng).size(), 5u);
+}
+
+TEST(IndependentSet, GreedyRespectsOrder) {
+  const Graph g = path(3);  // 0-1-2
+  const std::vector<Vertex> order{1, 0, 2};
+  const VertexSet s = greedy_mis(g, order);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0], 1u);
+}
+
+}  // namespace
+}  // namespace ds::graph

@@ -1,0 +1,102 @@
+#include "graph/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(Matching, IsMatchingBasics) {
+  EXPECT_TRUE(is_matching({}, 5));
+  EXPECT_TRUE(is_matching(std::vector<Edge>{{0, 1}, {2, 3}}, 4));
+  EXPECT_FALSE(is_matching(std::vector<Edge>{{0, 1}, {1, 2}}, 3));  // shares 1
+  EXPECT_FALSE(is_matching(std::vector<Edge>{{0, 0}}, 2));          // loop
+  EXPECT_FALSE(is_matching(std::vector<Edge>{{0, 9}}, 5));          // range
+}
+
+TEST(Matching, ValidRequiresRealEdges) {
+  const Graph g = path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_valid_matching(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+  EXPECT_FALSE(is_valid_matching(g, std::vector<Edge>{{0, 2}}));  // non-edge
+}
+
+TEST(Matching, MaximalityOnPath) {
+  const Graph g = path(4);
+  // {1,2} alone is maximal (0 and 3 have no partner left).
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{1, 2}}));
+  // {0,1} alone is not: (2,3) is free.
+  EXPECT_FALSE(is_maximal_matching(g, std::vector<Edge>{{0, 1}}));
+  EXPECT_TRUE(is_maximal_matching(g, std::vector<Edge>{{0, 1}, {2, 3}}));
+}
+
+TEST(Matching, EmptyMatchingMaximalOnlyOnEmptyGraph) {
+  EXPECT_TRUE(is_maximal_matching(Graph(4), {}));
+  EXPECT_FALSE(is_maximal_matching(path(3), {}));
+}
+
+TEST(Matching, GreedyProducesMaximal) {
+  util::Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Graph g = gnp(40, 0.15, rng);
+    const Matching m = greedy_matching(g);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Matching, GreedyRandomProducesMaximal) {
+  util::Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Graph g = gnp(40, 0.1, rng);
+    const Matching m = greedy_matching_random(g, rng);
+    EXPECT_TRUE(is_maximal_matching(g, m));
+  }
+}
+
+TEST(Matching, GreedyOnEmptyAndComplete) {
+  EXPECT_TRUE(greedy_matching(Graph(6)).empty());
+  const Matching m = greedy_matching(complete(6));
+  EXPECT_EQ(m.size(), 3u);  // perfect matching on K6
+}
+
+TEST(Matching, PreferringTouchesPreferredFirst) {
+  // Star center 0 with leaves 1..4 plus the edge (3,4): preferring {0}
+  // must match 0; preferring {3,4} must pick (3,4).
+  const Graph g = Graph::from_edges(
+      5, std::vector<Edge>{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {3, 4}});
+  const std::vector<Vertex> prefer_center{0};
+  Matching m = greedy_matching_preferring(g, prefer_center);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  bool center_matched = false;
+  for (const Edge& e : m) center_matched |= (e.u == 0 || e.v == 0);
+  EXPECT_TRUE(center_matched);
+
+  const std::vector<Vertex> prefer_leaves{3, 4};
+  m = greedy_matching_preferring(g, prefer_leaves);
+  EXPECT_TRUE(is_maximal_matching(g, m));
+  bool has_34 = false;
+  for (const Edge& e : m) has_34 |= (e.normalized() == Edge{3, 4});
+  EXPECT_TRUE(has_34);
+}
+
+TEST(Matching, PreferringStillMaximal) {
+  util::Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = gnp(30, 0.2, rng);
+    std::vector<Vertex> preferred;
+    for (Vertex v = 0; v < 10; ++v) preferred.push_back(v);
+    EXPECT_TRUE(
+        is_maximal_matching(g, greedy_matching_preferring(g, preferred)));
+  }
+}
+
+TEST(Matching, MatchedSet) {
+  const auto used = matched_set(std::vector<Edge>{{1, 3}}, 5);
+  EXPECT_FALSE(used[0]);
+  EXPECT_TRUE(used[1]);
+  EXPECT_FALSE(used[2]);
+  EXPECT_TRUE(used[3]);
+}
+
+}  // namespace
+}  // namespace ds::graph

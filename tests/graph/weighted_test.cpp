@@ -1,0 +1,127 @@
+#include "graph/weighted.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/mincut.h"
+
+namespace ds::graph {
+namespace {
+
+TEST(WeightedGraph, Basics) {
+  const std::vector<WeightedEdge> edges{{0, 1, 5}, {2, 1, 3}, {0, 2, 7}};
+  const WeightedGraph g = WeightedGraph::from_edges(3, edges);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.weight(0, 1), 5u);
+  EXPECT_EQ(g.weight(1, 0), 5u);
+  EXPECT_EQ(g.weight(1, 2), 3u);
+  EXPECT_EQ(g.max_weight(), 7u);
+  EXPECT_TRUE(g.topology().has_edge(0, 2));
+}
+
+TEST(WeightedGraph, DuplicateKeepsLightest) {
+  const std::vector<WeightedEdge> edges{{0, 1, 9}, {1, 0, 4}, {0, 1, 6}};
+  const WeightedGraph g = WeightedGraph::from_edges(2, edges);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.weight(0, 1), 4u);
+}
+
+TEST(WeightedGraph, NeighborWeightsAligned) {
+  util::Rng rng(1);
+  const WeightedGraph g = random_weighted_gnp(40, 0.2, 10, rng);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto nbrs = g.topology().neighbors(v);
+    const auto weights = g.neighbor_weights(v);
+    ASSERT_EQ(nbrs.size(), weights.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(weights[i], g.weight(v, nbrs[i]));
+      EXPECT_GE(weights[i], 1u);
+      EXPECT_LE(weights[i], 10u);
+    }
+  }
+}
+
+TEST(WeightedGraph, ThresholdSubgraph) {
+  const std::vector<WeightedEdge> edges{{0, 1, 1}, {1, 2, 2}, {2, 3, 3}};
+  const WeightedGraph g = WeightedGraph::from_edges(4, edges);
+  EXPECT_EQ(g.threshold_subgraph(0).num_edges(), 0u);
+  EXPECT_EQ(g.threshold_subgraph(2).num_edges(), 2u);
+  EXPECT_EQ(g.threshold_subgraph(99).num_edges(), 3u);
+}
+
+TEST(Kruskal, KnownInstance) {
+  // Square with a cheap diagonal.
+  const std::vector<WeightedEdge> edges{
+      {0, 1, 1}, {1, 2, 4}, {2, 3, 1}, {3, 0, 4}, {0, 2, 2}};
+  const WeightedGraph g = WeightedGraph::from_edges(4, edges);
+  const MstResult mst = kruskal_mst(g);
+  EXPECT_EQ(mst.tree.size(), 3u);
+  EXPECT_EQ(mst.total_weight, 4u);  // 1 + 1 + 2
+}
+
+TEST(Kruskal, ForestOnDisconnected) {
+  const std::vector<WeightedEdge> edges{{0, 1, 2}, {2, 3, 5}};
+  const WeightedGraph g = WeightedGraph::from_edges(5, edges);
+  const MstResult mst = kruskal_mst(g);
+  EXPECT_EQ(mst.tree.size(), 2u);
+  EXPECT_EQ(mst.total_weight, 7u);
+}
+
+TEST(Kruskal, ComponentCountingIdentity) {
+  // The identity MstWeight sketches rely on: w(MSF) = sum_i (c_i - c_W).
+  util::Rng rng(2);
+  for (int rep = 0; rep < 10; ++rep) {
+    const WeightedGraph g = random_weighted_gnp(30, 0.15, 8, rng);
+    const std::uint64_t exact = kruskal_mst(g).total_weight;
+    const std::uint32_t big_w = 8;
+    const std::uint32_t c_w =
+        connected_components(g.threshold_subgraph(big_w)).count;
+    std::uint64_t via_components = 0;
+    for (std::uint32_t i = 0; i < big_w; ++i) {
+      const std::uint32_t c_i =
+          i == 0 ? g.num_vertices()
+                 : connected_components(g.threshold_subgraph(i)).count;
+      via_components += c_i - c_w;
+    }
+    EXPECT_EQ(via_components, exact) << "rep " << rep;
+  }
+}
+
+TEST(MinCut, SmallKnownGraphs) {
+  EXPECT_EQ(global_min_cut(Graph(1)), 0u);
+  EXPECT_EQ(global_min_cut(path(5)), 1u);
+  EXPECT_EQ(global_min_cut(cycle(6)), 2u);
+  EXPECT_EQ(global_min_cut(complete(5)), 4u);
+  // Disconnected: cut 0.
+  EXPECT_EQ(
+      global_min_cut(Graph::from_edges(4, std::vector<Edge>{{0, 1}, {2, 3}})),
+      0u);
+}
+
+TEST(MinCut, BarbellGraph) {
+  // Two K5's joined by one edge: min cut 1.
+  std::vector<Edge> edges;
+  for (Vertex u = 0; u < 5; ++u)
+    for (Vertex v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  for (Vertex u = 5; u < 10; ++u)
+    for (Vertex v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  edges.push_back({4, 5});
+  EXPECT_EQ(global_min_cut(Graph::from_edges(10, edges)), 1u);
+}
+
+TEST(MinCut, MatchesCertificateBound) {
+  util::Rng rng(3);
+  for (int rep = 0; rep < 8; ++rep) {
+    const Graph g = gnp(25, 0.3, rng);
+    const std::uint64_t lambda = global_min_cut(g);
+    for (std::uint32_t k : {1u, 2u, 4u, 8u}) {
+      EXPECT_EQ(edge_connectivity_at_most(g, k),
+                std::min<std::uint64_t>(lambda, k))
+          << "rep " << rep << " k " << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ds::graph

@@ -1,0 +1,69 @@
+#include "info/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::info {
+namespace {
+
+TEST(Distribution, UniformEntropy) {
+  for (std::uint64_t n : {2ULL, 4ULL, 8ULL, 100ULL}) {
+    const Distribution d = Distribution::uniform(n);
+    EXPECT_NEAR(d.entropy(), std::log2(static_cast<double>(n)), 1e-12);
+  }
+}
+
+TEST(Distribution, PointMassZeroEntropy) {
+  Distribution d;
+  d.add(7, 1.0);
+  d.normalize();
+  EXPECT_EQ(d.entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(d.probability(7), 1.0);
+  EXPECT_EQ(d.probability(8), 0.0);
+}
+
+TEST(Distribution, BiasedCoinEntropy) {
+  Distribution d;
+  d.add(0, 0.25);
+  d.add(1, 0.75);
+  d.normalize();
+  EXPECT_NEAR(d.entropy(), binary_entropy(0.25), 1e-12);
+}
+
+TEST(Distribution, AccumulatesMass) {
+  Distribution d;
+  d.add(0, 0.5);
+  d.add(0, 0.5);
+  d.add(1, 1.0);
+  d.normalize();
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.5);
+  EXPECT_EQ(d.support_size(), 2u);
+}
+
+TEST(Distribution, EntropyUpperBoundedByLogSupport) {
+  // Fact 2.2-(1).
+  Distribution d;
+  d.add(0, 0.6);
+  d.add(1, 0.3);
+  d.add(2, 0.1);
+  d.normalize();
+  EXPECT_LE(d.entropy(), std::log2(3.0) + 1e-12);
+  EXPECT_GE(d.entropy(), 0.0);
+}
+
+TEST(BinaryEntropy, KnownValues) {
+  EXPECT_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_NEAR(binary_entropy(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(binary_entropy(0.11), binary_entropy(0.89), 1e-12);
+}
+
+TEST(XLog2Term, Continuity) {
+  EXPECT_EQ(xlog2_term(0.0), 0.0);
+  EXPECT_NEAR(xlog2_term(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(xlog2_term(1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ds::info

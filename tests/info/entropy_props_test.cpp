@@ -1,0 +1,153 @@
+// Property tests for the Section 2.3 toolkit: Fact 2.2 identities and
+// inequalities on randomly generated joint laws, plus Propositions 2.3
+// and 2.4 on joint laws constructed to satisfy their hypotheses.
+#include "info/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::info {
+namespace {
+
+class RandomTableProps : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  JointTable make_table() {
+    util::Rng rng(GetParam());
+    return random_joint_table({"A", "B", "C", "D"}, /*alphabet=*/3,
+                              /*support=*/40, rng);
+  }
+};
+
+TEST_P(RandomTableProps, ConditioningReducesEntropy) {
+  const CheckResult r =
+      check_conditioning_reduces_entropy(make_table(), "A", "B", "C");
+  EXPECT_TRUE(r.holds) << r.lhs << " > " << r.rhs;
+}
+
+TEST_P(RandomTableProps, EntropyChainRule) {
+  const CheckResult r = check_entropy_chain_rule(make_table(), "A", "B", "C");
+  EXPECT_TRUE(r.holds) << r.lhs << " != " << r.rhs;
+}
+
+TEST_P(RandomTableProps, MutualInformationChainRule) {
+  const CheckResult r =
+      check_mi_chain_rule(make_table(), "A", "B", "C", "D");
+  EXPECT_TRUE(r.holds) << r.lhs << " != " << r.rhs;
+}
+
+TEST_P(RandomTableProps, MutualInformationNonNegative) {
+  const JointTable t = make_table();
+  EXPECT_GE(t.mutual_information({"A"}, {"B"}), -kTolerance);
+  EXPECT_GE(t.mutual_information({"A"}, {"B"}, {"C"}), -kTolerance);
+  EXPECT_GE(t.mutual_information({"A", "D"}, {"B"}, {"C"}), -kTolerance);
+}
+
+TEST_P(RandomTableProps, EntropyBounds) {
+  const JointTable t = make_table();
+  const double h = t.entropy({"A"});
+  EXPECT_GE(h, 0.0);
+  EXPECT_LE(h, std::log2(3.0) + kTolerance);  // alphabet size 3
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableProps,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+/// Build a law where A is independent of D given C:
+/// C uniform; A = f(C, noise_a); D = g(C, noise_d); B arbitrary function
+/// of (A, C, D) — the hypothesis of Proposition 2.3.
+JointTable a_indep_d_given_c(std::uint64_t seed) {
+  util::Rng rng(seed);
+  JointTable t({"A", "B", "C", "D"});
+  // Explicit factorization p(c) p(a|c) p(d|c) p(b|a,c,d).
+  for (std::uint64_t c = 0; c < 2; ++c) {
+    const double pc = (c == 0) ? 0.4 : 0.6;
+    double pa[2];
+    pa[0] = 0.2 + 0.6 * rng.next_double();
+    pa[1] = 1.0 - pa[0];
+    double pd[2];
+    pd[0] = 0.2 + 0.6 * rng.next_double();
+    pd[1] = 1.0 - pd[0];
+    for (std::uint64_t a = 0; a < 2; ++a) {
+      for (std::uint64_t d = 0; d < 2; ++d) {
+        double pb[2];
+        pb[0] = 0.1 + 0.8 * rng.next_double();
+        pb[1] = 1.0 - pb[0];
+        for (std::uint64_t b = 0; b < 2; ++b) {
+          t.add_row({a, b, c, d}, pc * pa[a] * pd[d] * pb[b]);
+        }
+      }
+    }
+  }
+  t.normalize();
+  return t;
+}
+
+class Prop23 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Prop23, HoldsUnderItsHypothesis) {
+  const JointTable t = a_indep_d_given_c(GetParam());
+  ASSERT_TRUE(conditionally_independent(t, "A", "D", "C"));
+  const CheckResult r = check_proposition_2_3(t, "A", "B", "C", "D");
+  EXPECT_TRUE(r.holds) << r.lhs << " > " << r.rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop23,
+                         ::testing::Values(21, 22, 23, 24, 25, 26, 27, 28));
+
+/// Build a law where A is independent of D given (B, C):
+/// p(b,c) arbitrary; p(a|b,c) and p(d|b,c) independent — the hypothesis
+/// of Proposition 2.4.
+JointTable a_indep_d_given_bc(std::uint64_t seed) {
+  util::Rng rng(seed);
+  JointTable t({"A", "B", "C", "D"});
+  for (std::uint64_t b = 0; b < 2; ++b) {
+    for (std::uint64_t c = 0; c < 2; ++c) {
+      const double pbc = 0.1 + rng.next_double();
+      double pa[2];
+      pa[0] = 0.2 + 0.6 * rng.next_double();
+      pa[1] = 1.0 - pa[0];
+      double pd[2];
+      pd[0] = 0.2 + 0.6 * rng.next_double();
+      pd[1] = 1.0 - pd[0];
+      for (std::uint64_t a = 0; a < 2; ++a) {
+        for (std::uint64_t d = 0; d < 2; ++d) {
+          t.add_row({a, b, c, d}, pbc * pa[a] * pd[d]);
+        }
+      }
+    }
+  }
+  t.normalize();
+  return t;
+}
+
+class Prop24 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Prop24, HoldsUnderItsHypothesis) {
+  const JointTable t = a_indep_d_given_bc(GetParam());
+  const CheckResult r = check_proposition_2_4(t, "A", "B", "C", "D");
+  EXPECT_TRUE(r.holds) << r.lhs << " < " << r.rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Prop24,
+                         ::testing::Values(31, 32, 33, 34, 35, 36, 37, 38));
+
+TEST(PropositionCounterexample, Prop23NeedsItsHypothesis) {
+  // XOR: A, D independent uniform, B = A xor D, C constant.  Then
+  // I(A;B|C) = 0 but I(A;B|C,D) = 1 — consistent with Prop 2.3 (A indep D
+  // given C holds here!).  Flip it: make A = D; then conditioning on D
+  // kills the information: I(A;B|C) = I(A;B) may exceed I(A;B|C,D) = 0,
+  // and indeed A is NOT independent of D given C.
+  JointTable t({"A", "B", "C", "D"});
+  for (std::uint64_t a : {0, 1}) {
+    t.add_row({a, a, 0, a}, 0.5);  // B = A, D = A
+  }
+  t.normalize();
+  ASSERT_FALSE(conditionally_independent(t, "A", "D", "C"));
+  const CheckResult r = check_proposition_2_3(t, "A", "B", "C", "D");
+  EXPECT_FALSE(r.holds);  // 1 = I(A;B|C) > I(A;B|C,D) = 0
+}
+
+}  // namespace
+}  // namespace ds::info

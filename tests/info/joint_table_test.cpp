@@ -1,0 +1,103 @@
+#include "info/joint_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::info {
+namespace {
+
+/// X uniform bit, Y = X: I(X;Y) = 1 bit.
+JointTable perfectly_correlated() {
+  JointTable t({"X", "Y"});
+  t.add_row({0, 0}, 0.5);
+  t.add_row({1, 1}, 0.5);
+  t.normalize();
+  return t;
+}
+
+/// X, Y independent uniform bits.
+JointTable independent_bits() {
+  JointTable t({"X", "Y"});
+  for (std::uint64_t x : {0, 1}) {
+    for (std::uint64_t y : {0, 1}) t.add_row({x, y}, 0.25);
+  }
+  t.normalize();
+  return t;
+}
+
+TEST(JointTable, MarginalEntropy) {
+  const JointTable t = independent_bits();
+  EXPECT_NEAR(t.entropy({"X"}), 1.0, 1e-12);
+  EXPECT_NEAR(t.entropy({"Y"}), 1.0, 1e-12);
+  EXPECT_NEAR(t.entropy({"X", "Y"}), 2.0, 1e-12);
+}
+
+TEST(JointTable, MutualInformationIndependent) {
+  EXPECT_NEAR(independent_bits().mutual_information({"X"}, {"Y"}), 0.0, 1e-12);
+}
+
+TEST(JointTable, MutualInformationCorrelated) {
+  EXPECT_NEAR(perfectly_correlated().mutual_information({"X"}, {"Y"}), 1.0,
+              1e-12);
+}
+
+TEST(JointTable, ConditionalEntropy) {
+  const JointTable t = perfectly_correlated();
+  EXPECT_NEAR(t.conditional_entropy(std::vector<std::string>{"X"},
+                                    std::vector<std::string>{"Y"}),
+              0.0, 1e-12);
+}
+
+TEST(JointTable, XorTriple) {
+  // Z = X xor Y with X, Y independent uniform: pairwise independent, but
+  // I(X;Y|Z) = 1.
+  JointTable t({"X", "Y", "Z"});
+  for (std::uint64_t x : {0, 1}) {
+    for (std::uint64_t y : {0, 1}) t.add_row({x, y, x ^ y}, 0.25);
+  }
+  t.normalize();
+  EXPECT_NEAR(t.mutual_information({"X"}, {"Z"}), 0.0, 1e-12);
+  EXPECT_NEAR(t.mutual_information({"X"}, {"Y"}), 0.0, 1e-12);
+  EXPECT_NEAR(t.mutual_information({"X"}, {"Y"}, {"Z"}), 1.0, 1e-12);
+  EXPECT_NEAR(t.entropy({"X", "Y", "Z"}), 2.0, 1e-12);
+}
+
+TEST(JointTable, DuplicateRowsMerge) {
+  JointTable t({"X"});
+  t.add_row({0}, 0.3);
+  t.add_row({0}, 0.2);
+  t.add_row({1}, 0.5);
+  t.normalize();
+  EXPECT_NEAR(t.entropy({"X"}), 1.0, 1e-12);
+}
+
+TEST(JointTable, UnknownColumnThrows) {
+  const JointTable t = independent_bits();
+  EXPECT_THROW((void)t.entropy({"Nope"}), std::invalid_argument);
+}
+
+TEST(JointTable, NonUniformMass) {
+  JointTable t({"A", "B"});
+  t.add_row({0, 0}, 3.0);
+  t.add_row({1, 1}, 1.0);
+  t.normalize();
+  EXPECT_NEAR(t.entropy({"A"}), binary_entropy(0.25), 1e-12);
+  EXPECT_NEAR(t.mutual_information({"A"}, {"B"}), binary_entropy(0.25),
+              1e-12);
+}
+
+TEST(JointTable, MultiColumnGroups) {
+  // (X1, X2) jointly determine Y; individually each gives 1 bit of a
+  // 2-bit Y.
+  JointTable t({"X1", "X2", "Y"});
+  for (std::uint64_t a : {0, 1}) {
+    for (std::uint64_t b : {0, 1}) t.add_row({a, b, 2 * a + b}, 0.25);
+  }
+  t.normalize();
+  EXPECT_NEAR(t.mutual_information({"X1", "X2"}, {"Y"}), 2.0, 1e-12);
+  EXPECT_NEAR(t.mutual_information({"X1"}, {"Y"}), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ds::info

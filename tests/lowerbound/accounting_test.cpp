@@ -1,0 +1,146 @@
+#include "lowerbound/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+// The enumerable mini-instance: book RS with r = 1, t = 2, k = 2
+// (k*t*r = 4 survival bits, n = 5).
+rs::RsGraph mini_base() { return rs::book_rs(1, 2); }
+
+TEST(Accounting, FullReportSucceedsAlwaysAndSaturatesInformation) {
+  const rs::RsGraph base = mini_base();
+  const FullReportEncoder full;
+  const AccountingResult result = enumerate_accounting(base, 2, full);
+  EXPECT_NEAR(result.success_prob, 1.0, 1e-12);
+  EXPECT_TRUE(result.lemma33_applicable);
+  // The transcript determines every survival bit: I(M ; Pi | Sigma, J)
+  // equals H(M | Sigma, J) = k*r = 2 bits exactly.
+  EXPECT_NEAR(result.info_m_pi, result.kr, 1e-9);
+  EXPECT_TRUE(result.lemma33_holds);
+  EXPECT_TRUE(result.lemma34_holds);
+}
+
+TEST(Accounting, SilentProtocolRevealsNothingAndFails) {
+  const rs::RsGraph base = mini_base();
+  const SilentEncoder silent;
+  const AccountingResult result = enumerate_accounting(base, 2, silent);
+  EXPECT_NEAR(result.info_m_pi, 0.0, 1e-9);
+  EXPECT_NEAR(result.h_pi_public, 0.0, 1e-9);
+  // Succeeds only when nothing survived to recover: (1/2)^{kr}... per
+  // (j*, bits): success iff all special edges dropped = 2^-2 per j*.
+  EXPECT_NEAR(result.success_prob, 0.25, 1e-9);
+  EXPECT_FALSE(result.lemma33_applicable);
+  EXPECT_TRUE(result.lemma34_holds);  // 0 <= 0 + 0
+  EXPECT_EQ(result.max_message_bits, 0u);
+}
+
+TEST(Accounting, Lemma34DecompositionHoldsForAllEncoders) {
+  const rs::RsGraph base = mini_base();
+  const FullReportEncoder full;
+  const CappedReportEncoder cap1(1);
+  const SilentEncoder silent;
+  for (const RefinedEncoder* enc :
+       std::initializer_list<const RefinedEncoder*>{&full, &cap1, &silent}) {
+    const AccountingResult result = enumerate_accounting(base, 2, *enc);
+    EXPECT_TRUE(result.lemma34_holds)
+        << enc->name() << ": " << result.info_m_pi << " > "
+        << result.lemma34_rhs;
+  }
+}
+
+TEST(Accounting, Lemma35HoldsWithFullSigmaEnumeration) {
+  // Lemma 3.5 needs Sigma uniform; n = 5 here, so enumerate all 120
+  // permutations exactly.
+  const rs::RsGraph base = mini_base();
+  const DmmParameters params = dmm_parameters(base, 2);
+  ASSERT_EQ(params.n, 5u);
+  const auto sigmas = all_permutations(params.n);
+  ASSERT_EQ(sigmas.size(), 120u);
+
+  const FullReportEncoder full;
+  const AccountingResult result = enumerate_accounting(base, 2, full, sigmas);
+  EXPECT_TRUE(result.lemma35_holds);
+  for (std::size_t i = 0; i < result.info_mi_piui.size(); ++i) {
+    EXPECT_LE(result.info_mi_piui[i],
+              result.h_piui[i] / 2.0 + 1e-9)  // t = 2
+        << "copy " << i;
+  }
+  // Success and the 3.3 / 3.4 chain must agree with the single-sigma run.
+  EXPECT_NEAR(result.success_prob, 1.0, 1e-12);
+  EXPECT_TRUE(result.lemma33_holds);
+  EXPECT_TRUE(result.lemma34_holds);
+}
+
+TEST(Accounting, Lemma35AlsoHoldsForCappedEncoderOverSigmas) {
+  const rs::RsGraph base = mini_base();
+  const auto sigmas = all_permutations(5);
+  const CappedReportEncoder cap1(1);
+  const AccountingResult result = enumerate_accounting(base, 2, cap1, sigmas);
+  EXPECT_TRUE(result.lemma35_holds);
+  EXPECT_TRUE(result.lemma34_holds);
+}
+
+TEST(Accounting, InformationIsMonotoneInTheCap) {
+  const rs::RsGraph base = mini_base();
+  const SilentEncoder silent;
+  const CappedReportEncoder cap1(1);
+  const FullReportEncoder full;
+  const double i0 = enumerate_accounting(base, 2, silent).info_m_pi;
+  const double i1 = enumerate_accounting(base, 2, cap1).info_m_pi;
+  const double i2 = enumerate_accounting(base, 2, full).info_m_pi;
+  EXPECT_LE(i0, i1 + 1e-9);
+  EXPECT_LE(i1, i2 + 1e-9);
+}
+
+TEST(Accounting, TheoremChainOnTheMiniInstance) {
+  // The proof's final chain: for a successful protocol,
+  //   kr/6 <= I(M ; Pi | Sigma, J)
+  //        <= H(Pi(P)) + (1/t) * sum_i H(Pi(U_i))
+  //        <= |P|*b + (k/t)*N*b.
+  const rs::RsGraph base = mini_base();
+  const FullReportEncoder full;
+  const AccountingResult result = enumerate_accounting(base, 2, full);
+  ASSERT_TRUE(result.lemma33_applicable);
+
+  const DmmParameters params = dmm_parameters(base, 2);
+  const double b = static_cast<double>(result.max_message_bits);
+  double rhs = result.h_pi_public;
+  for (double h : result.h_piui) rhs += h / static_cast<double>(params.t);
+  EXPECT_GE(rhs + 1e-9, result.kr / 6.0);
+  const double comm_budget =
+      static_cast<double>(params.num_public()) * b +
+      static_cast<double>(params.k * params.big_n) * b /
+          static_cast<double>(params.t);
+  EXPECT_GE(comm_budget + 1e-9, rhs);
+}
+
+TEST(Accounting, TableColumnsQueryable) {
+  const rs::RsGraph base = mini_base();
+  const FullReportEncoder full;
+  const std::vector<std::vector<graph::Vertex>> sigmas{{0, 1, 2, 3, 4}};
+  const info::JointTable table = accounting_table(base, 2, full, sigmas);
+  // M determines (M1, M2) and vice versa.
+  EXPECT_NEAR(table.entropy({"M"}), table.entropy({"M1", "M2"}), 1e-9);
+  // M is uniform on kr = 2 bits given (Sigma, J).
+  EXPECT_NEAR(table.entropy({"M"}), 2.0, 1e-9);
+  // J is uniform on t = 2.
+  EXPECT_NEAR(table.entropy({"J"}), 1.0, 1e-9);
+}
+
+TEST(Permutations, AllAndSampled) {
+  EXPECT_EQ(all_permutations(3).size(), 6u);
+  EXPECT_EQ(all_permutations(1).size(), 1u);
+  util::Rng rng(3);
+  const auto sampled = sampled_permutations(10, 7, rng);
+  EXPECT_EQ(sampled.size(), 7u);
+  for (const auto& sigma : sampled) EXPECT_EQ(sigma.size(), 10u);
+}
+
+}  // namespace
+}  // namespace ds::lowerbound

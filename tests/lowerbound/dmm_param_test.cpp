@@ -1,0 +1,117 @@
+// Parameterized structural properties of D_MM across the (m, k) grid —
+// the invariants every later experiment silently relies on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lowerbound/dmm.h"
+#include "lowerbound/players.h"
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+using graph::Edge;
+using graph::Vertex;
+
+struct GridPoint {
+  std::uint64_t m;
+  std::uint64_t k;
+  std::uint64_t seed;
+};
+
+class DmmGrid : public ::testing::TestWithParam<GridPoint> {
+ protected:
+  void SetUp() override {
+    static std::map<std::uint64_t, rs::RsGraph> cache;
+    const GridPoint p = GetParam();
+    auto [it, inserted] = cache.try_emplace(p.m);
+    if (inserted) it->second = rs::rs_graph(p.m);
+    base_ = &it->second;
+    util::Rng rng(p.seed);
+    inst_ = sample_dmm(*base_, p.k, rng);
+  }
+  const rs::RsGraph* base_ = nullptr;
+  DmmInstance inst_;
+};
+
+TEST_P(DmmGrid, ParameterFormulas) {
+  const DmmParameters& p = inst_.params;
+  EXPECT_EQ(p.big_n, base_->num_vertices());
+  EXPECT_EQ(p.r, base_->r());
+  EXPECT_EQ(p.t, base_->t());
+  EXPECT_EQ(p.n, p.big_n - 2 * p.r + 2 * p.r * p.k);
+  EXPECT_EQ(p.num_public() + p.num_unique(), p.n);
+}
+
+TEST_P(DmmGrid, EdgeCountNeverExceedsSurvivals) {
+  // Union can merge coincident public-public edges across copies, so
+  // |E(G)| <= total survived; and every surviving special edge is
+  // present exactly.
+  std::size_t survived = 0;
+  const DmmParameters& p = inst_.params;
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    for (std::uint64_t j = 0; j < p.t; ++j) {
+      for (std::uint64_t e = 0; e < p.r; ++e) {
+        survived += inst_.bits.get(i, j, e);
+      }
+    }
+  }
+  EXPECT_LE(inst_.g.num_edges(), survived);
+  EXPECT_GE(inst_.g.num_edges(), survived / p.k);  // crude lower bound
+}
+
+TEST_P(DmmGrid, SpecialMatchingsDisjointAcrossCopies) {
+  std::set<Vertex> seen;
+  for (const auto& m : inst_.special_full) {
+    for (const Edge& e : m) {
+      EXPECT_TRUE(seen.insert(e.u).second);
+      EXPECT_TRUE(seen.insert(e.v).second);
+    }
+  }
+}
+
+TEST_P(DmmGrid, SpecialSurvivingConsistentWithBits) {
+  const DmmParameters& p = inst_.params;
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    std::size_t expected = 0;
+    for (std::uint64_t e = 0; e < p.r; ++e) {
+      expected += inst_.bits.get(i, inst_.j_star, e);
+    }
+    EXPECT_EQ(inst_.special_surviving[i].size(), expected);
+  }
+}
+
+TEST_P(DmmGrid, UniqueVerticesHaveNoCrossCopyEdges) {
+  // A unique vertex of copy i may neighbor public vertices and copy-i
+  // uniques only.
+  const DmmParameters& p = inst_.params;
+  std::vector<std::uint64_t> copy_of(p.n, ~0ULL);
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    for (Vertex v : inst_.unique_final[i]) copy_of[v] = i;
+  }
+  for (const Edge& e : inst_.g.edges()) {
+    const std::uint64_t cu = copy_of[e.u];
+    const std::uint64_t cv = copy_of[e.v];
+    if (cu != ~0ULL && cv != ~0ULL) {
+      EXPECT_EQ(cu, cv) << "cross-copy unique-unique edge";
+    }
+  }
+}
+
+TEST_P(DmmGrid, RefinedPlayerCountFormula) {
+  const auto players = build_refined_players(inst_);
+  const DmmParameters& p = inst_.params;
+  EXPECT_EQ(players.size(), p.num_public() + p.k * p.big_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DmmGrid,
+    ::testing::Values(GridPoint{4, 2, 1}, GridPoint{4, 8, 2},
+                      GridPoint{6, 6, 3}, GridPoint{8, 3, 4},
+                      GridPoint{8, 8, 5}, GridPoint{12, 12, 6},
+                      GridPoint{12, 30, 7}, GridPoint{16, 16, 8}));
+
+}  // namespace
+}  // namespace ds::lowerbound

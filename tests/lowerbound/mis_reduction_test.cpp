@@ -1,0 +1,124 @@
+#include "lowerbound/mis_reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+using graph::Edge;
+using graph::Vertex;
+
+class Reduction : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    base_ = rs::rs_graph(6);
+    util::Rng rng(GetParam());
+    inst_ = sample_dmm(base_, base_.t(), rng);
+    h_ = build_reduction_graph(inst_);
+  }
+  rs::RsGraph base_;
+  DmmInstance inst_;
+  graph::Graph h_;
+};
+
+TEST_P(Reduction, HHasTwoCopiesOfG) {
+  const Vertex n = inst_.params.n;
+  EXPECT_EQ(h_.num_vertices(), 2 * n);
+  for (const Edge& e : inst_.g.edges()) {
+    EXPECT_TRUE(h_.has_edge(e.u, e.v));
+    EXPECT_TRUE(h_.has_edge(n + e.u, n + e.v));
+  }
+}
+
+TEST_P(Reduction, PublicBicliquePresent) {
+  const Vertex n = inst_.params.n;
+  for (Vertex u : inst_.public_final) {
+    for (Vertex v : inst_.public_final) {
+      EXPECT_TRUE(h_.has_edge(u, n + v));
+    }
+  }
+}
+
+TEST_P(Reduction, NoSpuriousCrossEdges) {
+  const Vertex n = inst_.params.n;
+  // Cross edges (left, right) exist only between public copies.
+  for (const Edge& e : h_.edges()) {
+    const bool u_left = e.u < n;
+    const bool v_left = e.v < n;
+    if (u_left == v_left) continue;
+    const Vertex lu = u_left ? e.u : e.v;
+    const Vertex rv = (u_left ? e.v : e.u) - n;
+    EXPECT_TRUE(inst_.is_public[lu]) << "cross edge from unique vertex";
+    EXPECT_TRUE(inst_.is_public[rv]) << "cross edge to unique vertex";
+  }
+}
+
+TEST_P(Reduction, MisOfHDecodesTheSurvivingMatching) {
+  // Run several true MIS's of H through the referee decoding; Lemma 4.1
+  // guarantees exact recovery every time.
+  util::Rng rng(GetParam() + 50);
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto mis = graph::greedy_mis_random(h_, rng);
+    ASSERT_TRUE(graph::is_maximal_independent_set(h_, mis));
+
+    const Lemma41Audit audit = audit_lemma41(inst_, mis);
+    EXPECT_TRUE(audit.some_side_empty);
+    EXPECT_TRUE(audit.left_equivalence);
+    EXPECT_TRUE(audit.right_equivalence);
+    EXPECT_TRUE(audit.decoded_exactly);
+
+    graph::Matching decoded = decode_matching_from_mis(inst_, mis);
+    graph::Matching expected = inst_.all_surviving_special();
+    auto canon = [](graph::Matching& m) {
+      for (Edge& e : m) e = e.normalized();
+      std::sort(m.begin(), m.end());
+    };
+    canon(decoded);
+    canon(expected);
+    EXPECT_EQ(decoded, expected);
+    // And the decoded matching is valid in G, supported on unique
+    // vertices (Remark 3.6(iv) form).
+    EXPECT_TRUE(graph::is_valid_matching(inst_.g, decoded));
+    EXPECT_EQ(count_unique_unique(inst_, decoded), decoded.size());
+  }
+}
+
+TEST_P(Reduction, LubyMisAlsoDecodes) {
+  util::Rng rng(GetParam() + 99);
+  const auto mis = graph::luby_mis(h_, rng);
+  ASSERT_TRUE(graph::is_maximal_independent_set(h_, mis));
+  EXPECT_TRUE(audit_lemma41(inst_, mis).decoded_exactly);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Reduction, ::testing::Values(1, 2, 3, 4));
+
+TEST(ReductionCost, SimulatingBothCopiesDoublesTheMessage) {
+  // The reduction's communication claim: each original player simulates
+  // its two copies, so cost 2b. Structural check: every vertex of G
+  // appears as exactly two vertices of H with identical within-copy
+  // neighborhoods.
+  const rs::RsGraph base = rs::rs_graph(5);
+  util::Rng rng(7);
+  const DmmInstance inst = sample_dmm(base, base.t(), rng);
+  const graph::Graph h = build_reduction_graph(inst);
+  const Vertex n = inst.params.n;
+  for (Vertex v = 0; v < n; ++v) {
+    if (inst.is_public[v]) continue;  // publics gain biclique edges
+    std::vector<Vertex> left, right;
+    for (Vertex w : h.neighbors(v)) left.push_back(w);
+    for (Vertex w : h.neighbors(n + v)) right.push_back(static_cast<Vertex>(w - n));
+    EXPECT_EQ(left, right);
+    std::vector<Vertex> original(inst.g.neighbors(v).begin(),
+                                 inst.g.neighbors(v).end());
+    EXPECT_EQ(left, original);
+  }
+}
+
+}  // namespace
+}  // namespace ds::lowerbound

@@ -1,0 +1,98 @@
+#include "lowerbound/optimal_referee.h"
+
+#include <gtest/gtest.h>
+
+#include "lowerbound/accounting.h"
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+rs::RsGraph mini_base() { return rs::book_rs(1, 2); }
+
+TEST(OptimalReferee, FullReportIsPerfect) {
+  const FullReportEncoder full;
+  const auto result = optimal_referee_success(mini_base(), 2, full);
+  EXPECT_NEAR(result.optimal_success, 1.0, 1e-9);
+  EXPECT_NEAR(result.greedy_success, 1.0, 1e-9);
+  EXPECT_NEAR(result.info_m_pi, result.kr, 1e-9);
+  EXPECT_NEAR(result.fano_success_bound, 1.0, 1e-9);
+}
+
+TEST(OptimalReferee, SilentProtocolOptimalIsGuessing) {
+  // With no communication, the best referee guesses one of the 2^{kr}
+  // patterns: success exactly 2^{-kr}.
+  const SilentEncoder silent;
+  const auto result = optimal_referee_success(mini_base(), 2, silent);
+  EXPECT_NEAR(result.optimal_success, 0.25, 1e-9);  // kr = 2
+  EXPECT_NEAR(result.greedy_success, 0.25, 1e-9);   // empty output; right
+                                                    // iff everything dropped
+  EXPECT_NEAR(result.info_m_pi, 0.0, 1e-9);
+  EXPECT_NEAR(result.fano_success_bound, 0.5, 1e-9);  // (0+1)/2
+  // Fano ceiling respected.
+  EXPECT_LE(result.optimal_success, result.fano_success_bound + 1e-9);
+}
+
+TEST(OptimalReferee, OptimalDominatesGreedyAlways) {
+  const FullReportEncoder full;
+  const CappedReportEncoder cap1(1);
+  const SilentEncoder silent;
+  const ParityEncoder parity;
+  for (const RefinedEncoder* enc :
+       std::initializer_list<const RefinedEncoder*>{&full, &cap1, &silent,
+                                                    &parity}) {
+    const auto result = optimal_referee_success(mini_base(), 2, *enc);
+    EXPECT_GE(result.optimal_success, result.greedy_success - 1e-9)
+        << enc->name();
+    EXPECT_LE(result.optimal_success, result.fano_success_bound + 1e-9)
+        << enc->name();
+    EXPECT_GE(result.info_m_pi, -1e-9) << enc->name();
+    EXPECT_LE(result.info_m_pi, result.kr + 1e-9) << enc->name();
+  }
+}
+
+TEST(OptimalReferee, ParityBeatsSilence) {
+  // One parity bit per player strictly helps the MAP referee on the mini
+  // instance (each leaf player's parity IS its survival bit).
+  const SilentEncoder silent;
+  const ParityEncoder parity;
+  const auto s = optimal_referee_success(mini_base(), 2, silent);
+  const auto p = optimal_referee_success(mini_base(), 2, parity);
+  EXPECT_GT(p.optimal_success, s.optimal_success + 0.1);
+  EXPECT_GT(p.info_m_pi, 0.5);
+  // But the greedy edge-union referee can't use parity bits at all.
+  EXPECT_NEAR(p.greedy_success, s.greedy_success, 1e-9);
+}
+
+TEST(OptimalReferee, InformationMatchesAccountingModule) {
+  // Two independent computations of I(M ; Pi | Sigma, J) must agree.
+  const CappedReportEncoder cap1(1);
+  const auto opt = optimal_referee_success(mini_base(), 2, cap1);
+  const auto acct = enumerate_accounting(mini_base(), 2, cap1);
+  EXPECT_NEAR(opt.info_m_pi, acct.info_m_pi, 1e-9);
+}
+
+TEST(OptimalReferee, SigmaAveragedRunsWork) {
+  const FullReportEncoder full;
+  const auto sigmas = all_permutations(5);
+  const auto result =
+      optimal_referee_success(mini_base(), 2, full, sigmas);
+  EXPECT_NEAR(result.optimal_success, 1.0, 1e-9);
+}
+
+TEST(OptimalReferee, LargerInstanceMonotoneInCap) {
+  const rs::RsGraph base = rs::book_rs(2, 2);  // kr = 4 with k = 2
+  const SilentEncoder silent;
+  const CappedReportEncoder cap1(1);
+  const FullReportEncoder full;
+  const double s0 = optimal_referee_success(base, 2, silent).optimal_success;
+  const double s1 = optimal_referee_success(base, 2, cap1).optimal_success;
+  const double s2 = optimal_referee_success(base, 2, full).optimal_success;
+  EXPECT_NEAR(s0, 1.0 / 16.0, 1e-9);
+  EXPECT_LE(s0, s1 + 1e-9);
+  EXPECT_LE(s1, s2 + 1e-9);
+  EXPECT_NEAR(s2, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ds::lowerbound

@@ -1,0 +1,166 @@
+#include "lowerbound/players.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+using graph::Edge;
+using graph::Vertex;
+
+DmmInstance make_instance(std::uint64_t seed, std::uint64_t m = 6) {
+  static std::map<std::uint64_t, rs::RsGraph> cache;
+  auto [it, inserted] = cache.try_emplace(m);
+  if (inserted) it->second = rs::rs_graph(m);
+  util::Rng rng(seed);
+  return sample_dmm(it->second, it->second.t(), rng);
+}
+
+TEST(Players, CountsMatchSection32) {
+  const DmmInstance inst = make_instance(1);
+  const auto players = build_refined_players(inst);
+  const DmmParameters& p = inst.params;
+  EXPECT_EQ(players.size(), p.num_public() + p.k * p.big_n);
+  std::size_t publics = 0;
+  for (const auto& player : players) publics += player.is_public;
+  EXPECT_EQ(publics, p.num_public());
+}
+
+TEST(Players, PublicPlayersComeFirstThenCopiesInOrder) {
+  const DmmInstance inst = make_instance(2);
+  const auto players = build_refined_players(inst);
+  const DmmParameters& p = inst.params;
+  for (std::size_t idx = 0; idx < players.size(); ++idx) {
+    if (idx < p.num_public()) {
+      EXPECT_TRUE(players[idx].is_public);
+    } else {
+      EXPECT_FALSE(players[idx].is_public);
+      EXPECT_EQ(players[idx].copy, (idx - p.num_public()) / p.big_n);
+    }
+  }
+}
+
+TEST(Players, PublicPlayerSeesAllIncidentEdges) {
+  const DmmInstance inst = make_instance(3);
+  const auto players = build_refined_players(inst);
+  for (std::size_t l = 0; l < inst.params.num_public(); ++l) {
+    const RefinedPlayer& player = players[l];
+    const Vertex v = inst.public_final[l];
+    EXPECT_EQ(player.edges.size(), inst.g.degree(v));
+    for (const Edge& e : player.edges) {
+      EXPECT_TRUE(e.u == v || e.v == v);
+      EXPECT_TRUE(inst.g.has_edge(e.u, e.v));
+    }
+  }
+}
+
+TEST(Players, UniquePlayersSeeOnlyTheirCopy) {
+  const DmmInstance inst = make_instance(4);
+  const auto players = build_refined_players(inst);
+  const DmmParameters& p = inst.params;
+  // Collect, per copy, the set of that copy's unique labels.
+  std::vector<std::set<Vertex>> unique_of_copy(p.k);
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    unique_of_copy[i].insert(inst.unique_final[i].begin(),
+                             inst.unique_final[i].end());
+  }
+  for (std::size_t idx = p.num_public(); idx < players.size(); ++idx) {
+    const RefinedPlayer& player = players[idx];
+    for (const Edge& e : player.edges) {
+      EXPECT_TRUE(inst.g.has_edge(e.u, e.v));
+      // Any non-public endpoint must be unique *of this copy* — a unique
+      // player never sees another copy's vertices.
+      for (Vertex v : {e.u, e.v}) {
+        if (!inst.is_public[v]) {
+          EXPECT_TRUE(unique_of_copy[player.copy].contains(v));
+        }
+      }
+    }
+  }
+}
+
+TEST(Players, UnionOfUniquePlayerEdgesPerCopyMatchesSurvivalBits) {
+  const DmmInstance inst = make_instance(5);
+  const auto players = build_refined_players(inst);
+  const DmmParameters& p = inst.params;
+  // Each copy's players collectively see each surviving edge twice.
+  std::vector<std::size_t> seen(p.k, 0);
+  for (std::size_t idx = p.num_public(); idx < players.size(); ++idx) {
+    seen[players[idx].copy] += players[idx].edges.size();
+  }
+  for (std::uint64_t i = 0; i < p.k; ++i) {
+    std::size_t survived = 0;
+    for (std::uint64_t j = 0; j < p.t; ++j) {
+      for (std::uint64_t e = 0; e < p.r; ++e) survived += inst.bits.get(i, j, e);
+    }
+    EXPECT_EQ(seen[i], 2 * survived) << "copy " << i;
+  }
+}
+
+TEST(Players, EncodersRoundTrip) {
+  const DmmInstance inst = make_instance(6);
+  const auto players = build_refined_players(inst);
+  const FullReportEncoder full;
+  const CappedReportEncoder capped(2);
+  for (const auto* encoder :
+       std::initializer_list<const RefinedEncoder*>{&full, &capped}) {
+    for (const auto& player : players) {
+      util::BitWriter w;
+      encoder->encode(inst.params, player, w);
+      const util::BitString bs(w);
+    util::BitReader r(bs);
+      const auto decoded = encoder->decode(inst.params, r);
+      if (encoder == &full) {
+        EXPECT_EQ(decoded, player.edges);
+      } else {
+        EXPECT_LE(decoded.size(), 2u);
+        for (std::size_t i = 0; i < decoded.size(); ++i) {
+          EXPECT_EQ(decoded[i], player.edges[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Players, SilentEncoderSendsNothing) {
+  const DmmInstance inst = make_instance(7);
+  const auto players = build_refined_players(inst);
+  const SilentEncoder silent;
+  const auto messages = run_refined(inst, players, silent);
+  for (const auto& m : messages) EXPECT_EQ(m.bit_count(), 0u);
+}
+
+TEST(Players, RefereeWithFullReportsRecoversExactly) {
+  for (std::uint64_t seed : {8ULL, 9ULL, 10ULL}) {
+    const DmmInstance inst = make_instance(seed);
+    const auto players = build_refined_players(inst);
+    const FullReportEncoder full;
+    const auto messages = run_refined(inst, players, full);
+    graph::Matching decoded = refined_referee(inst, players, full, messages);
+    graph::Matching expected = inst.all_surviving_special();
+    auto canon = [](graph::Matching& m) {
+      for (Edge& e : m) e = e.normalized();
+      std::sort(m.begin(), m.end());
+    };
+    canon(decoded);
+    canon(expected);
+    EXPECT_EQ(decoded, expected);
+  }
+}
+
+TEST(Players, RefereeWithSilenceRecoversNothing) {
+  const DmmInstance inst = make_instance(11);
+  const auto players = build_refined_players(inst);
+  const SilentEncoder silent;
+  const auto messages = run_refined(inst, players, silent);
+  EXPECT_TRUE(refined_referee(inst, players, silent, messages).empty());
+}
+
+}  // namespace
+}  // namespace ds::lowerbound

@@ -1,0 +1,92 @@
+#include "lowerbound/protocol_search.h"
+
+#include <gtest/gtest.h>
+
+#include "rs/rs_graph.h"
+
+namespace ds::lowerbound {
+namespace {
+
+TEST(ProtocolSearch, OneBitClassOnMiniInstance) {
+  // book(1,2), k=2: a leaf player's degree IS its survival bit, so the
+  // identity degree-table (parity) solves the instance — the search must
+  // find success 1.0 among the 16 x 16 one-bit protocols.
+  const rs::RsGraph base = rs::book_rs(1, 2);
+  const ProtocolSearchResult r =
+      search_degree_protocols(base, 2, /*bits=*/1, /*degree_cap=*/3);
+  EXPECT_EQ(r.protocols_searched, 256u);
+  EXPECT_NEAR(r.best_success, 1.0, 1e-9);
+  EXPECT_NEAR(r.silent_baseline, 0.25, 1e-12);
+  EXPECT_LE(r.best_success, r.fano_cap_at_best + 1e-9);
+}
+
+TEST(ProtocolSearch, BestDominatesNamedEncodersInClass) {
+  const rs::RsGraph base = rs::book_rs(1, 2);
+  const ProtocolSearchResult best =
+      search_degree_protocols(base, 2, 1, 3);
+  // Silent and parity are members of the class; the optimum dominates.
+  const SilentEncoder silent;
+  const ParityEncoder parity;
+  EXPECT_GE(best.best_success,
+            optimal_referee_success(base, 2, silent).optimal_success - 1e-9);
+  EXPECT_GE(best.best_success,
+            optimal_referee_success(base, 2, parity).optimal_success - 1e-9);
+}
+
+TEST(ProtocolSearch, CycleInstanceDefeatsEveryDegreeProtocol) {
+  // On C6 every vertex has two matching slots, so degrees cannot pin the
+  // edges down: the alternating survival patterns {e1,e3,e5} and
+  // {e2,e4,e6} produce IDENTICAL degree transcripts, and the MAP referee
+  // must err on one of them. The exhaustive search certifies: the best
+  // of all 256 one-bit degree protocols achieves exactly 7/8.
+  const rs::RsGraph base = rs::cycle_rs(3);
+  ASSERT_TRUE(rs::verify_rs(base));
+  const ProtocolSearchResult r =
+      search_degree_protocols(base, 1, /*bits=*/1, /*degree_cap=*/3);
+  EXPECT_NEAR(r.best_success, 0.875, 1e-9);
+  EXPECT_GT(r.best_success, r.silent_baseline);
+  EXPECT_LE(r.best_success, r.fano_cap_at_best + 1e-9);
+  // Two bits shrink but do not eliminate the gap.
+  const ProtocolSearchResult r2 =
+      search_degree_protocols(base, 1, /*bits=*/2, /*degree_cap=*/2);
+  EXPECT_GT(r2.best_success, r.best_success);
+  EXPECT_LT(r2.best_success, 1.0 - 1e-9);
+}
+
+TEST(CycleRs, IsValidRsFamily) {
+  for (std::uint32_t t : {3u, 4u, 6u, 10u}) {
+    const rs::RsGraph rs = rs::cycle_rs(t);
+    EXPECT_EQ(rs.num_vertices(), 2 * t);
+    EXPECT_EQ(rs.r(), 2u);
+    EXPECT_EQ(rs.t(), t);
+    EXPECT_TRUE(rs::verify_rs(rs)) << "t=" << t;
+  }
+}
+
+TEST(ProtocolSearch, FinerDegreeTablesNeverHurt) {
+  // The cap-1 class (2 states) embeds into the cap-3 class (4 states),
+  // so the optimum is monotone in the cap.
+  const rs::RsGraph base = rs::book_rs(2, 2);
+  const double coarse =
+      search_degree_protocols(base, 2, 1, /*degree_cap=*/1).best_success;
+  const double fine =
+      search_degree_protocols(base, 2, 1, /*degree_cap=*/3).best_success;
+  EXPECT_GE(fine, coarse - 1e-9);
+}
+
+TEST(DegreeTableEncoder, EncodesTableValues) {
+  const DegreeTableEncoder encoder(2, {0, 1, 2, 3}, {3, 2, 1, 0});
+  DmmParameters params{};
+  RefinedPlayer player;
+  player.is_public = false;
+  player.edges = {{0, 1}};  // degree 1 -> unique_table[1] == 2
+  util::BitWriter w;
+  encoder.encode(params, player, w);
+  EXPECT_EQ(w.bit_count(), 2u);
+  const util::BitString bits(w);
+  util::BitReader r(bits);
+  EXPECT_EQ(r.get_bits(2), 2u);
+}
+
+}  // namespace
+}  // namespace ds::lowerbound

@@ -1,0 +1,143 @@
+// The one-sided vertex-partition model (related work, Section 1.3):
+// removing one side's players flips which problems are easy.  The needle
+// instance makes it quantitative.
+#include "model/one_sided.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "protocols/needle.h"
+
+namespace ds::model {
+namespace {
+
+using graph::Edge;
+using graph::Vertex;
+
+graph::NeedleInstance make_instance(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return graph::needle_bipartite(/*left=*/20, /*right=*/20, 0.3, rng);
+}
+
+TEST(NeedleInstances, GeneratorInvariants) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make_instance(seed);
+    ASSERT_TRUE(inst.graph.has_edge(inst.needle.u, inst.needle.v));
+    EXPECT_LT(inst.needle.u, inst.left);
+    EXPECT_GE(inst.needle.v, inst.left);
+    // The needle is the unique degree-1 right vertex.
+    std::size_t degree_one = 0;
+    for (Vertex r = inst.left; r < inst.graph.num_vertices(); ++r) {
+      const auto deg = inst.graph.degree(r);
+      if (deg == 1) ++degree_one;
+      if (r != inst.needle.v) {
+        EXPECT_GE(deg, 2u);
+      }
+    }
+    EXPECT_EQ(degree_one, 1u);
+    EXPECT_EQ(inst.graph.degree(inst.needle.v), 1u);
+    // Bipartite: no left-left or right-right edges.
+    for (const Edge& e : inst.graph.edges()) {
+      EXPECT_NE(e.u < inst.left, e.v < inst.left);
+    }
+  }
+}
+
+TEST(NeedleTwoSided, AlwaysSucceedsWithLogBits) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make_instance(seed);
+    const PublicCoins coins(seed);
+    const protocols::NeedleTwoSided protocol(inst.left);
+    const auto run = run_protocol(inst.graph, protocol, coins);
+    EXPECT_EQ(run.output.normalized(), inst.needle.normalized());
+    // Worst player: one vertex id.
+    EXPECT_LE(run.comm.max_bits, util::bit_width_for(inst.graph.num_vertices()));
+  }
+}
+
+TEST(NeedleOneSided, FailsUnderSmallBudget) {
+  std::size_t successes = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make_instance(seed);
+    const BipartiteInstance bip{inst.graph, inst.left};
+    const PublicCoins coins(100 + seed);
+    // Budget for ~2 edges per left player; left degrees are ~7.
+    const protocols::NeedleOneSided protocol(inst.left, 16);
+    const auto run = run_one_sided(bip, protocol, coins);
+    successes += run.output.normalized() == inst.needle.normalized();
+  }
+  EXPECT_LE(successes, 4u);
+}
+
+TEST(NeedleOneSided, SucceedsWithFullBudget) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make_instance(seed);
+    const BipartiteInstance bip{inst.graph, inst.left};
+    const PublicCoins coins(200 + seed);
+    const protocols::NeedleOneSided protocol(inst.left, 100000);
+    const auto run = run_one_sided(bip, protocol, coins);
+    EXPECT_EQ(run.output.normalized(), inst.needle.normalized());
+  }
+}
+
+TEST(NeedleOneSided, CostAsymmetryVsTwoSided) {
+  // Two-sided cost: one vertex id from the needle itself.
+  std::size_t two_sided_bits = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = make_instance(seed);
+    const PublicCoins coins(seed);
+    const protocols::NeedleTwoSided two(inst.left);
+    const auto run = run_protocol(inst.graph, two, coins);
+    ASSERT_EQ(run.output.normalized(), inst.needle.normalized());
+    two_sided_bits = std::max(two_sided_bits, run.comm.max_bits);
+  }
+
+  // One-sided: smallest budget (doubling ladder) that succeeds on >= 8
+  // of 10 seeds.
+  std::size_t needed = 0;
+  for (std::size_t budget = 8; budget <= 1 << 14; budget *= 2) {
+    std::size_t successes = 0;
+    std::size_t bits = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto inst = make_instance(seed);
+      const BipartiteInstance bip{inst.graph, inst.left};
+      const PublicCoins coins(700 + seed);
+      const protocols::NeedleOneSided one(inst.left, budget);
+      const auto run = run_one_sided(bip, one, coins);
+      successes += run.output.normalized() == inst.needle.normalized();
+      bits = std::max(bits, run.comm.max_bits);
+    }
+    if (successes >= 8) {
+      needed = bits;
+      break;
+    }
+  }
+  ASSERT_GT(needed, 0u);
+  // Reliable one-sided discovery costs many times the two-sided O(log n).
+  EXPECT_GT(needed, 5 * two_sided_bits);
+}
+
+TEST(OneSidedRunner, OnlyLeftPlayersCharged) {
+  const auto inst = make_instance(3);
+  const BipartiteInstance bip{inst.graph, inst.left};
+  const PublicCoins coins(9);
+  const protocols::NeedleOneSided protocol(inst.left, 64);
+  const auto run = run_one_sided(bip, protocol, coins);
+  EXPECT_EQ(run.comm.num_players, inst.left);
+}
+
+TEST(NeedleProtocols, OneSidedProtocolAlsoRunsTwoSided) {
+  // Same protocol through the standard runner: right players emit empty
+  // reports, result unchanged in distribution.
+  const auto inst = make_instance(5);
+  const PublicCoins coins(11);
+  const protocols::NeedleOneSided protocol(inst.left, 100000);
+  const auto run = run_protocol(inst.graph, protocol, coins);
+  EXPECT_EQ(run.output.normalized(), inst.needle.normalized());
+}
+
+}  // namespace
+}  // namespace ds::model

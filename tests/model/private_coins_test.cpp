@@ -1,0 +1,65 @@
+// The public-vs-private-coin separation ([BMRT14] flavor), executable:
+// shared-hash protocols break, locally-random protocols survive.
+#include "model/private_coins.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "protocols/bridge_finding.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/trivial.h"
+
+namespace ds::model {
+namespace {
+
+using graph::Graph;
+
+TEST(PrivateCoins, AgmCollapsesWithoutSharedRandomness) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const auto result = run_protocol_private_coins(
+      g, protocols::AgmSpanningForest{}, /*seed_base=*/7);
+  EXPECT_FALSE(graph::is_spanning_forest(g, result.output));
+}
+
+TEST(PrivateCoins, BridgeFindingSurvives) {
+  // Sampling randomness is local to each player; the incidence sum is
+  // deterministic; the referee uses no coins. Private coins change
+  // nothing.
+  util::Rng rng(2);
+  int successes = 0;
+  constexpr int kReps = 15;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto [g, bridge] = graph::two_clusters_with_bridge(60, 0.3, rng);
+    const auto result = run_protocol_private_coins(
+        g, protocols::BridgeFinding{10}, 100 + rep);
+    successes += result.output.normalized() == bridge.normalized();
+  }
+  EXPECT_GE(successes, kReps - 2);
+}
+
+TEST(PrivateCoins, DeterministicProtocolsUnaffected) {
+  // The trivial bitmap protocol uses coins only for referee tie-breaking;
+  // output remains a maximal matching either way.
+  util::Rng rng(3);
+  const Graph g = graph::gnp(30, 0.2, rng);
+  const auto result =
+      run_protocol_private_coins(g, protocols::TrivialMaximalMatching{}, 9);
+  EXPECT_TRUE(graph::is_maximal_matching(g, result.output));
+}
+
+TEST(PrivateCoins, CostAccountingIdenticalToPublicRuns) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(30, 0.2, rng);
+  const PublicCoins coins(5);
+  const auto pub = run_protocol(g, protocols::TrivialMaximalMatching{}, coins);
+  const auto priv =
+      run_protocol_private_coins(g, protocols::TrivialMaximalMatching{}, 5);
+  EXPECT_EQ(pub.comm.max_bits, priv.comm.max_bits);
+  EXPECT_EQ(pub.comm.total_bits, priv.comm.total_bits);
+}
+
+}  // namespace
+}  // namespace ds::model

@@ -1,0 +1,88 @@
+// Parameterized properties of the budgeted edge-report family — the
+// protocol family every sweep in E3 runs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/matching.h"
+#include "model/runner.h"
+#include "protocols/budgeted.h"
+#include "protocols/sampled_matching.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+class BudgetSweepProps : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static Graph test_graph() {
+    util::Rng rng(77);
+    return graph::gnp(60, 0.25, rng);
+  }
+};
+
+TEST_P(BudgetSweepProps, NeverExceedsBudget) {
+  const Graph g = test_graph();
+  const std::size_t budget = GetParam();
+  const model::PublicCoins coins(budget);
+  const auto run = model::run_protocol(g, BudgetedMatching{budget}, coins);
+  EXPECT_LE(run.comm.max_bits, std::max<std::size_t>(budget, 1));
+}
+
+TEST_P(BudgetSweepProps, ReportsAreSubgraph) {
+  const Graph g = test_graph();
+  const model::PublicCoins coins(GetParam() + 1000);
+  model::CommStats comm;
+  const auto sketches =
+      model::collect_sketches(g, BudgetedMatching{GetParam()}, coins, comm);
+  const Graph reported = decode_reported_graph(g.num_vertices(), sketches);
+  EXPECT_LE(reported.num_edges(), g.num_edges());
+  for (const graph::Edge& e : reported.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST_P(BudgetSweepProps, OutputIsAlwaysValidMatchingOfG) {
+  const Graph g = test_graph();
+  const model::PublicCoins coins(GetParam() + 2000);
+  const auto run =
+      model::run_protocol(g, BudgetedMatching{GetParam()}, coins);
+  EXPECT_TRUE(graph::is_valid_matching(g, run.output));
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweepProps,
+                         ::testing::Values(0, 1, 7, 13, 32, 64, 127, 256,
+                                           511, 1024, 4096));
+
+TEST(BudgetMonotonicity, KnowledgeGrowsWithBudget) {
+  // Expected reported-edge count is nondecreasing in the budget (same
+  // graph, same coins ladder).
+  const Graph g = []() {
+    util::Rng rng(88);
+    return graph::gnp(60, 0.25, rng);
+  }();
+  std::size_t previous = 0;
+  for (std::size_t budget : {8ULL, 32ULL, 128ULL, 512ULL, 4096ULL}) {
+    std::size_t total = 0;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const model::PublicCoins coins(seed);
+      model::CommStats comm;
+      const auto sketches =
+          model::collect_sketches(g, BudgetedMatching{budget}, coins, comm);
+      total +=
+          decode_reported_graph(g.num_vertices(), sketches).num_edges();
+    }
+    EXPECT_GE(total + 5, previous) << "budget " << budget;  // slack for ties
+    previous = total;
+  }
+  // And the top budget reports everything.
+  const model::PublicCoins coins(0);
+  model::CommStats comm;
+  const auto sketches =
+      model::collect_sketches(g, BudgetedMatching{1 << 20}, coins, comm);
+  EXPECT_EQ(decode_reported_graph(g.num_vertices(), sketches), g);
+}
+
+}  // namespace
+}  // namespace ds::protocols

@@ -1,0 +1,119 @@
+#include "protocols/budgeted.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+#include "model/runner.h"
+#include "protocols/sampled_matching.h"
+#include "protocols/sampled_mis.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+
+TEST(Budgeted, EdgesFittingBudgetArithmetic) {
+  // width = 10 for n = 1024; gamma header for count c is
+  // 2*floor(log2(c+1))+1 bits.
+  const graph::Vertex n = 1024;
+  EXPECT_EQ(edges_fitting_budget(0, n, 100), 0u);
+  EXPECT_EQ(edges_fitting_budget(10, n, 100), 0u);   // header+1 edge = 13
+  EXPECT_EQ(edges_fitting_budget(13, n, 100), 1u);   // 3 + 10
+  EXPECT_EQ(edges_fitting_budget(25, n, 100), 2u);   // 5 + 20
+  EXPECT_GE(edges_fitting_budget(10000, n, 100), 100u);  // capped by degree
+}
+
+TEST(Budgeted, BudgetIsRespected) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(100, 0.3, rng);
+  for (std::size_t budget : {0ULL, 16ULL, 64ULL, 256ULL, 1024ULL}) {
+    const model::PublicCoins coins(2);
+    const auto result =
+        model::run_protocol(g, BudgetedMatching{budget}, coins);
+    EXPECT_LE(result.comm.max_bits, std::max<std::size_t>(budget, 1))
+        << "budget " << budget;
+  }
+}
+
+TEST(Budgeted, ReportedGraphIsSubgraph) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(60, 0.2, rng);
+  const model::PublicCoins coins(4);
+  model::CommStats comm;
+  const auto sketches =
+      model::collect_sketches(g, BudgetedMatching{100}, coins, comm);
+  const Graph reported = decode_reported_graph(g.num_vertices(), sketches);
+  for (const graph::Edge& e : reported.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+  }
+}
+
+TEST(Budgeted, LargeBudgetReportsEverything) {
+  util::Rng rng(5);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const model::PublicCoins coins(6);
+  model::CommStats comm;
+  const auto sketches =
+      model::collect_sketches(g, BudgetedMatching{100000}, coins, comm);
+  EXPECT_EQ(decode_reported_graph(g.num_vertices(), sketches), g);
+}
+
+TEST(Budgeted, MatchingSucceedsWithFullBudgetFailsWithNone) {
+  util::Rng rng(7);
+  const Graph g = graph::gnp(50, 0.15, rng);
+  const model::PublicCoins coins(8);
+  const auto full = model::run_protocol(g, BudgetedMatching{100000}, coins);
+  EXPECT_TRUE(graph::is_maximal_matching(g, full.output));
+  const auto none = model::run_protocol(g, BudgetedMatching{0}, coins);
+  EXPECT_FALSE(graph::is_maximal_matching(g, none.output));
+}
+
+TEST(Budgeted, MatchingOutputAlwaysValidEdges) {
+  // Edge-report protocols only ever output real edges (they may fail
+  // maximality, not validity).
+  util::Rng rng(9);
+  for (std::size_t budget : {20ULL, 60ULL, 200ULL}) {
+    const Graph g = graph::gnp(50, 0.2, rng);
+    const model::PublicCoins coins(10 + budget);
+    const auto result =
+        model::run_protocol(g, BudgetedMatching{budget}, coins);
+    EXPECT_TRUE(graph::is_valid_matching(g, result.output));
+  }
+}
+
+TEST(Budgeted, MisCanViolateIndependenceUnderTightBudget) {
+  // On a dense graph with tiny budget the referee misses most edges and
+  // the greedy MIS over the known subgraph usually includes an adjacent
+  // pair.  (Statistical, but overwhelmingly likely at these parameters.)
+  util::Rng rng(11);
+  const Graph g = graph::gnp(60, 0.5, rng);
+  int violations = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const model::PublicCoins coins(300 + rep);
+    const auto result = model::run_protocol(g, BudgetedMis{8}, coins);
+    if (!graph::is_independent_set(g, result.output)) ++violations;
+  }
+  EXPECT_GT(violations, 5);
+}
+
+TEST(Budgeted, MisSucceedsWithFullBudget) {
+  util::Rng rng(12);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const model::PublicCoins coins(13);
+  const auto result = model::run_protocol(g, BudgetedMis{100000}, coins);
+  EXPECT_TRUE(graph::is_maximal_independent_set(g, result.output));
+}
+
+TEST(Budgeted, DeterministicGivenCoins) {
+  util::Rng rng(14);
+  const Graph g = graph::gnp(30, 0.3, rng);
+  const model::PublicCoins coins(15);
+  const auto a = model::run_protocol(g, BudgetedMatching{64}, coins);
+  const auto b = model::run_protocol(g, BudgetedMatching{64}, coins);
+  EXPECT_EQ(a.output, b.output);
+}
+
+}  // namespace
+}  // namespace ds::protocols

@@ -1,0 +1,103 @@
+#include "protocols/coloring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "model/runner.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+bool is_proper_coloring(const Graph& g, const model::ColoringOutput& colors,
+                        std::uint32_t num_colors) {
+  if (colors.size() != g.num_vertices()) return false;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (colors[v] == kUncolored || colors[v] >= num_colors) return false;
+    for (Vertex w : g.neighbors(v)) {
+      if (colors[v] == colors[w]) return false;
+    }
+  }
+  return true;
+}
+
+PaletteSparsificationColoring make_protocol(const Graph& g) {
+  const std::uint32_t num_colors = g.max_degree() + 1;
+  const std::uint32_t list_size = static_cast<std::uint32_t>(
+      4 * std::log2(static_cast<double>(g.num_vertices()) + 2) + 4);
+  return PaletteSparsificationColoring{num_colors, list_size};
+}
+
+TEST(Coloring, ColorListsArePublicCoinShared) {
+  const model::PublicCoins coins(1);
+  const PaletteSparsificationColoring protocol{16, 5};
+  for (Vertex v = 0; v < 20; ++v) {
+    const auto a = protocol.color_list(coins, v);
+    const auto b = protocol.color_list(coins, v);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 5u);
+    for (std::uint32_t c : a) EXPECT_LT(c, 16u);
+  }
+}
+
+TEST(Coloring, ProperColoringOnRandomGraphs) {
+  util::Rng rng(2);
+  int successes = 0;
+  constexpr int kReps = 10;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Graph g = graph::gnp(60, 0.15, rng);
+    const auto protocol = make_protocol(g);
+    const model::PublicCoins coins(800 + rep);
+    const auto result = model::run_protocol(g, protocol, coins);
+    if (is_proper_coloring(g, result.output, g.max_degree() + 1)) {
+      ++successes;
+    }
+  }
+  EXPECT_GE(successes, kReps - 1);
+}
+
+TEST(Coloring, CliqueNeedsAllColors) {
+  // K_n with Delta+1 = n colors: palette sparsification must still find a
+  // proper coloring (a system of distinct representatives of the lists).
+  const Graph g = graph::complete(12);
+  const auto protocol = make_protocol(g);
+  const model::PublicCoins coins(3);
+  const auto result = model::run_protocol(g, protocol, coins);
+  EXPECT_TRUE(is_proper_coloring(g, result.output, 12));
+}
+
+TEST(Coloring, SketchSizeIsPolylog) {
+  util::Rng rng(4);
+  const model::PublicCoins coins(5);
+  const Graph small = graph::gnp(64, 0.2, rng);
+  const Graph large = graph::gnp(512, 0.05, rng);
+  const auto rs = model::run_protocol(small, make_protocol(small), coins);
+  const auto rl = model::run_protocol(large, make_protocol(large), coins);
+  // Conflict degree ~ list^2/colors stays polylog; the per-player bits
+  // must grow far slower than n.
+  EXPECT_LT(static_cast<double>(rl.comm.max_bits) / 512.0,
+            static_cast<double>(rs.comm.max_bits) / 64.0);
+}
+
+TEST(Coloring, EdgelessGraphTrivial) {
+  const Graph g(10);
+  const PaletteSparsificationColoring protocol{1, 1};
+  const model::PublicCoins coins(6);
+  const auto result = model::run_protocol(g, protocol, coins);
+  EXPECT_TRUE(is_proper_coloring(g, result.output, 1));
+}
+
+TEST(Coloring, PathWithTwoColorsViaDelta1) {
+  const Graph g = graph::path(20);  // Delta = 2, palette 3
+  const PaletteSparsificationColoring protocol{3, 3};
+  const model::PublicCoins coins(7);
+  const auto result = model::run_protocol(g, protocol, coins);
+  EXPECT_TRUE(is_proper_coloring(g, result.output, 3));
+}
+
+}  // namespace
+}  // namespace ds::protocols

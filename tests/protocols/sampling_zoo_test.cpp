@@ -1,0 +1,158 @@
+#include "protocols/sampling_zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "model/runner.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(EdgeCount, ExactOnSmallGraphs) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(30, 0.1, rng);  // ~45 edges < k
+  const model::PublicCoins coins(2);
+  const auto run = model::run_protocol(g, EdgeCountEstimate{256}, coins);
+  EXPECT_DOUBLE_EQ(run.output, static_cast<double>(g.num_edges()));
+}
+
+TEST(EdgeCount, ApproximateOnLargeGraphs) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(150, 0.3, rng);  // ~3350 edges >> k
+  const model::PublicCoins coins(4);
+  const auto run = model::run_protocol(g, EdgeCountEstimate{128}, coins);
+  EXPECT_NEAR(run.output, static_cast<double>(g.num_edges()),
+              0.35 * static_cast<double>(g.num_edges()));
+}
+
+TEST(EdgeCount, SketchSizeBoundedByK) {
+  util::Rng rng(5);
+  const Graph g = graph::gnp(100, 0.5, rng);
+  const model::PublicCoins coins(6);
+  const std::uint32_t k = 64;
+  const auto run = model::run_protocol(g, EdgeCountEstimate{k}, coins);
+  // Each sketch holds <= k values of 61 bits plus a small header.
+  EXPECT_LE(run.comm.max_bits, k * 61 + 32);
+}
+
+TEST(SampledDensest, SharedSamplingIsConsistent) {
+  const model::PublicCoins coins(7);
+  // Both endpoints decide identically for any edge id.
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(SampledDensestSubgraph::sampled(coins, id, 0.3),
+              SampledDensestSubgraph::sampled(coins, id, 0.3));
+  }
+  // Rate is ~p.
+  std::size_t hits = 0;
+  constexpr std::uint64_t kIds = 20000;
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    hits += SampledDensestSubgraph::sampled(coins, id, 0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kIds, 0.3, 0.02);
+}
+
+TEST(SampledDensest, FullSampleMatchesExactPeel) {
+  util::Rng rng(8);
+  const Graph g = graph::gnp(40, 0.2, rng);
+  const model::PublicCoins coins(9);
+  const auto run =
+      model::run_protocol(g, SampledDensestSubgraph{1.0}, coins);
+  const auto exact = graph::densest_subgraph_peel(g);
+  EXPECT_DOUBLE_EQ(run.output.density, exact.density);
+  EXPECT_EQ(run.output.subset, exact.subset);
+}
+
+TEST(SampledDensest, FindsPlantedDenseCore) {
+  // K10 planted in sparse noise; with p = 0.5 the sampled core keeps
+  // density ~4.5/0.5 = 9... estimate must land near the true 4.5 and the
+  // subset must be mostly core vertices.
+  util::Rng rng(10);
+  std::vector<graph::Edge> edges;
+  for (Vertex u = 0; u < 10; ++u)
+    for (Vertex v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  for (Vertex v = 10; v < 100; ++v) {
+    edges.push_back({v, static_cast<Vertex>(rng.next_below(v))});
+  }
+  const Graph g = Graph::from_edges(100, edges);
+  const double true_density = graph::densest_subgraph_peel(g).density;
+
+  const model::PublicCoins coins(11);
+  const auto run =
+      model::run_protocol(g, SampledDensestSubgraph{0.5}, coins);
+  EXPECT_NEAR(run.output.density, true_density, 0.5 * true_density);
+  std::size_t core = 0;
+  for (Vertex v : run.output.subset) core += v < 10;
+  EXPECT_GE(core, 8u);
+}
+
+TEST(SampledDensest, CostScalesWithSampleRate) {
+  util::Rng rng(12);
+  const Graph g = graph::gnp(80, 0.4, rng);
+  const model::PublicCoins coins(13);
+  const auto cheap = model::run_protocol(g, SampledDensestSubgraph{0.1}, coins);
+  const auto full = model::run_protocol(g, SampledDensestSubgraph{1.0}, coins);
+  EXPECT_LT(cheap.comm.max_bits, full.comm.max_bits / 3);
+}
+
+TEST(SampledSubgraph, CutSparsifierQuality) {
+  // |cut_sample(S)| / p approximates |cut_G(S)| over random bisections.
+  util::Rng rng(20);
+  const Graph g = graph::gnp(120, 0.3, rng);
+  const model::PublicCoins coins(21);
+  const double p = 0.4;
+  const auto run = model::run_protocol(g, SampledSubgraph{p}, coins);
+  const Graph& sample = run.output;
+
+  double worst_ratio = 1.0;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<bool> in_s(g.num_vertices());
+    for (Vertex v = 0; v < g.num_vertices(); ++v) in_s[v] = rng.next_bit();
+    std::size_t cut_g = 0, cut_sample = 0;
+    for (const graph::Edge& e : g.edges()) {
+      if (in_s[e.u] != in_s[e.v]) ++cut_g;
+    }
+    for (const graph::Edge& e : sample.edges()) {
+      if (in_s[e.u] != in_s[e.v]) ++cut_sample;
+    }
+    ASSERT_GT(cut_g, 0u);
+    const double estimate = static_cast<double>(cut_sample) / p;
+    const double ratio = estimate / static_cast<double>(cut_g);
+    worst_ratio = std::max(worst_ratio, std::max(ratio, 1.0 / ratio));
+  }
+  // Random bisection cuts here have ~1000 edges; sampling noise is a few
+  // percent. 1.2 is a generous bound.
+  EXPECT_LT(worst_ratio, 1.2);
+}
+
+TEST(SampledSubgraph, SampleRateConcentrates) {
+  util::Rng rng(22);
+  const Graph g = graph::gnp(150, 0.2, rng);
+  const model::PublicCoins coins(23);
+  const auto run = model::run_protocol(g, SampledSubgraph{0.25}, coins);
+  EXPECT_NEAR(static_cast<double>(run.output.num_edges()),
+              0.25 * static_cast<double>(g.num_edges()),
+              0.05 * static_cast<double>(g.num_edges()));
+}
+
+TEST(SampledDegeneracy, FullSampleExact) {
+  util::Rng rng(14);
+  const Graph g = graph::gnp(50, 0.15, rng);
+  const model::PublicCoins coins(15);
+  const auto run = model::run_protocol(g, SampledDegeneracy{1.0}, coins);
+  EXPECT_DOUBLE_EQ(run.output, static_cast<double>(graph::degeneracy(g)));
+}
+
+TEST(SampledDegeneracy, HalfSampleInRange) {
+  util::Rng rng(16);
+  const Graph g = graph::gnp(120, 0.25, rng);  // degeneracy ~ 20+
+  const model::PublicCoins coins(17);
+  const double truth = static_cast<double>(graph::degeneracy(g));
+  const auto run = model::run_protocol(g, SampledDegeneracy{0.5}, coins);
+  EXPECT_NEAR(run.output, truth, 0.5 * truth);
+}
+
+}  // namespace
+}  // namespace ds::protocols

@@ -1,0 +1,71 @@
+#include "protocols/spanning_forest.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "model/runner.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+
+TEST(AgmProtocol, SolvesRandomGraphs) {
+  util::Rng rng(1);
+  int successes = 0;
+  constexpr int kReps = 15;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Graph g = graph::gnp(30, 0.15, rng);
+    const model::PublicCoins coins(500 + rep);
+    const auto result = model::run_protocol(g, AgmSpanningForest{}, coins);
+    if (graph::is_spanning_forest(g, result.output)) ++successes;
+  }
+  EXPECT_GE(successes, kReps - 2);
+}
+
+TEST(AgmProtocol, SketchSizesArePolylogNotLinear) {
+  // The headline contrast: AGM bits/player grows polylogarithmically
+  // while the trivial protocol is n bits/player.
+  util::Rng rng(2);
+  const model::PublicCoins coins(3);
+
+  const Graph small = graph::gnp(64, 0.2, rng);
+  const Graph large = graph::gnp(512, 0.05, rng);
+  const auto rs = model::run_protocol(small, AgmSpanningForest{}, coins);
+  const auto rl = model::run_protocol(large, AgmSpanningForest{}, coins);
+  // 8x more vertices, but sketch growth bounded by ~2.5x (log factors).
+  EXPECT_LT(rl.comm.max_bits, 3 * rs.comm.max_bits);
+  // And already below the trivial n bits/player at n = 512? AGM constants
+  // are real: just require it beats n at a larger scale computationally:
+  // bits(512)/512 < bits(64)/64 * 0.5 demonstrates the crossover trend.
+  EXPECT_LT(static_cast<double>(rl.comm.max_bits) / 512.0,
+            0.5 * static_cast<double>(rs.comm.max_bits) / 64.0);
+}
+
+TEST(AgmProtocol, AllPlayersSendEqualSizeSketches) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(40, 0.3, rng);
+  const model::PublicCoins coins(5);
+  const auto result = model::run_protocol(g, AgmSpanningForest{}, coins);
+  EXPECT_NEAR(result.comm.avg_bits(),
+              static_cast<double>(result.comm.max_bits), 1e-9);
+}
+
+TEST(AgmProtocol, HandlesDisconnectedInput) {
+  const model::PublicCoins coins(6);
+  const Graph g = Graph::from_edges(
+      12, std::vector<graph::Edge>{{0, 1}, {1, 2}, {5, 6}, {8, 9}});
+  const auto result = model::run_protocol(g, AgmSpanningForest{}, coins);
+  EXPECT_TRUE(graph::is_spanning_forest(g, result.output));
+}
+
+TEST(AgmProtocol, EmptyEdgeSet) {
+  const model::PublicCoins coins(7);
+  const Graph g(8);
+  const auto result = model::run_protocol(g, AgmSpanningForest{}, coins);
+  EXPECT_TRUE(result.output.empty());
+}
+
+}  // namespace
+}  // namespace ds::protocols

@@ -1,0 +1,70 @@
+#include "protocols/trivial.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/independent_set.h"
+#include "graph/matching.h"
+#include "model/runner.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+
+TEST(Trivial, FullGraphReconstruction) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(30, 0.2, rng);
+  const model::PublicCoins coins(2);
+  model::CommStats comm;
+  const auto sketches =
+      model::collect_sketches(g, TrivialMaximalMatching{}, coins, comm);
+  EXPECT_EQ(decode_full_graph(g.num_vertices(), sketches), g);
+}
+
+TEST(Trivial, CostIsExactlyNBitsPerPlayer) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(45, 0.1, rng);
+  const model::PublicCoins coins(4);
+  const auto result = model::run_protocol(g, TrivialMaximalMatching{}, coins);
+  EXPECT_EQ(result.comm.max_bits, 45u);
+  EXPECT_EQ(result.comm.total_bits, 45u * 45u);
+}
+
+TEST(Trivial, MatchingAlwaysMaximal) {
+  util::Rng rng(5);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = graph::gnp(35, 0.15, rng);
+    const model::PublicCoins coins(100 + rep);
+    const auto result =
+        model::run_protocol(g, TrivialMaximalMatching{}, coins);
+    EXPECT_TRUE(graph::is_maximal_matching(g, result.output));
+  }
+}
+
+TEST(Trivial, MisAlwaysMaximal) {
+  util::Rng rng(6);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = graph::gnp(35, 0.15, rng);
+    const model::PublicCoins coins(200 + rep);
+    const auto result = model::run_protocol(g, TrivialMis{}, coins);
+    EXPECT_TRUE(graph::is_maximal_independent_set(g, result.output));
+  }
+}
+
+TEST(Trivial, WorksOnEdgelessAndComplete) {
+  const model::PublicCoins coins(7);
+  const Graph empty(10);
+  EXPECT_TRUE(model::run_protocol(empty, TrivialMaximalMatching{}, coins)
+                  .output.empty());
+  EXPECT_EQ(model::run_protocol(empty, TrivialMis{}, coins).output.size(),
+            10u);
+  const Graph k6 = graph::complete(6);
+  EXPECT_EQ(
+      model::run_protocol(k6, TrivialMaximalMatching{}, coins).output.size(),
+      3u);
+  EXPECT_EQ(model::run_protocol(k6, TrivialMis{}, coins).output.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ds::protocols

@@ -1,0 +1,124 @@
+#include "protocols/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/mincut.h"
+#include "model/runner.h"
+
+namespace ds::protocols {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+TEST(Connectivity, CountsComponents) {
+  const Graph g = Graph::from_edges(
+      10, std::vector<graph::Edge>{{0, 1}, {1, 2}, {4, 5}, {7, 8}});
+  // components: {0,1,2}, {3}, {4,5}, {6}, {7,8}, {9} = 6
+  const model::PublicCoins coins(1);
+  const auto run = model::run_protocol(g, AgmConnectivity{}, coins);
+  EXPECT_EQ(run.output, 6u);
+}
+
+TEST(Connectivity, RandomGraphsMatchExact) {
+  util::Rng rng(2);
+  int correct = 0;
+  constexpr int kReps = 15;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Graph g = graph::gnp(40, 0.05, rng);
+    const model::PublicCoins coins(100 + rep);
+    const auto run = model::run_protocol(g, AgmConnectivity{}, coins);
+    correct += run.output == graph::connected_components(g).count;
+  }
+  EXPECT_GE(correct, kReps - 2);
+}
+
+TEST(KConnectivity, CertificateIsSubgraphAndSparse) {
+  util::Rng rng(3);
+  const Graph g = graph::gnp(30, 0.4, rng);
+  const model::PublicCoins coins(4);
+  const std::uint32_t k = 3;
+  const auto run =
+      model::run_protocol(g, KConnectivityCertificate{k}, coins);
+  EXPECT_LE(run.output.size(), static_cast<std::size_t>(k) * 29);
+  for (const graph::Edge& e : run.output) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v)) << "fabricated certificate edge";
+  }
+}
+
+TEST(KConnectivity, CertificatePreservesCappedConnectivity) {
+  util::Rng rng(5);
+  int correct = 0;
+  constexpr int kReps = 10;
+  const std::uint32_t k = 2;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Graph g = graph::gnp(20, 0.35, rng);
+    const model::PublicCoins coins(200 + rep);
+    const auto run =
+        model::run_protocol(g, KConnectivityCertificate{k}, coins);
+    const Graph cert = Graph::from_edges(g.num_vertices(), run.output);
+    const auto lambda_g =
+        std::min<std::uint64_t>(graph::global_min_cut(g), k);
+    const auto lambda_cert =
+        std::min<std::uint64_t>(graph::global_min_cut(cert), k);
+    correct += lambda_g == lambda_cert;
+  }
+  EXPECT_GE(correct, kReps - 2);
+}
+
+TEST(KConnectivity, CostScalesLinearlyInK) {
+  util::Rng rng(6);
+  const Graph g = graph::gnp(24, 0.3, rng);
+  const model::PublicCoins coins(7);
+  const auto r1 = model::run_protocol(g, KConnectivityCertificate{1}, coins);
+  const auto r4 = model::run_protocol(g, KConnectivityCertificate{4}, coins);
+  EXPECT_EQ(r4.comm.max_bits, 4 * r1.comm.max_bits);
+}
+
+TEST(MstWeight, MatchesKruskalExactly) {
+  util::Rng rng(8);
+  int correct = 0;
+  constexpr int kReps = 10;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const graph::WeightedGraph g =
+        graph::random_weighted_gnp(25, 0.25, 5, rng);
+    const model::PublicCoins coins(300 + rep);
+    const auto run =
+        model::run_protocol(g, MstWeight{5}, coins);
+    correct += run.output == graph::kruskal_mst(g).total_weight;
+  }
+  EXPECT_GE(correct, kReps - 2);
+}
+
+TEST(MstWeight, UnitWeightsReduceToSpanningForestSize) {
+  util::Rng rng(9);
+  const graph::WeightedGraph g = graph::random_weighted_gnp(30, 0.2, 1, rng);
+  const model::PublicCoins coins(10);
+  const auto run = model::run_protocol(g, MstWeight{1}, coins);
+  const auto components =
+      graph::connected_components(g.topology()).count;
+  EXPECT_EQ(run.output, g.num_vertices() - components);
+}
+
+TEST(MstWeight, CostScalesLinearlyInWeightClasses) {
+  util::Rng rng(11);
+  const graph::WeightedGraph g2 = graph::random_weighted_gnp(20, 0.3, 2, rng);
+  const graph::WeightedGraph g8 = graph::random_weighted_gnp(20, 0.3, 8, rng);
+  const model::PublicCoins coins(12);
+  const auto r2 = model::run_protocol(g2, MstWeight{2}, coins);
+  const auto r8 = model::run_protocol(g8, MstWeight{8}, coins);
+  EXPECT_EQ(r8.comm.max_bits, 4 * r2.comm.max_bits);
+}
+
+TEST(MstWeight, DisconnectedForestWeight) {
+  const std::vector<graph::WeightedEdge> edges{{0, 1, 3}, {2, 3, 4}};
+  const graph::WeightedGraph g = graph::WeightedGraph::from_edges(6, edges);
+  const model::PublicCoins coins(13);
+  const auto run = model::run_protocol(g, MstWeight{4}, coins);
+  EXPECT_EQ(run.output, 7u);
+}
+
+}  // namespace
+}  // namespace ds::protocols

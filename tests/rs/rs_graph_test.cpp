@@ -1,0 +1,89 @@
+#include "rs/rs_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "rs/ap_free.h"
+
+namespace ds::rs {
+namespace {
+
+TEST(RsGraph, BookIsValidRs) {
+  for (std::uint32_t r : {1u, 2u, 3u}) {
+    for (std::uint32_t t : {1u, 2u, 4u}) {
+      const RsGraph book = book_rs(r, t);
+      EXPECT_EQ(book.num_vertices(), r + r * t);
+      EXPECT_EQ(book.t(), t);
+      EXPECT_EQ(book.r(), r);
+      EXPECT_TRUE(verify_rs(book)) << "r=" << r << " t=" << t;
+    }
+  }
+}
+
+TEST(RsGraph, BehrendConstructionIsValidRs) {
+  for (std::uint64_t m : {5ULL, 10ULL, 30ULL, 60ULL}) {
+    const RsGraph rs = rs_graph(m);
+    EXPECT_EQ(rs.t(), m);
+    EXPECT_EQ(rs.num_vertices(), 5 * m - 3);
+    EXPECT_TRUE(verify_rs(rs)) << "m=" << m;
+  }
+}
+
+TEST(RsGraph, ConstructionFromExplicitSet) {
+  const std::vector<std::uint64_t> s{0, 1, 3, 4};
+  const RsGraph rs = rs_from_ap_free(10, s);
+  EXPECT_EQ(rs.r(), 4u);
+  EXPECT_EQ(rs.t(), 10u);
+  EXPECT_EQ(rs.graph.num_edges(), 40u);
+  EXPECT_TRUE(verify_rs(rs));
+}
+
+TEST(RsGraph, NonApFreeSetBreaksInducedness) {
+  // {0, 1, 2} contains a 3-AP; the matchings should fail the induced
+  // check, demonstrating the validator has teeth.
+  const std::vector<std::uint64_t> bad{0, 1, 2};
+  ASSERT_FALSE(is_3ap_free(bad));
+  const RsGraph rs = rs_from_ap_free(10, bad);
+  EXPECT_FALSE(verify_rs(rs));
+}
+
+TEST(RsGraph, MatchingVerticesAre2rDistinct) {
+  const RsGraph rs = rs_graph(20);
+  for (std::size_t j = 0; j < rs.t(); j += 5) {
+    const auto vertices = rs.matching_vertices(j);
+    EXPECT_EQ(vertices.size(), 2 * rs.r());
+    for (std::size_t i = 1; i < vertices.size(); ++i) {
+      EXPECT_LT(vertices[i - 1], vertices[i]);  // sorted and distinct
+    }
+  }
+}
+
+TEST(RsGraph, EdgesPartitionExactly) {
+  const RsGraph rs = rs_graph(15);
+  std::size_t total = 0;
+  for (const auto& m : rs.matchings) total += m.size();
+  EXPECT_EQ(total, rs.graph.num_edges());
+  EXPECT_EQ(total, rs.r() * rs.t());
+}
+
+TEST(RsGraph, ParametersMatchProposition21Shape) {
+  // r grows superlinearly in no... r = |S(m)| grows roughly like
+  // m / e^{Theta(sqrt(log m))}: check monotonicity and the t = N/5 shape.
+  const RsParameters p1 = rs_parameters(100);
+  const RsParameters p2 = rs_parameters(400);
+  EXPECT_EQ(p1.t, 100u);
+  EXPECT_EQ(p1.n, 497u);
+  EXPECT_GT(p2.r, p1.r);
+  EXPECT_LT(p2.r, p2.t);  // r = o(m): the AP-free set is sublinear
+}
+
+TEST(RsGraph, BookVsBehrendTradeoff) {
+  // The book graph achieves any (r, t) but with N = r(t+1) vertices;
+  // Behrend packs t = N/5 matchings of size r = |S| into N = 5m-3. For
+  // equal N, Behrend's r*t product (total edges) is much larger.
+  const RsGraph behrend = rs_graph(40);           // N = 197
+  const RsGraph book = book_rs(5, 39);            // N = 200
+  EXPECT_GT(behrend.r() * behrend.t(), book.r() * book.t());
+}
+
+}  // namespace
+}  // namespace ds::rs

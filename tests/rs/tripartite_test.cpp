@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "lowerbound/claims.h"
+#include "rs/ap_free.h"
+#include "rs/rs_graph.h"
+
+namespace ds::rs {
+namespace {
+
+TEST(TripartiteRs, ValidRsAcrossSizes) {
+  for (std::uint64_t q : {7ULL, 13ULL, 25ULL, 49ULL, 101ULL}) {
+    const RsGraph rs = tripartite_rs(q);
+    EXPECT_EQ(rs.num_vertices(), 3 * q);
+    EXPECT_EQ(rs.t(), 3 * q);  // t = N: three link families of q each
+    EXPECT_TRUE(verify_rs(rs)) << "q=" << q;
+  }
+}
+
+TEST(TripartiteRs, ExplicitSetConstruction) {
+  const std::vector<std::uint64_t> s{0, 1, 3, 4};
+  const RsGraph rs = tripartite_rs(15, s);
+  EXPECT_EQ(rs.r(), 4u);
+  EXPECT_EQ(rs.graph.num_edges(), 3u * 15 * 4);
+  EXPECT_TRUE(verify_rs(rs));
+}
+
+TEST(TripartiteRs, DensityBeatsBipartitePerVertex) {
+  // Same N: tripartite packs t = N matchings vs the bipartite layout's
+  // t = N/5, at comparable r — about 5x the edges per vertex.
+  const RsGraph tri = tripartite_rs(25);     // N = 75
+  const RsGraph bi = rs_graph(15);           // N = 72
+  const double tri_density =
+      static_cast<double>(tri.graph.num_edges()) / tri.num_vertices();
+  const double bi_density =
+      static_cast<double>(bi.graph.num_edges()) / bi.num_vertices();
+  EXPECT_GT(tri_density, 2 * bi_density);
+}
+
+TEST(TripartiteRs, TripartiteNoIntraBlockEdges) {
+  const RsGraph rs = tripartite_rs(13);
+  const std::uint64_t q = 13;
+  for (const graph::Edge& e : rs.graph.edges()) {
+    EXPECT_NE(e.u / q, e.v / q) << "intra-block edge";
+  }
+}
+
+TEST(TripartiteRs, WorksAsDmmSubstrate) {
+  // sample_dmm is substrate-agnostic: run it over the tripartite family
+  // and audit Claim 3.1 mechanics.
+  const RsGraph base = tripartite_rs(13);
+  util::Rng rng(5);
+  const lowerbound::DmmInstance inst =
+      lowerbound::sample_dmm(base, /*k=*/60, rng);
+  EXPECT_EQ(inst.params.n,
+            inst.params.big_n - 2 * inst.params.r +
+                2 * inst.params.r * inst.params.k);
+  const auto audit = lowerbound::audit_claim31(
+      inst, lowerbound::adversarial_maximal_matching(inst));
+  EXPECT_EQ(audit.forced_edges_missing, 0u);
+  EXPECT_TRUE(audit.chernoff_event);
+}
+
+}  // namespace
+}  // namespace ds::rs

@@ -1,0 +1,152 @@
+#include "sketch/agm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+
+namespace ds::sketch {
+namespace {
+
+using graph::Graph;
+using graph::Vertex;
+
+std::vector<AgmVertexSketch> sketch_all(const Graph& g,
+                                        const model::PublicCoins& coins) {
+  std::vector<AgmVertexSketch> sketches;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    AgmVertexSketch s = AgmVertexSketch::make(coins, g.num_vertices());
+    s.add_vertex_edges(v, g.neighbors(v));
+    sketches.push_back(std::move(s));
+  }
+  return sketches;
+}
+
+TEST(Agm, MergedPairSketchIsBoundary) {
+  // Vertices u, v joined by an edge: merging their sketches cancels the
+  // internal edge; with a third vertex w attached to v, the merged {u,v}
+  // sketch should decode the boundary edge (v,w).
+  const model::PublicCoins coins(1);
+  const Graph g = graph::path(3);  // 0-1-2
+  auto sketches = sketch_all(g, coins);
+  sketches[0].merge(sketches[1]);
+  const auto sample = sketches[0].sampler(0).decode();
+  ASSERT_TRUE(sample.has_value());
+  const graph::Edge e = graph::pair_from_id(3, sample->index);
+  EXPECT_EQ(e.normalized(), (graph::Edge{1, 2}));
+}
+
+TEST(Agm, WholeGraphMergeIsZero) {
+  // Summing all vertices' sketches cancels every edge.
+  const model::PublicCoins coins(2);
+  util::Rng rng(3);
+  const Graph g = graph::gnp(30, 0.2, rng);
+  auto sketches = sketch_all(g, coins);
+  for (Vertex v = 1; v < g.num_vertices(); ++v) {
+    sketches[0].merge(sketches[v]);
+  }
+  for (unsigned round = 0; round < sketches[0].rounds(); ++round) {
+    EXPECT_TRUE(sketches[0].sampler(round).looks_zero());
+  }
+}
+
+TEST(Agm, SpanningForestOnConnectedGraphs) {
+  util::Rng rng(4);
+  int successes = 0;
+  constexpr int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const model::PublicCoins coins(100 + rep);
+    const Graph g = graph::gnp(40, 0.2, rng);
+    const auto decode =
+        agm_spanning_forest(g.num_vertices(), sketch_all(g, coins));
+    if (graph::is_spanning_forest(g, decode.forest)) ++successes;
+  }
+  EXPECT_GE(successes, kReps - 2);  // w.h.p., small slack for sampler luck
+}
+
+TEST(Agm, SpanningForestOnDisconnectedGraph) {
+  const model::PublicCoins coins(5);
+  util::Rng rng(6);
+  // Two cliques, no bridge.
+  std::vector<graph::Edge> edges;
+  for (Vertex u = 0; u < 10; ++u)
+    for (Vertex v = u + 1; v < 10; ++v) edges.push_back({u, v});
+  for (Vertex u = 10; u < 20; ++u)
+    for (Vertex v = u + 1; v < 20; ++v) edges.push_back({u, v});
+  const Graph g = Graph::from_edges(20, edges);
+  const auto decode = agm_spanning_forest(20, sketch_all(g, coins));
+  EXPECT_TRUE(graph::is_spanning_forest(g, decode.forest));
+  EXPECT_EQ(decode.components, 2u);
+  EXPECT_EQ(decode.forest.size(), 18u);
+}
+
+TEST(Agm, PathAndCycleAndStar) {
+  for (int shape = 0; shape < 3; ++shape) {
+    const model::PublicCoins coins(300 + shape);
+    Graph g(1);
+    switch (shape) {
+      case 0: g = graph::path(25); break;
+      case 1: g = graph::cycle(25); break;
+      default: {
+        std::vector<graph::Edge> star;
+        for (Vertex v = 1; v < 25; ++v) star.push_back({0, v});
+        g = Graph::from_edges(25, star);
+      }
+    }
+    const auto decode =
+        agm_spanning_forest(g.num_vertices(), sketch_all(g, coins));
+    EXPECT_TRUE(graph::is_spanning_forest(g, decode.forest))
+        << "shape " << shape;
+  }
+}
+
+TEST(Agm, TwoClustersWithBridgeFindsTheBridge) {
+  // The motivating example: the forest must include the bridge.
+  util::Rng rng(7);
+  const model::PublicCoins coins(8);
+  const auto [g, bridge] = graph::two_clusters_with_bridge(30, 0.4, rng);
+  const auto decode =
+      agm_spanning_forest(g.num_vertices(), sketch_all(g, coins));
+  ASSERT_TRUE(graph::is_spanning_forest(g, decode.forest));
+  bool has_bridge = false;
+  for (const graph::Edge& e : decode.forest) {
+    has_bridge |= e.normalized() == bridge.normalized();
+  }
+  EXPECT_TRUE(has_bridge);
+}
+
+TEST(Agm, SerializationRoundTripPreservesDecoding) {
+  const model::PublicCoins coins(9);
+  const Graph g = graph::cycle(12);
+  std::vector<AgmVertexSketch> restored;
+  for (Vertex v = 0; v < 12; ++v) {
+    AgmVertexSketch s = AgmVertexSketch::make(coins, 12);
+    s.add_vertex_edges(v, g.neighbors(v));
+    util::BitWriter w;
+    s.write(w);
+    EXPECT_EQ(w.bit_count(), s.state_bits());
+    AgmVertexSketch back = AgmVertexSketch::make(coins, 12);
+    const util::BitString bs(w);
+    util::BitReader r(bs);
+    back.read(r);
+    restored.push_back(std::move(back));
+  }
+  const auto decode = agm_spanning_forest(12, std::move(restored));
+  EXPECT_TRUE(graph::is_spanning_forest(g, decode.forest));
+}
+
+TEST(Agm, SketchSizeIsPolylog) {
+  // State bits ~ rounds * levels * O(word): log^2 n words = O(log^3 n)
+  // bits. Check the growth from n=64 to n=4096 is ~ (log ratio)^2-ish,
+  // far below linear.
+  const model::PublicCoins coins(10);
+  const auto s64 = AgmVertexSketch::make(coins, 64);
+  const auto s4096 = AgmVertexSketch::make(coins, 4096);
+  EXPECT_LT(s4096.state_bits(), 4 * s64.state_bits());
+  // Bits-per-vertex relative to n must fall sharply (polylog vs linear).
+  EXPECT_LT(static_cast<double>(s4096.state_bits()) / 4096.0,
+            0.1 * static_cast<double>(s64.state_bits()) / 64.0);
+}
+
+}  // namespace
+}  // namespace ds::sketch

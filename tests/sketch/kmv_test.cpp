@@ -1,0 +1,90 @@
+#include "sketch/kmv.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ds::sketch {
+namespace {
+
+TEST(Kmv, ExactBelowK) {
+  const model::PublicCoins coins(1);
+  KmvSketch s = KmvSketch::make(coins, 1, 64);
+  for (std::uint64_t id = 0; id < 40; ++id) s.add(id * 977);
+  EXPECT_TRUE(s.is_exact());
+  EXPECT_DOUBLE_EQ(s.estimate(), 40.0);
+}
+
+TEST(Kmv, DuplicatesIgnored) {
+  const model::PublicCoins coins(2);
+  KmvSketch s = KmvSketch::make(coins, 2, 32);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t id = 0; id < 15; ++id) s.add(id);
+  }
+  EXPECT_DOUBLE_EQ(s.estimate(), 15.0);
+}
+
+TEST(Kmv, EstimateWithinTolerance) {
+  util::Rng rng(3);
+  for (int rep = 0; rep < 5; ++rep) {
+    const model::PublicCoins coins(100 + rep);
+    KmvSketch s = KmvSketch::make(coins, 3, 256);
+    constexpr std::uint64_t kTruth = 20000;
+    for (std::uint64_t i = 0; i < kTruth; ++i) {
+      s.add(util::mix64(i, 0xABC));
+    }
+    EXPECT_FALSE(s.is_exact());
+    EXPECT_NEAR(s.estimate(), static_cast<double>(kTruth),
+                0.25 * static_cast<double>(kTruth))
+        << "rep " << rep;
+  }
+}
+
+TEST(Kmv, MergeEqualsUnion) {
+  const model::PublicCoins coins(4);
+  KmvSketch a = KmvSketch::make(coins, 5, 64);
+  KmvSketch b = KmvSketch::make(coins, 5, 64);
+  KmvSketch u = KmvSketch::make(coins, 5, 64);
+  for (std::uint64_t id = 0; id < 30; ++id) {
+    a.add(id);
+    u.add(id);
+  }
+  for (std::uint64_t id = 20; id < 55; ++id) {
+    b.add(id);
+    u.add(id);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), u.estimate());
+  EXPECT_DOUBLE_EQ(a.estimate(), 55.0);  // still below k: exact union size
+}
+
+TEST(Kmv, SerializationRoundTrip) {
+  const model::PublicCoins coins(5);
+  KmvSketch s = KmvSketch::make(coins, 6, 16);
+  for (std::uint64_t id = 0; id < 100; ++id) s.add(id * id + 7);
+  util::BitWriter w;
+  s.write(w);
+  KmvSketch restored = KmvSketch::make(coins, 6, 16);
+  const util::BitString bits(w);
+  util::BitReader r(bits);
+  restored.read(r);
+  EXPECT_DOUBLE_EQ(restored.estimate(), s.estimate());
+}
+
+TEST(Kmv, SharedShapeAcrossParties) {
+  // Two parties with the same (coins, tag, k) build compatible sketches:
+  // merging their halves equals one party seeing everything.
+  const model::PublicCoins coins(6);
+  KmvSketch left = KmvSketch::make(coins, 7, 32);
+  KmvSketch right = KmvSketch::make(coins, 7, 32);
+  KmvSketch whole = KmvSketch::make(coins, 7, 32);
+  for (std::uint64_t id = 0; id < 500; ++id) {
+    (id % 2 == 0 ? left : right).add(id);
+    whole.add(id);
+  }
+  left.merge(right);
+  EXPECT_DOUBLE_EQ(left.estimate(), whole.estimate());
+}
+
+}  // namespace
+}  // namespace ds::sketch

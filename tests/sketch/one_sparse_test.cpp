@@ -1,0 +1,138 @@
+#include "sketch/one_sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace ds::sketch {
+namespace {
+
+model::PublicCoins coins() { return model::PublicCoins(12345); }
+
+TEST(OneSparse, ZeroVector) {
+  const OneSparse s = OneSparse::make(coins(), 1, 1000);
+  EXPECT_EQ(s.decode().status, DecodeStatus::kZero);
+}
+
+TEST(OneSparse, SingleElement) {
+  OneSparse s = OneSparse::make(coins(), 2, 1000);
+  s.add(437, 1);
+  const DecodeResult r = s.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 437u);
+  EXPECT_EQ(r.value.count, 1);
+}
+
+TEST(OneSparse, SingleElementWithMultiplicity) {
+  OneSparse s = OneSparse::make(coins(), 3, 100);
+  s.add(42, 5);
+  const DecodeResult r = s.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 42u);
+  EXPECT_EQ(r.value.count, 5);
+}
+
+TEST(OneSparse, NegativeCount) {
+  OneSparse s = OneSparse::make(coins(), 4, 100);
+  s.add(7, -3);
+  const DecodeResult r = s.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 7u);
+  EXPECT_EQ(r.value.count, -3);
+}
+
+TEST(OneSparse, CancellationBackToZero) {
+  OneSparse s = OneSparse::make(coins(), 5, 100);
+  s.add(13, 2);
+  s.add(77, 1);
+  s.add(13, -2);
+  s.add(77, -1);
+  EXPECT_EQ(s.decode().status, DecodeStatus::kZero);
+}
+
+TEST(OneSparse, TwoElementsDetected) {
+  OneSparse s = OneSparse::make(coins(), 6, 1000);
+  s.add(10, 1);
+  s.add(20, 1);
+  EXPECT_EQ(s.decode().status, DecodeStatus::kFail);
+}
+
+TEST(OneSparse, ManyElementsDetected) {
+  OneSparse s = OneSparse::make(coins(), 7, 100000);
+  for (std::uint64_t i = 0; i < 50; ++i) s.add(i * 37, 1);
+  EXPECT_EQ(s.decode().status, DecodeStatus::kFail);
+}
+
+TEST(OneSparse, CancellingCountsDetected) {
+  // ell0 == 0 but vector nonzero: must not claim zero or one-sparse.
+  OneSparse s = OneSparse::make(coins(), 8, 1000);
+  s.add(3, 1);
+  s.add(900, -1);
+  EXPECT_EQ(s.decode().status, DecodeStatus::kFail);
+}
+
+TEST(OneSparse, MergeRecoversBoundary) {
+  // Two sketches of overlapping vectors: merged, the overlap cancels.
+  OneSparse a = OneSparse::make(coins(), 9, 1000);
+  OneSparse b = OneSparse::make(coins(), 9, 1000);
+  a.add(100, 1);
+  a.add(200, 1);
+  b.add(200, -1);
+  a.merge(b);
+  const DecodeResult r = a.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 100u);
+}
+
+TEST(OneSparse, SerializationRoundTrip) {
+  OneSparse s = OneSparse::make(coins(), 10, 500);
+  s.add(499, 3);
+  s.add(0, -1);
+  util::BitWriter w;
+  s.write(w);
+  EXPECT_EQ(w.bit_count(), OneSparse::state_bits());
+
+  OneSparse restored = OneSparse::make(coins(), 10, 500);  // same shape
+  const util::BitString bs(w);
+    util::BitReader r(bs);
+  restored.read(r);
+  // Adding the inverse of one element must leave a decodable 1-sparse.
+  restored.add(0, 1);
+  const DecodeResult d = restored.decode();
+  ASSERT_EQ(d.status, DecodeStatus::kOne);
+  EXPECT_EQ(d.value.index, 499u);
+  EXPECT_EQ(d.value.count, 3);
+}
+
+TEST(OneSparse, FingerprintCatchesForgedState) {
+  // Overwhelmingly, a random state should not decode as 1-sparse.
+  util::Rng rng(999);
+  int false_accepts = 0;
+  for (int rep = 0; rep < 200; ++rep) {
+    OneSparse s = OneSparse::make(coins(), 11, 1 << 20);
+    util::BitWriter w;
+    w.put_bits(rng.next(), 64);
+    w.put_bits(rng.next() & ((1ULL << 61) - 1), 61);
+    w.put_bits(rng.next() & ((1ULL << 61) - 1), 61);
+    const util::BitString bs(w);
+    util::BitReader r(bs);
+    s.read(r);
+    if (s.decode().status == DecodeStatus::kOne) ++false_accepts;
+  }
+  EXPECT_EQ(false_accepts, 0);
+}
+
+TEST(OneSparse, BoundaryIndices) {
+  OneSparse s = OneSparse::make(coins(), 12, 1000);
+  s.add(0, 1);
+  DecodeResult r = s.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 0u);
+
+  OneSparse s2 = OneSparse::make(coins(), 13, 1000);
+  s2.add(999, 1);
+  r = s2.decode();
+  ASSERT_EQ(r.status, DecodeStatus::kOne);
+  EXPECT_EQ(r.value.index, 999u);
+}
+
+}  // namespace
+}  // namespace ds::sketch

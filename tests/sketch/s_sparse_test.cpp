@@ -1,0 +1,117 @@
+#include "sketch/s_sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ds::sketch {
+namespace {
+
+model::PublicCoins coins() { return model::PublicCoins(777); }
+
+TEST(SSparse, EmptyDecodesEmpty) {
+  const SSparse s = SSparse::make(coins(), 1, 10000, 5);
+  const auto r = s.decode();
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(SSparse, RecoversExactlySparseVectors) {
+  util::Rng rng(1);
+  for (int rep = 0; rep < 30; ++rep) {
+    SSparse s = SSparse::make(coins(), 100 + rep, 100000, 8);
+    std::vector<Recovered> truth;
+    const auto indices = rng.sample_without_replacement(100000, 8);
+    for (std::uint64_t idx : indices) {
+      const std::int64_t count = rng.next_in(-5, 5);
+      if (count == 0) continue;
+      s.add(idx, count);
+      truth.push_back({idx, count});
+    }
+    const auto r = s.decode();
+    ASSERT_TRUE(r.has_value()) << "rep " << rep;
+    ASSERT_EQ(r->size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ((*r)[i].index, truth[i].index);
+      EXPECT_EQ((*r)[i].count, truth[i].count);
+    }
+  }
+}
+
+TEST(SSparse, DetectsOversparseVectors) {
+  util::Rng rng(2);
+  int detected = 0;
+  constexpr int kReps = 20;
+  for (int rep = 0; rep < kReps; ++rep) {
+    SSparse s = SSparse::make(coins(), 200 + rep, 100000, 4);
+    for (std::uint64_t idx : rng.sample_without_replacement(100000, 64)) {
+      s.add(idx, 1);
+    }
+    const auto r = s.decode();
+    // Either detected as over-sparse, or the recovery is partial — it must
+    // never claim success with a wrong full set of size <= 4.
+    if (!r.has_value()) {
+      ++detected;
+    } else {
+      EXPECT_LE(r->size(), 4u);
+      for (const Recovered& rec : *r) EXPECT_EQ(rec.count, 1);
+    }
+  }
+  EXPECT_GT(detected, kReps / 2);
+}
+
+TEST(SSparse, MergeOfDisjointVectors) {
+  SSparse a = SSparse::make(coins(), 300, 1000, 6);
+  SSparse b = SSparse::make(coins(), 300, 1000, 6);  // same shape tag
+  a.add(10, 1);
+  a.add(20, 2);
+  b.add(30, 3);
+  a.merge(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0].index, 10u);
+  EXPECT_EQ((*r)[2].count, 3);
+}
+
+TEST(SSparse, MergeCancellation) {
+  SSparse a = SSparse::make(coins(), 400, 1000, 4);
+  SSparse b = SSparse::make(coins(), 400, 1000, 4);
+  a.add(5, 1);
+  a.add(6, 1);
+  b.add(6, -1);
+  a.merge(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].index, 5u);
+}
+
+TEST(SSparse, SerializationRoundTrip) {
+  SSparse s = SSparse::make(coins(), 500, 2048, 5);
+  s.add(1000, 7);
+  s.add(2047, -2);
+  util::BitWriter w;
+  s.write(w);
+  EXPECT_EQ(w.bit_count(), s.state_bits());
+
+  SSparse restored = SSparse::make(coins(), 500, 2048, 5);
+  const util::BitString bs(w);
+    util::BitReader r(bs);
+  restored.read(r);
+  const auto decoded = restored.decode();
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].index, 1000u);
+  EXPECT_EQ((*decoded)[1].count, -2);
+}
+
+TEST(SSparse, StateBitsScaleWithRowsAndSparsity) {
+  const SSparse small = SSparse::make(coins(), 600, 1000, 2, 3);
+  const SSparse large = SSparse::make(coins(), 601, 1000, 8, 6);
+  EXPECT_LT(small.state_bits(), large.state_bits());
+  EXPECT_EQ(small.state_bits(), 3u * 4u * OneSparse::state_bits());
+}
+
+}  // namespace
+}  // namespace ds::sketch

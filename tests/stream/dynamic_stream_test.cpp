@@ -1,0 +1,143 @@
+#include "stream/dynamic_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+
+namespace ds::stream {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+
+TEST(DynamicConnectivity, InsertOnlyMatchesExact) {
+  util::Rng rng(1);
+  const Graph g = graph::gnp(40, 0.06, rng);
+  DynamicConnectivity stream(40, 99);
+  for (const Edge& e : g.edges()) stream.insert(e.u, e.v);
+  EXPECT_EQ(stream.query_components(),
+            graph::connected_components(g).count);
+  EXPECT_TRUE(graph::is_spanning_forest(g, stream.query_forest().forest));
+}
+
+TEST(DynamicConnectivity, DeletionsAreAbsorbedExactly) {
+  // Insert a cycle, delete every other edge: the final graph is a known
+  // union of paths.
+  DynamicConnectivity stream(10, 7);
+  const Graph c = graph::cycle(10);
+  for (const Edge& e : c.edges()) stream.insert(e.u, e.v);
+  EXPECT_EQ(stream.query_components(), 1u);
+  stream.remove(0, 1);
+  EXPECT_EQ(stream.query_components(), 1u);  // still a path
+  stream.remove(5, 6);
+  EXPECT_EQ(stream.query_components(), 2u);
+}
+
+TEST(DynamicConnectivity, InsertDeletePairsCancelCompletely) {
+  DynamicConnectivity stream(20, 13);
+  util::Rng rng(2);
+  const Graph target = graph::gnp(20, 0.15, rng);
+  const auto updates = scrambled_updates(target, /*spurious_pairs=*/30, rng);
+  for (const EdgeUpdate& u : updates) stream.apply(u);
+  EXPECT_EQ(stream.query_components(),
+            graph::connected_components(target).count);
+  EXPECT_TRUE(graph::is_spanning_forest(target, stream.query_forest().forest));
+}
+
+TEST(DynamicConnectivity, QueryDoesNotDisturbState) {
+  DynamicConnectivity stream(12, 3);
+  const Graph g = graph::path(12);
+  for (const Edge& e : g.edges()) stream.insert(e.u, e.v);
+  const auto first = stream.query_components();
+  const auto second = stream.query_components();
+  EXPECT_EQ(first, second);
+  stream.insert(0, 11);  // close the cycle, still 1 component
+  EXPECT_EQ(stream.query_components(), 1u);
+}
+
+TEST(DynamicConnectivity, MemoryIsPolylogPerVertex) {
+  const DynamicConnectivity small(64, 1);
+  const DynamicConnectivity large(512, 1);
+  const double per_small =
+      static_cast<double>(small.state_bits()) / 64.0;
+  const double per_large =
+      static_cast<double>(large.state_bits()) / 512.0;
+  // Grows (more levels/rounds) but far slower than linearly in n.
+  EXPECT_GT(per_large, per_small);
+  EXPECT_LT(per_large, 3 * per_small);
+}
+
+TEST(InsertionMatching, InsertOnlyIsMaximal) {
+  util::Rng rng(4);
+  const Graph g = graph::gnp(50, 0.1, rng);
+  InsertionGreedyMatching stream(50);
+  std::vector<Edge> order = g.edges();
+  rng.shuffle(std::span<Edge>(order));
+  for (const Edge& e : order) stream.apply({e, true});
+  EXPECT_TRUE(stream.valid());
+  EXPECT_TRUE(graph::is_maximal_matching(g, stream.matching()));
+}
+
+TEST(InsertionMatching, DeletionOfMatchedEdgeInvalidates) {
+  InsertionGreedyMatching stream(4);
+  stream.apply({{0, 1}, true});
+  stream.apply({{2, 3}, true});
+  ASSERT_TRUE(stream.valid());
+  stream.apply({{0, 1}, false});
+  EXPECT_FALSE(stream.valid());
+}
+
+TEST(InsertionMatching, DeletionOfUnmatchedEdgeIsHarmless) {
+  InsertionGreedyMatching stream(4);
+  stream.apply({{0, 1}, true});
+  stream.apply({{1, 2}, true});  // rejected, 1 already matched
+  stream.apply({{1, 2}, false});
+  EXPECT_TRUE(stream.valid());
+  EXPECT_EQ(stream.matching().size(), 1u);
+}
+
+TEST(InsertionMatching, ContrastWithSketchedConnectivity) {
+  // The same scrambled stream: connectivity sketches absorb the churn;
+  // the greedy matching breaks as soon as a matched edge is deleted.
+  util::Rng rng(5);
+  const Graph target = graph::gnp(30, 0.12, rng);
+  const auto updates = scrambled_updates(target, 40, rng);
+
+  DynamicConnectivity connectivity(30, 6);
+  InsertionGreedyMatching matching(30);
+  for (const EdgeUpdate& u : updates) {
+    connectivity.apply(u);
+    matching.apply(u);
+  }
+  EXPECT_EQ(connectivity.query_components(),
+            graph::connected_components(target).count);
+  // With 40 spurious pairs, overwhelmingly one hits the greedy matching.
+  EXPECT_FALSE(matching.valid());
+}
+
+TEST(ScrambledUpdates, NetEffectIsTarget) {
+  util::Rng rng(6);
+  const Graph target = graph::gnp(15, 0.2, rng);
+  const auto updates = scrambled_updates(target, 10, rng);
+  // Replay into a multiset and compare.
+  std::map<std::pair<Vertex, Vertex>, int> count;
+  for (const EdgeUpdate& u : updates) {
+    const Edge e = u.edge.normalized();
+    count[{e.u, e.v}] += u.insert ? 1 : -1;
+  }
+  std::size_t present = 0;
+  for (const auto& [key, c] : count) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 1);
+    if (c == 1) {
+      EXPECT_TRUE(target.has_edge(key.first, key.second));
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, target.num_edges());
+}
+
+}  // namespace
+}  // namespace ds::stream

@@ -1,0 +1,167 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace ds::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowApproximatelyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws));
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bernoulli(0.0));
+    EXPECT_TRUE(rng.next_bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.02);
+}
+
+TEST(Rng, ChildStreamsAreIndependentAndStable) {
+  const Rng parent(99);
+  Rng c1 = parent.child(1);
+  Rng c1_again = parent.child(1);
+  Rng c2 = parent.child(2);
+  bool any_differ = false;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = c1.next();
+    EXPECT_EQ(a, c1_again.next());
+    if (a != c2.next()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Rng, ChildDoesNotAdvanceParent) {
+  Rng a(7), b(7);
+  (void)a.child(123);
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, TwoWordChildTagsDistinct) {
+  const Rng parent(5);
+  Rng c1 = parent.child(1, 2);
+  Rng c2 = parent.child(2, 1);
+  EXPECT_NE(c1.next(), c2.next());
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(31);
+  for (std::uint32_t n : {0u, 1u, 2u, 17u, 100u}) {
+    auto perm = rng.permutation(n);
+    ASSERT_EQ(perm.size(), n);
+    std::vector<std::uint32_t> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < n; ++i) EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Rng, PermutationShuffles) {
+  Rng rng(37);
+  const auto perm = rng.permutation(50);
+  std::uint32_t fixed_points = 0;
+  for (std::uint32_t i = 0; i < 50; ++i) fixed_points += perm[i] == i;
+  EXPECT_LT(fixed_points, 10u);  // expected ~1
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctSortedInRange) {
+  Rng rng(41);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto sample = rng.sample_without_replacement(100, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+    std::set<std::uint64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (std::uint64_t v : sample) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(sample.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(Rng, SampleWithoutReplacementCoversUniformly) {
+  Rng rng(47);
+  std::vector<int> counts(10, 0);
+  constexpr int kReps = 20000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (std::uint64_t v : rng.sample_without_replacement(10, 3)) ++counts[v];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kReps * 3 / 10, 6 * std::sqrt(kReps * 0.3));
+  }
+}
+
+TEST(Mix64, StatelessAndSensitive) {
+  EXPECT_EQ(mix64(1, 2), mix64(1, 2));
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+}
+
+}  // namespace
+}  // namespace ds::util

@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ds::util {
+namespace {
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(18.0), 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+}
+
+TEST(WilsonInterval, NoTrials) {
+  const Interval iv = wilson_interval(0, 0);
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_EQ(iv.hi, 1.0);
+}
+
+TEST(WilsonInterval, ContainsPointEstimate) {
+  for (std::size_t n : {10u, 100u, 1000u}) {
+    for (std::size_t k = 0; k <= n; k += n / 10) {
+      const Interval iv = wilson_interval(k, n);
+      const double p = static_cast<double>(k) / static_cast<double>(n);
+      EXPECT_LE(iv.lo, p + 1e-12);
+      EXPECT_GE(iv.hi, p - 1e-12);
+      EXPECT_GE(iv.lo, 0.0);
+      EXPECT_LE(iv.hi, 1.0);
+    }
+  }
+}
+
+TEST(WilsonInterval, NarrowsWithMoreTrials) {
+  const Interval small = wilson_interval(5, 10);
+  const Interval large = wilson_interval(500, 1000);
+  EXPECT_LT(large.hi - large.lo, small.hi - small.lo);
+}
+
+TEST(WilsonInterval, ExtremeCounts) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_NEAR(zero.lo, 0.0, 1e-12);
+  EXPECT_GT(zero.hi, 0.0);
+  EXPECT_LT(zero.hi, 0.1);
+  const Interval all = wilson_interval(100, 100);
+  EXPECT_GT(all.hi, 0.999);
+  EXPECT_GT(all.lo, 0.9);
+}
+
+TEST(ChernoffLowerTail, KnownValues) {
+  // Pr[X <= (1-delta) mu] <= exp(-delta^2 mu / 2).
+  EXPECT_DOUBLE_EQ(chernoff_lower_tail(0.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(chernoff_lower_tail(10.0, 0.0), 1.0);
+  EXPECT_NEAR(chernoff_lower_tail(100.0, 0.5), std::exp(-12.5), 1e-12);
+  EXPECT_LT(chernoff_lower_tail(1000.0, 0.3), 1e-15);
+}
+
+TEST(ChernoffLowerTail, Claim31Shape) {
+  // The paper's use: mu = kr/2, shortfall to kr/3 means delta = 1/3, so
+  // this (loose, quadratic) form gives exp(-kr/36) — exponentially small
+  // in kr, which is all Claim 3.1 needs.
+  const double kr = 200.0;
+  const double bound = chernoff_lower_tail(kr / 2.0, 1.0 / 3.0);
+  EXPECT_NEAR(bound, std::exp(-kr / 36.0), 1e-12);
+  EXPECT_LT(bound, 0.01);
+  EXPECT_LT(chernoff_lower_tail(2 * kr / 2.0, 1.0 / 3.0), bound);
+}
+
+}  // namespace
+}  // namespace ds::util
