@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim31.dir/bench_claim31.cpp.o"
+  "CMakeFiles/bench_claim31.dir/bench_claim31.cpp.o.d"
+  "bench_claim31"
+  "bench_claim31.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

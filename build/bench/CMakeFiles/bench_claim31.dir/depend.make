@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_claim31.
+# This may be replaced when dependencies are built.

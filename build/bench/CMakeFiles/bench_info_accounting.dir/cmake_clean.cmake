@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_info_accounting.dir/bench_info_accounting.cpp.o"
+  "CMakeFiles/bench_info_accounting.dir/bench_info_accounting.cpp.o.d"
+  "bench_info_accounting"
+  "bench_info_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_info_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mis_reduction.dir/bench_mis_reduction.cpp.o"
+  "CMakeFiles/bench_mis_reduction.dir/bench_mis_reduction.cpp.o.d"
+  "bench_mis_reduction"
+  "bench_mis_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mis_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

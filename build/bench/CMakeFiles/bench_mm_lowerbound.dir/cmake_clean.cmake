@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mm_lowerbound.dir/bench_mm_lowerbound.cpp.o"
+  "CMakeFiles/bench_mm_lowerbound.dir/bench_mm_lowerbound.cpp.o.d"
+  "bench_mm_lowerbound"
+  "bench_mm_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mm_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

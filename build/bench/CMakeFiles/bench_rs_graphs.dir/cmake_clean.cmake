@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rs_graphs.dir/bench_rs_graphs.cpp.o"
+  "CMakeFiles/bench_rs_graphs.dir/bench_rs_graphs.cpp.o.d"
+  "bench_rs_graphs"
+  "bench_rs_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rs_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

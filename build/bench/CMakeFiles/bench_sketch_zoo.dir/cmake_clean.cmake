@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sketch_zoo.dir/bench_sketch_zoo.cpp.o"
+  "CMakeFiles/bench_sketch_zoo.dir/bench_sketch_zoo.cpp.o.d"
+  "bench_sketch_zoo"
+  "bench_sketch_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sketch_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spanning_forest.dir/bench_spanning_forest.cpp.o"
+  "CMakeFiles/bench_spanning_forest.dir/bench_spanning_forest.cpp.o.d"
+  "bench_spanning_forest"
+  "bench_spanning_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spanning_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_two_round.dir/bench_two_round.cpp.o"
+  "CMakeFiles/bench_two_round.dir/bench_two_round.cpp.o.d"
+  "bench_two_round"
+  "bench_two_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_two_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accounting_demo.dir/accounting_demo.cpp.o"
+  "CMakeFiles/accounting_demo.dir/accounting_demo.cpp.o.d"
+  "accounting_demo"
+  "accounting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accounting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

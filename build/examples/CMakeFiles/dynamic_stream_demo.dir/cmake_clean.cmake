@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_stream_demo.dir/dynamic_stream_demo.cpp.o"
+  "CMakeFiles/dynamic_stream_demo.dir/dynamic_stream_demo.cpp.o.d"
+  "dynamic_stream_demo"
+  "dynamic_stream_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_stream_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

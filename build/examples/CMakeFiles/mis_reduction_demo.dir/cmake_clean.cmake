@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mis_reduction_demo.dir/mis_reduction_demo.cpp.o"
+  "CMakeFiles/mis_reduction_demo.dir/mis_reduction_demo.cpp.o.d"
+  "mis_reduction_demo"
+  "mis_reduction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mis_reduction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

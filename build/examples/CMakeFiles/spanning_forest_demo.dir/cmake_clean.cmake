@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_forest_demo.dir/spanning_forest_demo.cpp.o"
+  "CMakeFiles/spanning_forest_demo.dir/spanning_forest_demo.cpp.o.d"
+  "spanning_forest_demo"
+  "spanning_forest_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_forest_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

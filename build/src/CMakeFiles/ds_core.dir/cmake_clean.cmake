@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/ds_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/ds_core.dir/core/report.cpp.o"
+  "CMakeFiles/ds_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/ds_core.dir/core/sweep.cpp.o"
+  "CMakeFiles/ds_core.dir/core/sweep.cpp.o.d"
+  "libds_core.a"
+  "libds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/ds_graph.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/densest.cpp" "src/CMakeFiles/ds_graph.dir/graph/densest.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/densest.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/ds_graph.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/ds_graph.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/hopcroft_karp.cpp" "src/CMakeFiles/ds_graph.dir/graph/hopcroft_karp.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/graph/independent_set.cpp" "src/CMakeFiles/ds_graph.dir/graph/independent_set.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/independent_set.cpp.o.d"
+  "/root/repo/src/graph/matching.cpp" "src/CMakeFiles/ds_graph.dir/graph/matching.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/matching.cpp.o.d"
+  "/root/repo/src/graph/mincut.cpp" "src/CMakeFiles/ds_graph.dir/graph/mincut.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/mincut.cpp.o.d"
+  "/root/repo/src/graph/weighted.cpp" "src/CMakeFiles/ds_graph.dir/graph/weighted.cpp.o" "gcc" "src/CMakeFiles/ds_graph.dir/graph/weighted.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/densest.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/densest.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/hopcroft_karp.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/independent_set.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/independent_set.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/matching.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/matching.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/mincut.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/mincut.cpp.o.d"
+  "CMakeFiles/ds_graph.dir/graph/weighted.cpp.o"
+  "CMakeFiles/ds_graph.dir/graph/weighted.cpp.o.d"
+  "libds_graph.a"
+  "libds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

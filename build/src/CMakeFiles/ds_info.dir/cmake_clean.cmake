@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_info.dir/info/distribution.cpp.o"
+  "CMakeFiles/ds_info.dir/info/distribution.cpp.o.d"
+  "CMakeFiles/ds_info.dir/info/entropy.cpp.o"
+  "CMakeFiles/ds_info.dir/info/entropy.cpp.o.d"
+  "CMakeFiles/ds_info.dir/info/joint_table.cpp.o"
+  "CMakeFiles/ds_info.dir/info/joint_table.cpp.o.d"
+  "libds_info.a"
+  "libds_info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lowerbound/accounting.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/accounting.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/accounting.cpp.o.d"
+  "/root/repo/src/lowerbound/claims.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/claims.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/claims.cpp.o.d"
+  "/root/repo/src/lowerbound/dmm.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/dmm.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/dmm.cpp.o.d"
+  "/root/repo/src/lowerbound/mis_reduction.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/mis_reduction.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/mis_reduction.cpp.o.d"
+  "/root/repo/src/lowerbound/optimal_referee.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/optimal_referee.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/optimal_referee.cpp.o.d"
+  "/root/repo/src/lowerbound/players.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/players.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/players.cpp.o.d"
+  "/root/repo/src/lowerbound/protocol_search.cpp" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/protocol_search.cpp.o" "gcc" "src/CMakeFiles/ds_lowerbound.dir/lowerbound/protocol_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

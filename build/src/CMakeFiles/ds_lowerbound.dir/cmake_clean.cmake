@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/accounting.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/accounting.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/claims.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/claims.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/dmm.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/dmm.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/mis_reduction.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/mis_reduction.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/optimal_referee.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/optimal_referee.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/players.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/players.cpp.o.d"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/protocol_search.cpp.o"
+  "CMakeFiles/ds_lowerbound.dir/lowerbound/protocol_search.cpp.o.d"
+  "libds_lowerbound.a"
+  "libds_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/adaptive.cpp" "src/CMakeFiles/ds_model.dir/model/adaptive.cpp.o" "gcc" "src/CMakeFiles/ds_model.dir/model/adaptive.cpp.o.d"
+  "/root/repo/src/model/coins.cpp" "src/CMakeFiles/ds_model.dir/model/coins.cpp.o" "gcc" "src/CMakeFiles/ds_model.dir/model/coins.cpp.o.d"
+  "/root/repo/src/model/edge_partition.cpp" "src/CMakeFiles/ds_model.dir/model/edge_partition.cpp.o" "gcc" "src/CMakeFiles/ds_model.dir/model/edge_partition.cpp.o.d"
+  "/root/repo/src/model/runner.cpp" "src/CMakeFiles/ds_model.dir/model/runner.cpp.o" "gcc" "src/CMakeFiles/ds_model.dir/model/runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_model.dir/model/adaptive.cpp.o"
+  "CMakeFiles/ds_model.dir/model/adaptive.cpp.o.d"
+  "CMakeFiles/ds_model.dir/model/coins.cpp.o"
+  "CMakeFiles/ds_model.dir/model/coins.cpp.o.d"
+  "CMakeFiles/ds_model.dir/model/edge_partition.cpp.o"
+  "CMakeFiles/ds_model.dir/model/edge_partition.cpp.o.d"
+  "CMakeFiles/ds_model.dir/model/runner.cpp.o"
+  "CMakeFiles/ds_model.dir/model/runner.cpp.o.d"
+  "libds_model.a"
+  "libds_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

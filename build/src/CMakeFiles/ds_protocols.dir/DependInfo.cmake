@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/bridge_finding.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/bridge_finding.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/bridge_finding.cpp.o.d"
+  "/root/repo/src/protocols/budgeted.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/budgeted.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/budgeted.cpp.o.d"
+  "/root/repo/src/protocols/budgeted_two_round.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/budgeted_two_round.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/budgeted_two_round.cpp.o.d"
+  "/root/repo/src/protocols/coloring.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/coloring.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/coloring.cpp.o.d"
+  "/root/repo/src/protocols/edge_partition_matching.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/edge_partition_matching.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/edge_partition_matching.cpp.o.d"
+  "/root/repo/src/protocols/luby_bcc.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/luby_bcc.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/luby_bcc.cpp.o.d"
+  "/root/repo/src/protocols/needle.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/needle.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/needle.cpp.o.d"
+  "/root/repo/src/protocols/sampled_matching.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/sampled_matching.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/sampled_matching.cpp.o.d"
+  "/root/repo/src/protocols/sampled_mis.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/sampled_mis.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/sampled_mis.cpp.o.d"
+  "/root/repo/src/protocols/sampling_zoo.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/sampling_zoo.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/sampling_zoo.cpp.o.d"
+  "/root/repo/src/protocols/spanning_forest.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/spanning_forest.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/spanning_forest.cpp.o.d"
+  "/root/repo/src/protocols/trivial.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/trivial.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/trivial.cpp.o.d"
+  "/root/repo/src/protocols/two_round_matching.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/two_round_matching.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/two_round_matching.cpp.o.d"
+  "/root/repo/src/protocols/two_round_mis.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/two_round_mis.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/two_round_mis.cpp.o.d"
+  "/root/repo/src/protocols/zoo.cpp" "src/CMakeFiles/ds_protocols.dir/protocols/zoo.cpp.o" "gcc" "src/CMakeFiles/ds_protocols.dir/protocols/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

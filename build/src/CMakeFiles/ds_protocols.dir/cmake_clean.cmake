@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_protocols.dir/protocols/bridge_finding.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/bridge_finding.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/budgeted.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/budgeted.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/budgeted_two_round.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/budgeted_two_round.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/coloring.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/coloring.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/edge_partition_matching.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/edge_partition_matching.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/luby_bcc.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/luby_bcc.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/needle.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/needle.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/sampled_matching.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/sampled_matching.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/sampled_mis.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/sampled_mis.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/sampling_zoo.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/sampling_zoo.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/spanning_forest.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/spanning_forest.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/trivial.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/trivial.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/two_round_matching.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/two_round_matching.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/two_round_mis.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/two_round_mis.cpp.o.d"
+  "CMakeFiles/ds_protocols.dir/protocols/zoo.cpp.o"
+  "CMakeFiles/ds_protocols.dir/protocols/zoo.cpp.o.d"
+  "libds_protocols.a"
+  "libds_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_rs.dir/rs/ap_free.cpp.o"
+  "CMakeFiles/ds_rs.dir/rs/ap_free.cpp.o.d"
+  "CMakeFiles/ds_rs.dir/rs/rs_graph.cpp.o"
+  "CMakeFiles/ds_rs.dir/rs/rs_graph.cpp.o.d"
+  "libds_rs.a"
+  "libds_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

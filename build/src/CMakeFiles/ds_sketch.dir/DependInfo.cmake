@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/agm.cpp" "src/CMakeFiles/ds_sketch.dir/sketch/agm.cpp.o" "gcc" "src/CMakeFiles/ds_sketch.dir/sketch/agm.cpp.o.d"
+  "/root/repo/src/sketch/kmv.cpp" "src/CMakeFiles/ds_sketch.dir/sketch/kmv.cpp.o" "gcc" "src/CMakeFiles/ds_sketch.dir/sketch/kmv.cpp.o.d"
+  "/root/repo/src/sketch/l0_sampler.cpp" "src/CMakeFiles/ds_sketch.dir/sketch/l0_sampler.cpp.o" "gcc" "src/CMakeFiles/ds_sketch.dir/sketch/l0_sampler.cpp.o.d"
+  "/root/repo/src/sketch/one_sparse.cpp" "src/CMakeFiles/ds_sketch.dir/sketch/one_sparse.cpp.o" "gcc" "src/CMakeFiles/ds_sketch.dir/sketch/one_sparse.cpp.o.d"
+  "/root/repo/src/sketch/s_sparse.cpp" "src/CMakeFiles/ds_sketch.dir/sketch/s_sparse.cpp.o" "gcc" "src/CMakeFiles/ds_sketch.dir/sketch/s_sparse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_sketch.dir/sketch/agm.cpp.o"
+  "CMakeFiles/ds_sketch.dir/sketch/agm.cpp.o.d"
+  "CMakeFiles/ds_sketch.dir/sketch/kmv.cpp.o"
+  "CMakeFiles/ds_sketch.dir/sketch/kmv.cpp.o.d"
+  "CMakeFiles/ds_sketch.dir/sketch/l0_sampler.cpp.o"
+  "CMakeFiles/ds_sketch.dir/sketch/l0_sampler.cpp.o.d"
+  "CMakeFiles/ds_sketch.dir/sketch/one_sparse.cpp.o"
+  "CMakeFiles/ds_sketch.dir/sketch/one_sparse.cpp.o.d"
+  "CMakeFiles/ds_sketch.dir/sketch/s_sparse.cpp.o"
+  "CMakeFiles/ds_sketch.dir/sketch/s_sparse.cpp.o.d"
+  "libds_sketch.a"
+  "libds_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_stream.dir/stream/dynamic_stream.cpp.o"
+  "CMakeFiles/ds_stream.dir/stream/dynamic_stream.cpp.o.d"
+  "libds_stream.a"
+  "libds_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

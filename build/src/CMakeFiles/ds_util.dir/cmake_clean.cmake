@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ds_util.dir/util/bitio.cpp.o"
+  "CMakeFiles/ds_util.dir/util/bitio.cpp.o.d"
+  "CMakeFiles/ds_util.dir/util/hashing.cpp.o"
+  "CMakeFiles/ds_util.dir/util/hashing.cpp.o.d"
+  "CMakeFiles/ds_util.dir/util/modular.cpp.o"
+  "CMakeFiles/ds_util.dir/util/modular.cpp.o.d"
+  "CMakeFiles/ds_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ds_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ds_util.dir/util/stats.cpp.o"
+  "CMakeFiles/ds_util.dir/util/stats.cpp.o.d"
+  "libds_util.a"
+  "libds_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ds_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

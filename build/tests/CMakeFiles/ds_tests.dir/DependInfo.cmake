@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/core_test.cpp" "tests/CMakeFiles/ds_tests.dir/core/core_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/core/core_test.cpp.o.d"
+  "/root/repo/tests/graph/connectivity_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/connectivity_test.cpp.o.d"
+  "/root/repo/tests/graph/densest_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/densest_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/densest_test.cpp.o.d"
+  "/root/repo/tests/graph/generators_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/generators_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/generators_test.cpp.o.d"
+  "/root/repo/tests/graph/graph_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/graph_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/graph_test.cpp.o.d"
+  "/root/repo/tests/graph/hopcroft_karp_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/hopcroft_karp_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/hopcroft_karp_test.cpp.o.d"
+  "/root/repo/tests/graph/independent_set_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/independent_set_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/independent_set_test.cpp.o.d"
+  "/root/repo/tests/graph/matching_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/matching_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/matching_test.cpp.o.d"
+  "/root/repo/tests/graph/weighted_test.cpp" "tests/CMakeFiles/ds_tests.dir/graph/weighted_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/graph/weighted_test.cpp.o.d"
+  "/root/repo/tests/info/distribution_test.cpp" "tests/CMakeFiles/ds_tests.dir/info/distribution_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/info/distribution_test.cpp.o.d"
+  "/root/repo/tests/info/entropy_props_test.cpp" "tests/CMakeFiles/ds_tests.dir/info/entropy_props_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/info/entropy_props_test.cpp.o.d"
+  "/root/repo/tests/info/joint_table_test.cpp" "tests/CMakeFiles/ds_tests.dir/info/joint_table_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/info/joint_table_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/accounting_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/accounting_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/accounting_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/claims_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/claims_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/claims_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/dmm_param_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/dmm_param_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/dmm_param_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/dmm_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/dmm_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/dmm_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/mis_reduction_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/mis_reduction_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/mis_reduction_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/optimal_referee_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/optimal_referee_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/optimal_referee_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/players_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/players_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/players_test.cpp.o.d"
+  "/root/repo/tests/lowerbound/protocol_search_test.cpp" "tests/CMakeFiles/ds_tests.dir/lowerbound/protocol_search_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/lowerbound/protocol_search_test.cpp.o.d"
+  "/root/repo/tests/misc/edge_cases_test.cpp" "tests/CMakeFiles/ds_tests.dir/misc/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/misc/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/model/adaptive_multiround_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/adaptive_multiround_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/adaptive_multiround_test.cpp.o.d"
+  "/root/repo/tests/model/edge_partition_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/edge_partition_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/edge_partition_test.cpp.o.d"
+  "/root/repo/tests/model/model_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/model_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/model_test.cpp.o.d"
+  "/root/repo/tests/model/one_sided_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/one_sided_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/one_sided_test.cpp.o.d"
+  "/root/repo/tests/model/private_coins_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/private_coins_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/private_coins_test.cpp.o.d"
+  "/root/repo/tests/model/robustness_test.cpp" "tests/CMakeFiles/ds_tests.dir/model/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/model/robustness_test.cpp.o.d"
+  "/root/repo/tests/protocols/bridge_finding_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/bridge_finding_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/bridge_finding_test.cpp.o.d"
+  "/root/repo/tests/protocols/budget_param_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/budget_param_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/budget_param_test.cpp.o.d"
+  "/root/repo/tests/protocols/budgeted_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/budgeted_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/budgeted_test.cpp.o.d"
+  "/root/repo/tests/protocols/budgeted_two_round_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/budgeted_two_round_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/budgeted_two_round_test.cpp.o.d"
+  "/root/repo/tests/protocols/coin_mismatch_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/coin_mismatch_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/coin_mismatch_test.cpp.o.d"
+  "/root/repo/tests/protocols/coloring_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/coloring_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/coloring_test.cpp.o.d"
+  "/root/repo/tests/protocols/luby_bcc_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/luby_bcc_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/luby_bcc_test.cpp.o.d"
+  "/root/repo/tests/protocols/sampling_zoo_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/sampling_zoo_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/sampling_zoo_test.cpp.o.d"
+  "/root/repo/tests/protocols/spanning_forest_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/spanning_forest_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/spanning_forest_test.cpp.o.d"
+  "/root/repo/tests/protocols/trivial_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/trivial_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/trivial_test.cpp.o.d"
+  "/root/repo/tests/protocols/two_round_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/two_round_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/two_round_test.cpp.o.d"
+  "/root/repo/tests/protocols/zoo_test.cpp" "tests/CMakeFiles/ds_tests.dir/protocols/zoo_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/protocols/zoo_test.cpp.o.d"
+  "/root/repo/tests/rs/ap_free_test.cpp" "tests/CMakeFiles/ds_tests.dir/rs/ap_free_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/rs/ap_free_test.cpp.o.d"
+  "/root/repo/tests/rs/rs_graph_test.cpp" "tests/CMakeFiles/ds_tests.dir/rs/rs_graph_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/rs/rs_graph_test.cpp.o.d"
+  "/root/repo/tests/rs/tripartite_test.cpp" "tests/CMakeFiles/ds_tests.dir/rs/tripartite_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/rs/tripartite_test.cpp.o.d"
+  "/root/repo/tests/sketch/agm_test.cpp" "tests/CMakeFiles/ds_tests.dir/sketch/agm_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/sketch/agm_test.cpp.o.d"
+  "/root/repo/tests/sketch/kmv_test.cpp" "tests/CMakeFiles/ds_tests.dir/sketch/kmv_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/sketch/kmv_test.cpp.o.d"
+  "/root/repo/tests/sketch/l0_sampler_test.cpp" "tests/CMakeFiles/ds_tests.dir/sketch/l0_sampler_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/sketch/l0_sampler_test.cpp.o.d"
+  "/root/repo/tests/sketch/one_sparse_test.cpp" "tests/CMakeFiles/ds_tests.dir/sketch/one_sparse_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/sketch/one_sparse_test.cpp.o.d"
+  "/root/repo/tests/sketch/s_sparse_test.cpp" "tests/CMakeFiles/ds_tests.dir/sketch/s_sparse_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/sketch/s_sparse_test.cpp.o.d"
+  "/root/repo/tests/stream/dynamic_stream_test.cpp" "tests/CMakeFiles/ds_tests.dir/stream/dynamic_stream_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/stream/dynamic_stream_test.cpp.o.d"
+  "/root/repo/tests/util/bitio_test.cpp" "tests/CMakeFiles/ds_tests.dir/util/bitio_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/util/bitio_test.cpp.o.d"
+  "/root/repo/tests/util/hashing_test.cpp" "tests/CMakeFiles/ds_tests.dir/util/hashing_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/util/hashing_test.cpp.o.d"
+  "/root/repo/tests/util/modular_test.cpp" "tests/CMakeFiles/ds_tests.dir/util/modular_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/util/modular_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/ds_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/ds_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ds_tests.dir/util/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_rs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_info.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ds_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
