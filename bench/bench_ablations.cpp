@@ -35,8 +35,8 @@ void ablate_agm_rounds() {
   const ds::graph::Graph g = ds::graph::gnp(100, 0.08, rng);
   for (unsigned rounds : {1u, 2u, 4u, 7u, 10u, 0u /* default */}) {
     std::size_t ok = 0, bits = 0;
-    constexpr int kTrials = 10;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 10;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::model::PublicCoins coins(100 + rounds * 17 + trial);
       const auto run = ds::model::run_protocol(
           g, ds::protocols::AgmSpanningForest{rounds}, coins);
@@ -70,7 +70,8 @@ void ablate_accounting() {
          ds::core::fmt(static_cast<std::uint64_t>(exact)),
          ds::core::fmt(static_cast<std::uint64_t>(bytes)),
          ds::core::fmt(static_cast<double>(bytes) /
-                           std::max<std::size_t>(exact, 1),
+                           static_cast<double>(
+                               std::max<std::size_t>(exact, 1)),
                        3)});
   }
   table.print(std::cout);
@@ -88,8 +89,8 @@ void ablate_palette_list() {
   const ds::graph::Graph g = ds::graph::complete(n);
   for (std::uint32_t list : {1u, 4u, 8u, 16u, 24u, 32u}) {
     std::size_t ok = 0, bits = 0;
-    constexpr int kTrials = 10;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 10;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::protocols::PaletteSparsificationColoring protocol(n, list);
       const ds::model::PublicCoins coins(300 + list * 1000 + trial);
       const auto run = ds::model::run_protocol(g, protocol, coins);
@@ -128,8 +129,8 @@ void ablate_mis_marking() {
   const double base = 1.0 / std::sqrt(static_cast<double>(n));
   for (double factor : {0.5, 1.0, 3.0, 10.0}) {
     std::size_t ok = 0, bits = 0;
-    constexpr int kTrials = 8;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 8;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::Graph g = ds::graph::gnp(n, 10.0 / n, rng);
       const ds::protocols::TwoRoundMis protocol(
           std::min(1.0, factor * base), /*round1_cap=*/100000);

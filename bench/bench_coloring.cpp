@@ -33,8 +33,8 @@ void print_experiment() {
     const double avg_deg = 12.0;
     std::size_t bits = 0, ok = 0;
     std::uint32_t palette = 0, list_size = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::Graph g = ds::graph::gnp(n, avg_deg / n, rng);
       palette = g.max_degree() + 1;
       list_size = static_cast<std::uint32_t>(

@@ -100,8 +100,8 @@ Thresholds sweep_instance(std::uint64_t m, std::size_t trials,
       maximal += ds::core::score_matching(inst.g, matching).maximal;
       max_bits = std::max(max_bits, comm.max_bits);
     }
-    const double ps = static_cast<double>(special) / trials;
-    const double pm = static_cast<double>(maximal) / trials;
+    const double ps = static_cast<double>(special) / static_cast<double>(trials);
+    const double pm = static_cast<double>(maximal) / static_cast<double>(trials);
     if (result.special == 0 && ps >= 0.9) result.special = budget;
     if (result.maximal == 0 && pm >= 0.9) result.maximal = budget;
     table.add_row({ds::core::fmt(static_cast<std::uint64_t>(budget)),

@@ -28,8 +28,8 @@ void print_connectivity() {
   for (ds::graph::Vertex n : {64u, 256u, 1024u}) {
     ds::util::Rng rng(n);
     std::size_t bits = 0, correct = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::Graph g = ds::graph::gnp(n, 3.0 / n, rng);
       const ds::model::PublicCoins coins(4000 + n + trial);
       const auto run =
@@ -55,8 +55,8 @@ void print_k_connectivity() {
     const ds::graph::Vertex n = 28;
     std::size_t bits = 0, preserved = 0;
     double cert_ratio = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::Graph g = ds::graph::gnp(n, 0.35, rng);
       const ds::model::PublicCoins coins(5000 + k * 100 + trial);
       const auto run = ds::model::run_protocol(
@@ -89,8 +89,8 @@ void print_mst_weight() {
   for (std::uint32_t w : {2u, 4u, 8u}) {
     const ds::graph::Vertex n = 40;
     std::size_t bits = 0, exact = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::WeightedGraph g =
           ds::graph::random_weighted_gnp(n, 0.15, w, rng);
       const ds::model::PublicCoins coins(6000 + w * 100 + trial);
@@ -207,8 +207,8 @@ void print_one_sided() {
     std::size_t two_bits = 0;
     for (std::size_t budget : {16ULL, 64ULL, 256ULL, 4096ULL}) {
       std::size_t successes = 0;
-      constexpr int kTrials = 10;
-      for (int trial = 0; trial < kTrials; ++trial) {
+      constexpr std::size_t kTrials = 10;
+      for (std::size_t trial = 0; trial < kTrials; ++trial) {
         const auto inst = ds::graph::needle_bipartite(
             side, side, std::min(0.5, 8.0 / side), rng);
         const ds::model::PublicCoins coins(8000 + side + trial);

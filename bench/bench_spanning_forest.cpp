@@ -24,8 +24,8 @@ void print_agm_scaling() {
   for (ds::graph::Vertex n : {64u, 128u, 256u, 512u, 1024u}) {
     ds::util::Rng rng(n);
     std::size_t bits = 0, successes = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::graph::Graph g =
           ds::graph::gnp(n, 8.0 / static_cast<double>(n), rng);
       const ds::model::PublicCoins coins(1000 + n + trial);
@@ -56,8 +56,8 @@ void print_bridge() {
   for (ds::graph::Vertex n : {40u, 100u, 400u, 1000u}) {
     ds::util::Rng rng(n);
     std::size_t found = 0, bits = 0;
-    constexpr int kTrials = 20;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 20;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       // Dense clusters (the footnote's regime: cluster degree >> samples,
       // so the bridge itself is rarely sampled and the partition comes
       // from the cluster samples alone).

@@ -37,8 +37,8 @@ void print_matching() {
         static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) + 4;
     const ds::protocols::TwoRoundMatching protocol(c, 8 * c);
     std::size_t bits = 0, ok = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::model::PublicCoins coins(ds::util::mix64(seed, trial));
       const auto run = ds::model::run_adaptive(g, protocol, coins);
       bits = std::max(bits, run.comm.max_bits);
@@ -80,8 +80,8 @@ void print_mis() {
         p_mark, static_cast<std::size_t>(
                     24 * std::sqrt(static_cast<double>(n))));
     std::size_t bits = 0, ok = 0;
-    constexpr int kTrials = 5;
-    for (int trial = 0; trial < kTrials; ++trial) {
+    constexpr std::size_t kTrials = 5;
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const ds::model::PublicCoins coins(ds::util::mix64(n, trial));
       const auto run = ds::model::run_adaptive(g, protocol, coins);
       bits = std::max(bits, run.comm.max_bits);
@@ -153,7 +153,7 @@ void print_rounds_vs_bits() {
       double rate = 0;
       for (std::size_t budget = 32; budget <= (1u << 20); budget *= 2) {
         std::size_t ok = 0, seen_bits = 0;
-        for (int trial = 0; trial < 5; ++trial) {
+        for (std::uint64_t trial = 0; trial < 5; ++trial) {
           const ds::model::PublicCoins coins(
               ds::util::mix64(seed + budget, trial));
           const ds::protocols::BudgetedMis protocol(budget);
@@ -162,7 +162,7 @@ void print_rounds_vs_bits() {
           seen_bits = std::max(seen_bits, run.comm.max_bits);
         }
         bits = seen_bits;
-        rate = ok / 5.0;
+        rate = static_cast<double>(ok) / 5.0;
         if (ok == 5) break;
       }
       table.add_row({label, "one-round edge reports", "1",
@@ -174,7 +174,7 @@ void print_rounds_vs_bits() {
       const ds::protocols::TwoRoundMis protocol(std::min(1.0, p_mark),
                                                 2 * n);
       std::size_t bits = 0, ok = 0;
-      for (int trial = 0; trial < 5; ++trial) {
+      for (std::uint64_t trial = 0; trial < 5; ++trial) {
         const ds::model::PublicCoins coins(ds::util::mix64(seed + 1, trial));
         const auto run = ds::model::run_adaptive(g, protocol, coins);
         bits = std::max(bits, run.comm.max_bits);
@@ -182,12 +182,12 @@ void print_rounds_vs_bits() {
       }
       table.add_row({label, "two-round marked", "2",
                      ds::core::fmt(static_cast<std::uint64_t>(bits)),
-                     ds::core::fmt(ok / 5.0, 2)});
+                     ds::core::fmt(static_cast<double>(ok) / 5.0, 2)});
     }
     {  // Luby over the broadcast congested clique.
       const auto protocol = ds::protocols::make_luby_bcc(n);
       std::size_t bits = 0, ok = 0;
-      for (int trial = 0; trial < 5; ++trial) {
+      for (std::uint64_t trial = 0; trial < 5; ++trial) {
         const ds::model::PublicCoins coins(ds::util::mix64(seed + 2, trial));
         const auto run = ds::model::run_adaptive(g, protocol, coins);
         bits = std::max(bits, run.comm.max_bits);
@@ -196,7 +196,7 @@ void print_rounds_vs_bits() {
       table.add_row({label, "Luby (BCC)",
                      ds::core::fmt(std::uint64_t{protocol.num_rounds()}),
                      ds::core::fmt(static_cast<std::uint64_t>(bits)),
-                     ds::core::fmt(ok / 5.0, 2)});
+                     ds::core::fmt(static_cast<double>(ok) / 5.0, 2)});
     }
   };
 

@@ -62,9 +62,9 @@ int main() {
   for (std::size_t budget :
        {width, 4 * width, 16 * width, 64 * width, 256 * width}) {
     std::size_t maximal = 0, known = 0;
-    constexpr int kTrials = 8;
+    constexpr std::size_t kTrials = 8;
     util::Rng sweep_rng(55);
-    for (int trial = 0; trial < kTrials; ++trial) {
+    for (std::size_t trial = 0; trial < kTrials; ++trial) {
       const auto trial_inst =
           lowerbound::sample_dmm(base, base.t(), sweep_rng);
       const model::PublicCoins coins(util::mix64(9, trial));
@@ -85,7 +85,8 @@ int main() {
       maximal += graph::is_maximal_matching(trial_inst.g, matching);
     }
     table.add_row({core::fmt(static_cast<std::uint64_t>(budget)),
-                   core::fmt(maximal / 8.0, 2), core::fmt(known / 8.0, 2)});
+                   core::fmt(static_cast<double>(maximal) / 8.0, 2),
+                   core::fmt(static_cast<double>(known) / 8.0, 2)});
   }
   table.print(std::cout);
   std::cout << "\nTheorem 1: ANY protocol needs ~" << base.r()

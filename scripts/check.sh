@@ -1,0 +1,143 @@
+#!/usr/bin/env bash
+# One-command static-analysis driver: clang-tidy, cppcheck, clang-format
+# (check mode), include sanity, and a warning-clean -Werror build.
+#
+# Tools that are not installed are SKIPPED with a notice (the container
+# used for reproduction ships only gcc); CI images install the full set.
+# Exit status is nonzero iff an available check failed.
+#
+# Usage:
+#   scripts/check.sh            # run everything available
+#   scripts/check.sh --fix      # additionally let clang-format rewrite files
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIX=0
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX=1
+fi
+
+BUILD_DIR=build-check
+FAILURES=()
+SKIPPED=()
+
+note()  { printf '\n==> %s\n' "$*"; }
+have()  { command -v "$1" > /dev/null 2>&1; }
+skip()  { SKIPPED+=("$1"); printf '    [skip] %s not installed\n' "$1"; }
+
+# All first-party sources (the committed tree only, never build dirs).
+mapfile -t SOURCES < <(git ls-files '*.cpp' '*.h' | grep -E '^(src|tests|bench|examples)/')
+
+# ---------------------------------------------------------------------------
+note "warning-clean build (-Werror, all warnings from the root CMakeLists)"
+# ---------------------------------------------------------------------------
+if cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DDISTSKETCH_WERROR=ON \
+      > "$BUILD_DIR.configure.log" 2>&1 \
+   && cmake --build "$BUILD_DIR" -j "$(nproc)" > "$BUILD_DIR.build.log" 2>&1; then
+  printf '    [ok] build is warning-clean\n'
+else
+  printf '    [FAIL] build has warnings/errors (see %s.build.log)\n' "$BUILD_DIR"
+  grep -E 'warning:|error:' "$BUILD_DIR.build.log" | head -40 || true
+  FAILURES+=("werror-build")
+fi
+
+# ---------------------------------------------------------------------------
+note "include sanity (every source includes its own header first; no cycles)"
+# ---------------------------------------------------------------------------
+INCLUDE_OK=1
+for src in "${SOURCES[@]}"; do
+  case "$src" in
+    src/*.cpp)
+      hdr="${src%.cpp}.h"
+      rel="${hdr#src/}"
+      if [[ -f "$hdr" ]]; then
+        first_include=$(grep -m1 '^#include' "$src" || true)
+        if [[ "$first_include" != "#include \"$rel\"" ]]; then
+          printf '    [FAIL] %s: first include is %s, expected "#include \"%s\""\n' \
+            "$src" "${first_include:-<none>}" "$rel"
+          INCLUDE_OK=0
+        fi
+      fi
+      ;;
+  esac
+  # No relative (".." ) includes anywhere: all paths are rooted at src/.
+  if grep -n '#include "\.\./' "$src" > /dev/null; then
+    printf '    [FAIL] %s: relative ".." include\n' "$src"
+    INCLUDE_OK=0
+  fi
+done
+if [[ $INCLUDE_OK -eq 1 ]]; then
+  printf '    [ok] include layout sane (%d files)\n' "${#SOURCES[@]}"
+else
+  FAILURES+=("include-sanity")
+fi
+
+# ---------------------------------------------------------------------------
+note "clang-format"
+# ---------------------------------------------------------------------------
+if have clang-format; then
+  if [[ $FIX -eq 1 ]]; then
+    clang-format -i "${SOURCES[@]}"
+    printf '    [ok] formatted %d files in place\n' "${#SOURCES[@]}"
+  elif clang-format --dry-run --Werror "${SOURCES[@]}" > /dev/null 2>&1; then
+    printf '    [ok] %d files formatted\n' "${#SOURCES[@]}"
+  else
+    printf '    [FAIL] formatting drift (run scripts/check.sh --fix)\n'
+    FAILURES+=("clang-format")
+  fi
+else
+  skip clang-format
+fi
+
+# ---------------------------------------------------------------------------
+note "clang-tidy (profile: .clang-tidy)"
+# ---------------------------------------------------------------------------
+if have clang-tidy; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+      > /dev/null 2>&1 || true
+  fi
+  TIDY_SOURCES=$(git ls-files 'src/**/*.cpp')
+  if run-clang-tidy -p "$BUILD_DIR" -quiet $TIDY_SOURCES \
+        > "$BUILD_DIR.tidy.log" 2>&1 \
+     || clang-tidy -p "$BUILD_DIR" --quiet $TIDY_SOURCES \
+        > "$BUILD_DIR.tidy.log" 2>&1; then
+    printf '    [ok] clang-tidy clean\n'
+  else
+    printf '    [FAIL] clang-tidy findings (see %s.tidy.log)\n' "$BUILD_DIR"
+    grep -E 'warning:|error:' "$BUILD_DIR.tidy.log" | head -40 || true
+    FAILURES+=("clang-tidy")
+  fi
+else
+  skip clang-tidy
+fi
+
+# ---------------------------------------------------------------------------
+note "cppcheck"
+# ---------------------------------------------------------------------------
+if have cppcheck; then
+  if cppcheck --enable=warning,performance,portability --inline-suppr \
+        --suppress=missingIncludeSystem --error-exitcode=1 \
+        --std=c++20 --language=c++ -I src \
+        src/ > "$BUILD_DIR.cppcheck.log" 2>&1; then
+    printf '    [ok] cppcheck clean\n'
+  else
+    printf '    [FAIL] cppcheck findings (see %s.cppcheck.log)\n' "$BUILD_DIR"
+    tail -40 "$BUILD_DIR.cppcheck.log" || true
+    FAILURES+=("cppcheck")
+  fi
+else
+  skip cppcheck
+fi
+
+# ---------------------------------------------------------------------------
+note "summary"
+# ---------------------------------------------------------------------------
+if ((${#SKIPPED[@]})); then
+  printf '    skipped (not installed): %s\n' "${SKIPPED[*]}"
+fi
+if ((${#FAILURES[@]})); then
+  printf '    FAILED: %s\n' "${FAILURES[*]}"
+  exit 1
+fi
+printf '    all available checks passed\n'

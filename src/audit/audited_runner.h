@@ -1,0 +1,260 @@
+// Instrumented drop-in for model/runner.h and model/adaptive.h: runs a
+// protocol while enforcing the three model invariants (see audit.h).
+//
+// The audited runner is a superset of the plain runner: it produces the
+// same output and the same CommStats (messages are encoded from
+// guard-padded copies of each row, which an honest protocol cannot
+// distinguish from the real thing), plus an AuditReport.  On a violation
+// it fails through audit::fail with a diagnostic naming the invariant.
+//
+// Checks layered on top of the per-player core (audit.h):
+//   * order probe    — every player is re-encoded in reverse order after
+//                      the forward pass; a message that depends on WHICH
+//                      other players encoded before it leaks state across
+//                      players (locality);
+//   * referee replay — decode runs twice on the same messages with fresh
+//                      PublicCoins(seed); differing outputs mean the
+//                      referee is nondeterministic (coin-determinism);
+//   * scrub probe    — every player is re-encoded on a decoy view, then
+//                      decode runs again: an output change means encoder
+//                      state reached the referee outside the charged
+//                      messages, i.e. the true message length was
+//                      under-reported (bit-accounting).
+//
+// Outputs must be equality-comparable; every output type in the tree is.
+#pragma once
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "audit/audit.h"
+#include "graph/weighted.h"
+#include "model/adaptive.h"
+#include "model/coins.h"
+#include "model/protocol.h"
+#include "model/runner.h"
+
+namespace ds::audit {
+
+template <typename Output>
+struct AuditedRunResult {
+  Output output;
+  model::CommStats comm;
+  AuditReport report;
+};
+
+template <typename Output>
+struct AuditedAdaptiveResult {
+  model::AdaptiveRunResult<Output> result;
+  AuditReport report;
+};
+
+class AuditedRunner {
+ public:
+  explicit AuditedRunner(std::uint64_t coin_seed, AuditConfig config = {})
+      : seed_(coin_seed), config_(config) {}
+
+  [[nodiscard]] std::uint64_t coin_seed() const noexcept { return seed_; }
+  [[nodiscard]] const AuditConfig& config() const noexcept { return config_; }
+
+  /// Audited equivalent of model::run_protocol on an unweighted graph.
+  template <typename Output>
+  [[nodiscard]] AuditedRunResult<Output> run(
+      const graph::Graph& g,
+      const model::SketchingProtocol<Output>& protocol) const {
+    return run_impl<Output>(
+        g.num_vertices(),
+        [&g](graph::Vertex v) { return g.neighbors(v); },
+        [](graph::Vertex) { return std::span<const std::uint32_t>{}; },
+        protocol);
+  }
+
+  /// Audited equivalent of model::run_protocol on a weighted graph.
+  template <typename Output>
+  [[nodiscard]] AuditedRunResult<Output> run(
+      const graph::WeightedGraph& g,
+      const model::SketchingProtocol<Output>& protocol) const {
+    return run_impl<Output>(
+        g.num_vertices(),
+        [&g](graph::Vertex v) { return g.topology().neighbors(v); },
+        [&g](graph::Vertex v) { return g.neighbor_weights(v); },
+        protocol);
+  }
+
+  /// Audited equivalent of model::run_adaptive (multi-round path).  The
+  /// per-round accounting identity — per-player totals equal the sum of
+  /// that player's serialized round messages — is re-derived from the
+  /// actual BitStrings and cross-checked.
+  template <typename Output>
+  [[nodiscard]] AuditedAdaptiveResult<Output> run_adaptive(
+      const graph::Graph& g,
+      const model::AdaptiveProtocol<Output>& protocol) const {
+    static_assert(std::equality_comparable<Output>);
+    const graph::Vertex n = g.num_vertices();
+    const unsigned rounds = protocol.num_rounds();
+    AuditReport report;
+    model::AdaptiveRunResult<Output> result{};
+    std::vector<std::vector<util::BitString>> all_rounds;
+    std::vector<util::BitString> broadcasts;
+    std::vector<std::size_t> player_bits(n, 0);
+
+    for (unsigned round = 0; round < rounds; ++round) {
+      const EncodeFn encode = [&protocol, round, &broadcasts](
+                                  const model::VertexView& view,
+                                  util::BitWriter& out) {
+        protocol.encode_round(view, round, broadcasts, out);
+      };
+      model::CommStats round_comm;
+      std::vector<util::BitString> sketches;
+      sketches.reserve(n);
+      for (graph::Vertex v = 0; v < n; ++v) {
+        util::BitString msg = audited_encode_player(
+            encode, n, v, g.neighbors(v), {}, seed_, config_, report,
+            protocol.name() + " (round " + std::to_string(round) + ")");
+        round_comm.record(msg.bit_count());
+        player_bits[v] += msg.bit_count();
+        sketches.push_back(std::move(msg));
+      }
+      result.by_round.push_back(round_comm);
+      all_rounds.push_back(std::move(sketches));
+      if (round + 1 < rounds) {
+        const model::PublicCoins coins(seed_);
+        util::BitString b =
+            protocol.make_broadcast(round, n, all_rounds, coins);
+        if (config_.check_accounting) {
+          check_message_accounting(
+              b, "protocol '" + protocol.name() + "', broadcast after round " +
+                     std::to_string(round),
+              report);
+        }
+        result.broadcast_bits += b.bit_count();
+        broadcasts.push_back(std::move(b));
+      }
+    }
+
+    for (std::size_t bits : player_bits) result.comm.record(bits);
+    if (config_.check_accounting) {
+      cross_check_adaptive_accounting(result, all_rounds, n, protocol.name());
+    }
+
+    {
+      const model::PublicCoins coins(seed_);
+      result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+    }
+    if (config_.check_determinism) {
+      const model::PublicCoins coins(seed_);
+      const Output replay = protocol.decode(n, all_rounds, broadcasts, coins);
+      if (!(replay == result.output)) {
+        fail(Invariant::kCoinDeterminism,
+             "protocol '" + protocol.name() +
+                 "': referee produced different outputs from the same "
+                 "round messages and the same public coins");
+      }
+    }
+    return {std::move(result), report};
+  }
+
+ private:
+  template <typename Output, typename RowFn, typename WeightFn>
+  [[nodiscard]] AuditedRunResult<Output> run_impl(
+      graph::Vertex n, const RowFn& row_of, const WeightFn& weights_of,
+      const model::SketchingProtocol<Output>& protocol) const {
+    static_assert(std::equality_comparable<Output>);
+    const EncodeFn encode = [&protocol](const model::VertexView& view,
+                                        util::BitWriter& out) {
+      protocol.encode(view, out);
+    };
+
+    AuditReport report;
+    model::CommStats comm;
+    std::vector<util::BitString> messages;
+    messages.reserve(n);
+    for (graph::Vertex v = 0; v < n; ++v) {
+      util::BitString msg =
+          audited_encode_player(encode, n, v, row_of(v), weights_of(v),
+                                seed_, config_, report, protocol.name());
+      comm.record(msg.bit_count());
+      messages.push_back(std::move(msg));
+    }
+
+    if (config_.check_locality) {
+      // Order probe: replaying players back-to-front must reproduce the
+      // forward-pass messages bit for bit.
+      for (graph::Vertex v = n; v-- > 0;) {
+        const util::BitString replay = encode_player_once(
+            encode, n, v, row_of(v), weights_of(v), seed_, config_, report);
+        if (!same_message(replay, messages[v])) {
+          std::ostringstream out;
+          out << "protocol '" << protocol.name() << "', player " << v
+              << ": message depends on the order in which OTHER players "
+                 "were encoded — state leaks across players (paper "
+                 "Section 2.1 locality)";
+          fail(Invariant::kLocality, out.str());
+        }
+      }
+    }
+
+    Output output = [&] {
+      const model::PublicCoins coins(seed_);
+      return protocol.decode(n, messages, coins);
+    }();
+    if (config_.check_determinism) {
+      const model::PublicCoins coins(seed_);
+      const Output replay = protocol.decode(n, messages, coins);
+      if (!(replay == output)) {
+        fail(Invariant::kCoinDeterminism,
+             "protocol '" + protocol.name() +
+                 "': referee produced different outputs from the same "
+                 "messages and the same public coins");
+      }
+    }
+    if (config_.check_accounting) {
+      // Scrub probe: poison any encoder-side state, then decode again.
+      for (graph::Vertex v = 0; v < n; ++v) {
+        scrub_encode_player(encode, n, v, seed_, report);
+      }
+      const model::PublicCoins coins(seed_);
+      const Output after_scrub = protocol.decode(n, messages, coins);
+      if (!(after_scrub == output)) {
+        fail(Invariant::kBitAccounting,
+             "protocol '" + protocol.name() +
+                 "': referee output changed after the encoders were re-run "
+                 "on decoy views — information reached the referee outside "
+                 "the serialized messages, so the charged message length "
+                 "under-reports the true communication");
+      }
+    }
+    return {std::move(output), comm, report};
+  }
+
+  template <typename Output>
+  static void cross_check_adaptive_accounting(
+      const model::AdaptiveRunResult<Output>& result,
+      const std::vector<std::vector<util::BitString>>& all_rounds,
+      graph::Vertex n, const std::string& name) {
+    model::CommStats recomputed;
+    for (graph::Vertex v = 0; v < n; ++v) {
+      std::size_t bits = 0;
+      for (const auto& round : all_rounds) bits += round[v].bit_count();
+      recomputed.record(bits);
+    }
+    if (recomputed.max_bits != result.comm.max_bits ||
+        recomputed.total_bits != result.comm.total_bits ||
+        recomputed.num_players != result.comm.num_players) {
+      std::ostringstream out;
+      out << "protocol '" << name
+          << "': adaptive CommStats disagree with the serialized round "
+             "messages (reported max/total "
+          << result.comm.max_bits << "/" << result.comm.total_bits
+          << ", serialized " << recomputed.max_bits << "/"
+          << recomputed.total_bits << ")";
+      fail(Invariant::kBitAccounting, out.str());
+    }
+  }
+
+  std::uint64_t seed_;
+  AuditConfig config_;
+};
+
+}  // namespace ds::audit

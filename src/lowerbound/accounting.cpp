@@ -47,8 +47,13 @@ struct EnumerationContext {
   static std::vector<std::string> make_columns(std::uint64_t k) {
     std::vector<std::string> columns{"Sigma", "J", "M", "PiP", "Pi"};
     for (std::uint64_t i = 0; i < k; ++i) {
-      columns.push_back("M" + std::to_string(i + 1));
-      columns.push_back("PiU" + std::to_string(i + 1));
+      const std::string suffix = std::to_string(i + 1);
+      std::string mi = "M";
+      mi += suffix;
+      std::string piui = "PiU";
+      piui += suffix;
+      columns.push_back(std::move(mi));
+      columns.push_back(std::move(piui));
     }
     return columns;
   }
@@ -156,8 +161,11 @@ AccountingResult enumerate_accounting(
   result.info_m_pi = table.mutual_information({"M"}, {"Pi"}, {"Sigma", "J"});
   result.h_pi_public = table.entropy({"PiP"});
   for (std::uint64_t i = 0; i < ctx.k; ++i) {
-    const std::string mi = "M" + std::to_string(i + 1);
-    const std::string piui = "PiU" + std::to_string(i + 1);
+    const std::string suffix = std::to_string(i + 1);
+    std::string mi = "M";
+    mi += suffix;
+    std::string piui = "PiU";
+    piui += suffix;
     result.info_mi_piui.push_back(
         table.mutual_information({mi}, {piui}, {"Sigma", "J"}));
     result.h_piui.push_back(table.entropy({piui}));

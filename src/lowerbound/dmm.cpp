@@ -79,7 +79,8 @@ DmmInstance build_dmm(const rs::RsGraph& base, std::uint64_t k,
   assert(v_star.size() == 2 * p.r);
   // position of a base vertex: in V* (index into v_star) or among publics.
   std::vector<std::uint32_t> star_pos(p.big_n, 0xffffffffu);
-  for (std::size_t l = 0; l < v_star.size(); ++l) star_pos[v_star[l]] = l;
+  for (std::size_t l = 0; l < v_star.size(); ++l)
+    star_pos[v_star[l]] = static_cast<std::uint32_t>(l);
 
   inst.public_final.clear();
   std::vector<std::uint32_t> public_pos(p.big_n, 0xffffffffu);

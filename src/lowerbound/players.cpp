@@ -35,7 +35,8 @@ std::vector<RefinedPlayer> build_refined_players(const DmmInstance& inst) {
   // star_pos / public_pos mirror build_dmm's relabeling.
   const std::vector<Vertex> v_star = base.matching_vertices(inst.j_star);
   std::vector<std::uint32_t> star_pos(p.big_n, 0xffffffffu);
-  for (std::size_t l = 0; l < v_star.size(); ++l) star_pos[v_star[l]] = l;
+  for (std::size_t l = 0; l < v_star.size(); ++l)
+    star_pos[v_star[l]] = static_cast<std::uint32_t>(l);
   std::vector<std::uint32_t> public_pos(p.big_n, 0xffffffffu);
   {
     std::uint32_t next = 0;

@@ -97,7 +97,7 @@ TEST(Generators, SubsampleEdgesRate) {
   for (int rep = 0; rep < 20; ++rep) {
     total += static_cast<double>(subsample_edges(g, 0.5, rng).num_edges());
   }
-  EXPECT_NEAR(total / 20.0, g.num_edges() / 2.0, 40.0);
+  EXPECT_NEAR(total / 20.0, static_cast<double>(g.num_edges()) / 2.0, 40.0);
 }
 
 TEST(Generators, SubsampleIsSubset) {

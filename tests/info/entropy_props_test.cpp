@@ -140,7 +140,7 @@ TEST(PropositionCounterexample, Prop23NeedsItsHypothesis) {
   // kills the information: I(A;B|C) = I(A;B) may exceed I(A;B|C,D) = 0,
   // and indeed A is NOT independent of D given C.
   JointTable t({"A", "B", "C", "D"});
-  for (std::uint64_t a : {0, 1}) {
+  for (std::uint64_t a : {0u, 1u}) {
     t.add_row({a, a, 0, a}, 0.5);  // B = A, D = A
   }
   t.normalize();

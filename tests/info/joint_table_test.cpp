@@ -19,8 +19,8 @@ JointTable perfectly_correlated() {
 /// X, Y independent uniform bits.
 JointTable independent_bits() {
   JointTable t({"X", "Y"});
-  for (std::uint64_t x : {0, 1}) {
-    for (std::uint64_t y : {0, 1}) t.add_row({x, y}, 0.25);
+  for (std::uint64_t x : {0u, 1u}) {
+    for (std::uint64_t y : {0u, 1u}) t.add_row({x, y}, 0.25);
   }
   t.normalize();
   return t;
@@ -53,8 +53,8 @@ TEST(JointTable, XorTriple) {
   // Z = X xor Y with X, Y independent uniform: pairwise independent, but
   // I(X;Y|Z) = 1.
   JointTable t({"X", "Y", "Z"});
-  for (std::uint64_t x : {0, 1}) {
-    for (std::uint64_t y : {0, 1}) t.add_row({x, y, x ^ y}, 0.25);
+  for (std::uint64_t x : {0u, 1u}) {
+    for (std::uint64_t y : {0u, 1u}) t.add_row({x, y, x ^ y}, 0.25);
   }
   t.normalize();
   EXPECT_NEAR(t.mutual_information({"X"}, {"Z"}), 0.0, 1e-12);
@@ -91,8 +91,8 @@ TEST(JointTable, MultiColumnGroups) {
   // (X1, X2) jointly determine Y; individually each gives 1 bit of a
   // 2-bit Y.
   JointTable t({"X1", "X2", "Y"});
-  for (std::uint64_t a : {0, 1}) {
-    for (std::uint64_t b : {0, 1}) t.add_row({a, b, 2 * a + b}, 0.25);
+  for (std::uint64_t a : {0u, 1u}) {
+    for (std::uint64_t b : {0u, 1u}) t.add_row({a, b, 2 * a + b}, 0.25);
   }
   t.normalize();
   EXPECT_NEAR(t.mutual_information({"X1", "X2"}, {"Y"}), 2.0, 1e-12);

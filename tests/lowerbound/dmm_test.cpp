@@ -125,7 +125,7 @@ TEST_P(DmmStructure, EdgeCountMatchesSurvivalBits) {
   const DmmParameters& p = inst_.params;
   const std::vector<Vertex> v_star = base_.matching_vertices(inst_.j_star);
   std::vector<std::uint32_t> star_pos(p.big_n, 0xffffffffu);
-  for (std::size_t l = 0; l < v_star.size(); ++l) star_pos[v_star[l]] = l;
+  for (std::size_t l = 0; l < v_star.size(); ++l) star_pos[v_star[l]] = static_cast<std::uint32_t>(l);
   std::vector<std::uint32_t> public_pos(p.big_n, 0xffffffffu);
   std::uint32_t next = 0;
   for (Vertex b = 0; b < p.big_n; ++b) {

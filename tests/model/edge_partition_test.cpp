@@ -78,7 +78,7 @@ TEST(EdgePartitionMatching, NoSharingMeansLocalBlindness) {
   // both endpoints see each edge).  Statistical smoke check.
   util::Rng rng(8);
   std::size_t merged_total = 0, maximum_total = 0;
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::random_bipartite(25, 25, 0.08, rng);
     const auto inst = partition_edges_randomly(g, 8, rng);
     const PublicCoins coins(9 + rep);

@@ -31,7 +31,7 @@ TEST(PrivateCoins, BridgeFindingSurvives) {
   util::Rng rng(2);
   int successes = 0;
   constexpr int kReps = 15;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const auto [g, bridge] = graph::two_clusters_with_bridge(60, 0.3, rng);
     const auto result = run_protocol_private_coins(
         g, protocols::BridgeFinding{10}, 100 + rep);

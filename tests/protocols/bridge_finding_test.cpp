@@ -12,7 +12,7 @@ TEST(BridgeFinding, RecoversTheBridgeWithHighProbability) {
   util::Rng rng(1);
   int successes = 0;
   constexpr int kReps = 25;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const auto [g, bridge] = graph::two_clusters_with_bridge(60, 0.3, rng);
     const model::PublicCoins coins(900 + rep);
     const auto result =
@@ -41,7 +41,7 @@ TEST(BridgeFinding, WorksWhenSamplingCatchesTheBridge) {
   util::Rng rng(4);
   int successes = 0;
   constexpr int kReps = 10;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const auto [g, bridge] = graph::two_clusters_with_bridge(24, 0.5, rng);
     const model::PublicCoins coins(700 + rep);
     const auto result =

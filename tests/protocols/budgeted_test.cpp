@@ -90,7 +90,7 @@ TEST(Budgeted, MisCanViolateIndependenceUnderTightBudget) {
   util::Rng rng(11);
   const Graph g = graph::gnp(60, 0.5, rng);
   int violations = 0;
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const model::PublicCoins coins(300 + rep);
     const auto result = model::run_protocol(g, BudgetedMis{8}, coins);
     if (!graph::is_independent_set(g, result.output)) ++violations;

@@ -15,7 +15,7 @@ using graph::Graph;
 
 TEST(BudgetedTwoRound, GenerousBudgetsAreMaximal) {
   util::Rng rng(1);
-  for (int rep = 0; rep < 8; ++rep) {
+  for (std::uint64_t rep = 0; rep < 8; ++rep) {
     const Graph g = graph::gnp(60, 0.12, rng);
     const model::PublicCoins coins(100 + rep);
     const BudgetedTwoRoundMatching protocol(1 << 14, 1 << 14);

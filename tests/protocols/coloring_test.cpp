@@ -48,7 +48,7 @@ TEST(Coloring, ProperColoringOnRandomGraphs) {
   util::Rng rng(2);
   int successes = 0;
   constexpr int kReps = 10;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(60, 0.15, rng);
     const auto protocol = make_protocol(g);
     const model::PublicCoins coins(800 + rep);

@@ -14,7 +14,7 @@ using graph::Vertex;
 
 TEST(LubyBcc, ProducesMisOnRandomGraphs) {
   util::Rng rng(1);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::gnp(60, 0.1, rng);
     const model::PublicCoins coins(100 + rep);
     const auto protocol = make_luby_bcc(g.num_vertices());

@@ -15,7 +15,7 @@ TEST(AgmProtocol, SolvesRandomGraphs) {
   util::Rng rng(1);
   int successes = 0;
   constexpr int kReps = 15;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(30, 0.15, rng);
     const model::PublicCoins coins(500 + rep);
     const auto result = model::run_protocol(g, AgmSpanningForest{}, coins);

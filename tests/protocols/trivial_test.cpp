@@ -33,7 +33,7 @@ TEST(Trivial, CostIsExactlyNBitsPerPlayer) {
 
 TEST(Trivial, MatchingAlwaysMaximal) {
   util::Rng rng(5);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::gnp(35, 0.15, rng);
     const model::PublicCoins coins(100 + rep);
     const auto result =
@@ -44,7 +44,7 @@ TEST(Trivial, MatchingAlwaysMaximal) {
 
 TEST(Trivial, MisAlwaysMaximal) {
   util::Rng rng(6);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::gnp(35, 0.15, rng);
     const model::PublicCoins coins(200 + rep);
     const auto result = model::run_protocol(g, TrivialMis{}, coins);

@@ -18,7 +18,7 @@ TEST(TwoRoundMatching, MaximalOnRandomGraphs) {
   util::Rng rng(1);
   int successes = 0;
   constexpr int kReps = 15;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(80, 0.1, rng);
     const model::PublicCoins coins(400 + rep);
     const std::size_t c = static_cast<std::size_t>(std::sqrt(80.0)) + 2;
@@ -31,7 +31,7 @@ TEST(TwoRoundMatching, MaximalOnRandomGraphs) {
 
 TEST(TwoRoundMatching, OutputIsAlwaysValidMatching) {
   util::Rng rng(2);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::gnp(60, 0.2, rng);
     const model::PublicCoins coins(500 + rep);
     const auto result = model::run_adaptive(g, TwoRoundMatching{4, 10}, coins);
@@ -60,7 +60,7 @@ TEST(TwoRoundMis, MaximalOnRandomGraphs) {
   util::Rng rng(5);
   int successes = 0;
   constexpr int kReps = 15;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(80, 0.08, rng);
     const model::PublicCoins coins(600 + rep);
     const auto result =
@@ -74,7 +74,7 @@ TEST(TwoRoundMis, IndependenceNeverViolatedWithoutCapPressure) {
   // With an uncapped round 1 the output must be exactly an MIS: the
   // referee has full knowledge of the undominated subgraph.
   util::Rng rng(6);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     const Graph g = graph::gnp(50, 0.15, rng);
     const model::PublicCoins coins(700 + rep);
     const auto result =

@@ -26,7 +26,7 @@ TEST(Connectivity, RandomGraphsMatchExact) {
   util::Rng rng(2);
   int correct = 0;
   constexpr int kReps = 15;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(40, 0.05, rng);
     const model::PublicCoins coins(100 + rep);
     const auto run = model::run_protocol(g, AgmConnectivity{}, coins);
@@ -53,7 +53,7 @@ TEST(KConnectivity, CertificatePreservesCappedConnectivity) {
   int correct = 0;
   constexpr int kReps = 10;
   const std::uint32_t k = 2;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const Graph g = graph::gnp(20, 0.35, rng);
     const model::PublicCoins coins(200 + rep);
     const auto run =
@@ -81,7 +81,7 @@ TEST(MstWeight, MatchesKruskalExactly) {
   util::Rng rng(8);
   int correct = 0;
   constexpr int kReps = 10;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const graph::WeightedGraph g =
         graph::random_weighted_gnp(25, 0.25, 5, rng);
     const model::PublicCoins coins(300 + rep);

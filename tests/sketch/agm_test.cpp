@@ -54,7 +54,7 @@ TEST(Agm, SpanningForestOnConnectedGraphs) {
   util::Rng rng(4);
   int successes = 0;
   constexpr int kReps = 20;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const model::PublicCoins coins(100 + rep);
     const Graph g = graph::gnp(40, 0.2, rng);
     const auto decode =
@@ -81,7 +81,7 @@ TEST(Agm, SpanningForestOnDisconnectedGraph) {
 }
 
 TEST(Agm, PathAndCycleAndStar) {
-  for (int shape = 0; shape < 3; ++shape) {
+  for (std::uint64_t shape = 0; shape < 3; ++shape) {
     const model::PublicCoins coins(300 + shape);
     Graph g(1);
     switch (shape) {

@@ -18,7 +18,7 @@ TEST(Kmv, ExactBelowK) {
 TEST(Kmv, DuplicatesIgnored) {
   const model::PublicCoins coins(2);
   KmvSketch s = KmvSketch::make(coins, 2, 32);
-  for (int rep = 0; rep < 10; ++rep) {
+  for (std::uint64_t rep = 0; rep < 10; ++rep) {
     for (std::uint64_t id = 0; id < 15; ++id) s.add(id);
   }
   EXPECT_DOUBLE_EQ(s.estimate(), 15.0);
@@ -26,7 +26,7 @@ TEST(Kmv, DuplicatesIgnored) {
 
 TEST(Kmv, EstimateWithinTolerance) {
   util::Rng rng(3);
-  for (int rep = 0; rep < 5; ++rep) {
+  for (std::uint64_t rep = 0; rep < 5; ++rep) {
     const model::PublicCoins coins(100 + rep);
     KmvSketch s = KmvSketch::make(coins, 3, 256);
     constexpr std::uint64_t kTruth = 20000;

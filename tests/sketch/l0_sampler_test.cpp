@@ -32,7 +32,7 @@ TEST(L0Sampler, SingletonAlwaysRecovered) {
 TEST(L0Sampler, DenseVectorUsuallyRecoversSomething) {
   int successes = 0;
   constexpr int kReps = 100;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const model::PublicCoins coins(100 + rep);
     L0Sampler s = L0Sampler::make(coins, 5, 1 << 16);
     for (std::uint64_t i = 0; i < 1000; ++i) s.add(i * 7 % 65536, 1);
@@ -49,7 +49,7 @@ TEST(L0Sampler, DenseVectorUsuallyRecoversSomething) {
 
 TEST(L0Sampler, RecoveredElementIsReal) {
   util::Rng rng(3);
-  for (int rep = 0; rep < 50; ++rep) {
+  for (std::uint64_t rep = 0; rep < 50; ++rep) {
     const model::PublicCoins coins(200 + rep);
     L0Sampler s = L0Sampler::make(coins, 6, 1 << 20);
     std::map<std::uint64_t, std::int64_t> truth;
@@ -71,7 +71,7 @@ TEST(L0Sampler, SamplesApproximatelyUniformly) {
   // a roughly equal number of times.
   std::map<std::uint64_t, int> histogram;
   constexpr int kReps = 3000;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     const model::PublicCoins coins(1000 + rep);
     L0Sampler s = L0Sampler::make(coins, 7, 1 << 12);
     for (std::uint64_t idx = 0; idx < 8; ++idx) s.add(idx * 37, 1);

@@ -18,7 +18,7 @@ TEST(SSparse, EmptyDecodesEmpty) {
 
 TEST(SSparse, RecoversExactlySparseVectors) {
   util::Rng rng(1);
-  for (int rep = 0; rep < 30; ++rep) {
+  for (std::uint64_t rep = 0; rep < 30; ++rep) {
     SSparse s = SSparse::make(coins(), 100 + rep, 100000, 8);
     std::vector<Recovered> truth;
     const auto indices = rng.sample_without_replacement(100000, 8);
@@ -42,7 +42,7 @@ TEST(SSparse, DetectsOversparseVectors) {
   util::Rng rng(2);
   int detected = 0;
   constexpr int kReps = 20;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (std::uint64_t rep = 0; rep < kReps; ++rep) {
     SSparse s = SSparse::make(coins(), 200 + rep, 100000, 4);
     for (std::uint64_t idx : rng.sample_without_replacement(100000, 64)) {
       s.add(idx, 1);

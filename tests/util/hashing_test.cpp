@@ -70,7 +70,7 @@ TEST(SampleLevel, GeometricDistribution) {
   constexpr int kItems = 200000;
   KWiseHash h(2, rng);
   std::vector<int> at_least(kMaxLevel + 1, 0);
-  for (int x = 0; x < kItems; ++x) {
+  for (std::uint64_t x = 0; x < kItems; ++x) {
     const unsigned level = sample_level(h, x, kMaxLevel);
     for (unsigned l = 0; l <= level; ++l) ++at_least[l];
   }
