@@ -28,6 +28,7 @@
 #include "model/runner.h"
 #include "graph/hopcroft_karp.h"
 #include "model/edge_partition.h"
+#include "parallel/thread_pool.h"
 #include "protocols/budgeted.h"
 #include "protocols/edge_partition_matching.h"
 #include "protocols/sampled_matching.h"
@@ -82,23 +83,39 @@ Thresholds sweep_instance(std::uint64_t m, std::size_t trials,
   ds::core::Table table(
       {"budget bits", "P[special]", "P[maximal]", "max bits seen"});
 
+  struct TrialOutcome {
+    bool special = false;
+    bool maximal = false;
+    std::size_t max_bits = 0;
+  };
   for (std::size_t budget : budgets) {
     const ds::protocols::BudgetedMatching protocol(budget);
-    std::size_t special = 0, maximal = 0, max_bits = 0;
-    ds::util::Rng rng(seed);
-    for (std::size_t trial = 0; trial < trials; ++trial) {
+    // Trials fan out across the global pool; each trial derives its own
+    // seed counter-style, so every (budget, trial) data point is
+    // independently reproducible and identical at any thread count.
+    std::vector<TrialOutcome> outcomes(trials);
+    ds::parallel::parallel_for(nullptr, 0, trials, [&](std::size_t trial) {
+      const std::uint64_t trial_seed = ds::util::derive_seed(seed, trial);
+      ds::util::Rng trial_rng(trial_seed);
       const DmmInstance inst =
-          ds::lowerbound::sample_dmm(base, params.t, rng);
-      const ds::model::PublicCoins coins(ds::util::mix64(seed, trial));
+          ds::lowerbound::sample_dmm(base, params.t, trial_rng);
+      const ds::model::PublicCoins coins(
+          ds::util::derive_seed(trial_seed, 0xC01));
       ds::model::CommStats comm;
       const auto sketches =
           ds::model::collect_sketches(inst.g, protocol, coins, comm);
       const ds::graph::Graph known =
           ds::protocols::decode_reported_graph(params.n, sketches);
-      special += all_special_reported(inst, known);
       const auto matching = protocol.decode(params.n, sketches, coins);
-      maximal += ds::core::score_matching(inst.g, matching).maximal;
-      max_bits = std::max(max_bits, comm.max_bits);
+      outcomes[trial] = {all_special_reported(inst, known),
+                         ds::core::score_matching(inst.g, matching).maximal,
+                         comm.max_bits};
+    });
+    std::size_t special = 0, maximal = 0, max_bits = 0;
+    for (const TrialOutcome& outcome : outcomes) {
+      special += outcome.special;
+      maximal += outcome.maximal;
+      max_bits = std::max(max_bits, outcome.max_bits);
     }
     const double ps = static_cast<double>(special) / static_cast<double>(trials);
     const double pm = static_cast<double>(maximal) / static_cast<double>(trials);

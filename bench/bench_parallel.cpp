@@ -1,0 +1,163 @@
+// P1 — the parallel execution engine, measured: the three hot layers
+// (sketch collection, Monte Carlo sweeps, protocol search) run once on a
+// one-thread pool and once on the full pool.  Emits BENCH_parallel.json
+// (wall time, speedup vs serial, bits/player) and exits nonzero if any
+// parallel result diverged from its serial twin — the determinism
+// contract, enforced at bench time too.
+//
+// The headline case is the Theorem 1 budget sweep on D_MM (E3's engine):
+// per-trial counter-derived seeds make every trial independent, so the
+// sweep scales with cores while producing the exact serial numbers.
+#include <bit>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "graph/generators.h"
+#include "lowerbound/dmm.h"
+#include "lowerbound/protocol_search.h"
+#include "model/runner.h"
+#include "parallel_harness.h"
+#include "protocols/sampled_matching.h"
+#include "rs/rs_graph.h"
+#include "util/bitio.h"
+
+namespace {
+
+std::uint64_t fingerprint_sweep(const ds::core::SweepResult& result) {
+  std::uint64_t h = result.threshold_budget.value_or(0);
+  for (const ds::core::SweepPoint& p : result.points) {
+    h = ds::bench::fingerprint_fold(h, p.budget_bits);
+    h = ds::bench::fingerprint_fold(h, p.successes);
+    h = ds::bench::fingerprint_fold(h, p.trials);
+    h = ds::bench::fingerprint_fold(h, p.max_bits_seen);
+  }
+  return h;
+}
+
+void case_dmm_sweep(ds::bench::ParallelHarness& harness) {
+  // E3's engine: success-probability sweep for BudgetedMatching on D_MM.
+  const ds::rs::RsGraph base = ds::rs::rs_graph(16);
+  const ds::lowerbound::DmmParameters params =
+      ds::lowerbound::dmm_parameters(base, base.t());
+  const unsigned width = ds::util::bit_width_for(params.n);
+  const std::size_t cap =
+      static_cast<std::size_t>(params.k * params.r) * width;
+  const std::vector<std::size_t> budgets =
+      ds::core::geometric_budgets(width, cap, 4.0);
+  constexpr std::size_t kTrials = 24;
+
+  harness.run_case(
+      "dmm_sweep", kTrials,
+      [&](ds::parallel::ThreadPool& pool) {
+        return ds::core::sweep_budgets<ds::model::MatchingOutput>(
+            budgets, kTrials, /*seed=*/7,
+            [&](std::uint64_t seed) {
+              ds::util::Rng rng(seed);
+              return ds::lowerbound::sample_dmm(base, params.t, rng).g;
+            },
+            [](std::size_t budget) {
+              return std::make_unique<ds::protocols::BudgetedMatching>(
+                  budget);
+            },
+            [](const ds::graph::Graph& g,
+               const ds::model::MatchingOutput& m) {
+              return ds::core::score_matching(g, m).maximal;
+            },
+            /*target_rate=*/0.9, &pool);
+      },
+      fingerprint_sweep,
+      [](const ds::core::SweepResult& result) {
+        return result.points.empty()
+                   ? 0.0
+                   : static_cast<double>(result.points.back().max_bits_seen);
+      });
+}
+
+void case_collect_sketches(ds::bench::ParallelHarness& harness) {
+  // The per-vertex encode loop on a larger flat graph, repeated so the
+  // timing is not dominated by one allocation burst.
+  struct Result {
+    std::uint64_t fingerprint = 0;
+    ds::model::CommStats last_comm;
+  };
+  ds::util::Rng rng(301);
+  const ds::graph::Graph g = ds::graph::gnp(1200, 0.02, rng);
+  const ds::protocols::BudgetedMatching protocol(256);
+  constexpr std::size_t kRepeats = 16;
+
+  harness.run_case(
+      "collect_sketches_gnp1200", kRepeats,
+      [&](ds::parallel::ThreadPool& pool) {
+        Result result;
+        for (std::size_t rep = 0; rep < kRepeats; ++rep) {
+          const ds::model::PublicCoins coins(
+              ds::util::derive_seed(501, rep));
+          ds::model::CommStats comm;
+          const auto sketches =
+              ds::model::collect_sketches(g, protocol, coins, comm, &pool);
+          for (const ds::util::BitString& s : sketches) {
+            result.fingerprint =
+                ds::bench::fingerprint_fold(result.fingerprint,
+                                            s.bit_count());
+            for (const std::uint64_t w : s.words()) {
+              result.fingerprint =
+                  ds::bench::fingerprint_fold(result.fingerprint, w);
+            }
+          }
+          result.last_comm = comm;
+        }
+        return result;
+      },
+      [](const Result& r) { return r.fingerprint; },
+      [](const Result& r) {
+        return static_cast<double>(r.last_comm.max_bits);
+      });
+}
+
+void case_protocol_search(ds::bench::ParallelHarness& harness) {
+  // The Remark 3.6 search path: 4096 MAP-referee evaluations on C6.
+  const ds::rs::RsGraph base = ds::rs::cycle_rs(3);
+  harness.run_case(
+      "protocol_search_c6_2bit", 4096,
+      [&](ds::parallel::ThreadPool& pool) {
+        return ds::lowerbound::search_degree_protocols(
+            base, /*k=*/1, /*bits=*/2, /*degree_cap=*/2, &pool);
+      },
+      [](const ds::lowerbound::ProtocolSearchResult& r) {
+        std::uint64_t h = std::bit_cast<std::uint64_t>(r.best_success);
+        h = ds::bench::fingerprint_fold(h, r.protocols_searched);
+        for (const std::uint8_t v : r.best_public_table) {
+          h = ds::bench::fingerprint_fold(h, v);
+        }
+        for (const std::uint8_t v : r.best_unique_table) {
+          h = ds::bench::fingerprint_fold(h, v);
+        }
+        return h;
+      },
+      [](const ds::lowerbound::ProtocolSearchResult&) { return 2.0; });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  std::cout << "=== P1: deterministic parallel execution engine ===\n"
+            << "pool threads: "
+            << ds::parallel::global_pool().num_threads() << "\n\n";
+
+  ds::bench::ParallelHarness harness;
+  case_dmm_sweep(harness);
+  case_collect_sketches(harness);
+  case_protocol_search(harness);
+
+  harness.write_json(out_path);
+  if (!harness.all_identical()) {
+    std::cerr << "FAIL: a parallel run diverged from its serial twin\n";
+    return 1;
+  }
+  return 0;
+}

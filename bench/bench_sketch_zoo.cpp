@@ -26,10 +26,12 @@ void print_connectivity() {
   std::cout << "=== A1a: one-round connectivity (component counting) ===\n";
   ds::core::Table table({"n", "bits/player", "correct"});
   for (ds::graph::Vertex n : {64u, 256u, 1024u}) {
-    ds::util::Rng rng(n);
     std::size_t bits = 0, correct = 0;
     constexpr std::size_t kTrials = 5;
     for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      // Counter-derived seed: each (n, trial) instance is independent of
+      // every other data point instead of riding one shared Rng stream.
+      ds::util::Rng rng(ds::util::derive_seed(n, trial));
       const ds::graph::Graph g = ds::graph::gnp(n, 3.0 / n, rng);
       const ds::model::PublicCoins coins(4000 + n + trial);
       const auto run =
@@ -50,13 +52,14 @@ void print_k_connectivity() {
   std::cout << "=== A1b: k-edge-connectivity certificates ===\n";
   ds::core::Table table(
       {"n", "k", "bits/player", "|cert| / (k*n)", "capped lambda preserved"});
-  ds::util::Rng rng(17);
   for (std::uint32_t k : {1u, 2u, 4u}) {
     const ds::graph::Vertex n = 28;
     std::size_t bits = 0, preserved = 0;
     double cert_ratio = 0;
     constexpr std::size_t kTrials = 5;
     for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      ds::util::Rng rng(
+          ds::util::derive_seed(ds::util::derive_seed(17, k), trial));
       const ds::graph::Graph g = ds::graph::gnp(n, 0.35, rng);
       const ds::model::PublicCoins coins(5000 + k * 100 + trial);
       const auto run = ds::model::run_protocol(
@@ -85,12 +88,13 @@ void print_k_connectivity() {
 void print_mst_weight() {
   std::cout << "=== A1c: exact MSF weight from W connectivity sketches ===\n";
   ds::core::Table table({"n", "W", "bits/player", "exact matches"});
-  ds::util::Rng rng(23);
   for (std::uint32_t w : {2u, 4u, 8u}) {
     const ds::graph::Vertex n = 40;
     std::size_t bits = 0, exact = 0;
     constexpr std::size_t kTrials = 5;
     for (std::size_t trial = 0; trial < kTrials; ++trial) {
+      ds::util::Rng rng(
+          ds::util::derive_seed(ds::util::derive_seed(23, w), trial));
       const ds::graph::WeightedGraph g =
           ds::graph::random_weighted_gnp(n, 0.15, w, rng);
       const ds::model::PublicCoins coins(6000 + w * 100 + trial);
@@ -114,8 +118,8 @@ void print_dynamic_stream() {
                "correspondence ===\n";
   ds::core::Table table({"n", "updates", "spurious pairs", "state bits/n",
                          "components correct", "greedy matching survives"});
-  ds::util::Rng rng(29);
   for (ds::graph::Vertex n : {50u, 200u}) {
+    ds::util::Rng rng(ds::util::derive_seed(29, n));
     const ds::graph::Graph target = ds::graph::gnp(n, 4.0 / n, rng);
     const auto updates =
         ds::stream::scrambled_updates(target, /*spurious_pairs=*/2 * n, rng);
@@ -147,8 +151,8 @@ void print_sampling_zoo() {
   std::cout << "=== A1e: edge counting, densest subgraph, degeneracy ===\n";
   ds::core::Table table({"problem", "n", "bits/player", "estimate", "truth",
                          "ratio"});
-  ds::util::Rng rng(61);
   {
+    ds::util::Rng rng(ds::util::derive_seed(61, 0));
     const ds::graph::Graph g = ds::graph::gnp(200, 0.2, rng);
     const ds::model::PublicCoins coins(9100);
     const auto run = ds::model::run_protocol(
@@ -161,6 +165,7 @@ void print_sampling_zoo() {
   }
   {
     // Planted K12 in sparse noise.
+    ds::util::Rng rng(ds::util::derive_seed(61, 1));
     std::vector<ds::graph::Edge> edges;
     for (ds::graph::Vertex u = 0; u < 12; ++u)
       for (ds::graph::Vertex v = u + 1; v < 12; ++v) edges.push_back({u, v});
@@ -179,6 +184,7 @@ void print_sampling_zoo() {
                    ds::core::fmt(run.output.density / truth, 2)});
   }
   {
+    ds::util::Rng rng(ds::util::derive_seed(61, 2));
     const ds::graph::Graph g = ds::graph::gnp(200, 0.15, rng);
     const double truth = static_cast<double>(ds::graph::degeneracy(g));
     const ds::model::PublicCoins coins(9300);
@@ -203,12 +209,15 @@ void print_one_sided() {
   ds::core::Table table({"left=right", "two-sided bits", "1-sided budget",
                          "1-sided success"});
   for (ds::graph::Vertex side : {20u, 50u, 100u}) {
-    ds::util::Rng rng(41 + side);
     std::size_t two_bits = 0;
     for (std::size_t budget : {16ULL, 64ULL, 256ULL, 4096ULL}) {
       std::size_t successes = 0;
       constexpr std::size_t kTrials = 10;
       for (std::size_t trial = 0; trial < kTrials; ++trial) {
+        // Same instance sequence at every budget: the budget column is
+        // the only thing that varies across a row's data points.
+        ds::util::Rng rng(
+            ds::util::derive_seed(ds::util::derive_seed(41, side), trial));
         const auto inst = ds::graph::needle_bipartite(
             side, side, std::min(0.5, 8.0 / side), rng);
         const ds::model::PublicCoins coins(8000 + side + trial);

@@ -1,0 +1,129 @@
+// Shared serial-vs-parallel harness for the bench drivers.
+//
+// Each case is a closure over a ThreadPool: the harness runs it once on a
+// one-thread pool (the exact serial path) and once on the global pool
+// (DISTSKETCH_THREADS / hardware concurrency), times both, fingerprints
+// both results to certify the determinism contract held, and accumulates
+// a machine-readable record.  write_json emits BENCH_parallel.json so the
+// repo has a perf trajectory CI and scripts/bench.sh can track.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace ds::bench {
+
+struct ParallelCaseRecord {
+  std::string name;
+  std::size_t trials = 0;
+  std::size_t threads = 1;     // lanes in the parallel run
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 1.0;        // serial_ms / parallel_ms
+  double bits_per_player = 0.0;
+  bool identical = false;      // parallel fingerprint == serial fingerprint
+};
+
+/// Order-sensitive fingerprint fold (mix64 chain): equal sequences of
+/// words produce equal fingerprints, any difference diverges.
+[[nodiscard]] inline std::uint64_t fingerprint_fold(std::uint64_t h,
+                                                    std::uint64_t v) noexcept {
+  return util::mix64(h, v);
+}
+
+class ParallelHarness {
+ public:
+  /// run: (parallel::ThreadPool&) -> Result, the workload under test.
+  /// fingerprint: (const Result&) -> uint64, a bit-sensitive digest.
+  /// bits_per_player: (const Result&) -> double, for the JSON record.
+  template <typename RunFn, typename FingerprintFn, typename BitsFn>
+  void run_case(std::string name, std::size_t trials, RunFn&& run,
+                FingerprintFn&& fingerprint, BitsFn&& bits_per_player) {
+    ParallelCaseRecord record;
+    record.name = std::move(name);
+    record.trials = trials;
+
+    parallel::ThreadPool serial_pool(1);
+    const auto serial_start = Clock::now();
+    const auto serial_result = run(serial_pool);
+    record.serial_ms = ms_since(serial_start);
+
+    parallel::ThreadPool& pool = parallel::global_pool();
+    record.threads = pool.num_threads();
+    const auto parallel_start = Clock::now();
+    const auto parallel_result = run(pool);
+    record.parallel_ms = ms_since(parallel_start);
+
+    record.speedup = record.parallel_ms > 0.0
+                         ? record.serial_ms / record.parallel_ms
+                         : 1.0;
+    record.identical =
+        fingerprint(serial_result) == fingerprint(parallel_result);
+    record.bits_per_player = bits_per_player(parallel_result);
+    std::cout << "[" << record.name << "] trials=" << record.trials
+              << " threads=" << record.threads << " serial="
+              << record.serial_ms << "ms parallel=" << record.parallel_ms
+              << "ms speedup=" << record.speedup << "x identical="
+              << (record.identical ? "yes" : "NO") << "\n";
+    records_.push_back(std::move(record));
+  }
+
+  /// True iff every case's parallel result matched its serial result.
+  [[nodiscard]] bool all_identical() const noexcept {
+    for (const ParallelCaseRecord& r : records_) {
+      if (!r.identical) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::vector<ParallelCaseRecord>& records()
+      const noexcept {
+    return records_;
+  }
+
+  /// Emit the records as JSON (schema documented in docs/PARALLELISM.md).
+  void write_json(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"hardware_threads\": " << parallel::configured_threads()
+        << ",\n"
+        << "  \"pool_threads\": " << parallel::global_pool().num_threads()
+        << ",\n"
+        << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const ParallelCaseRecord& r = records_[i];
+      out << "    {\n"
+          << "      \"name\": \"" << r.name << "\",\n"
+          << "      \"trials\": " << r.trials << ",\n"
+          << "      \"threads\": " << r.threads << ",\n"
+          << "      \"serial_ms\": " << r.serial_ms << ",\n"
+          << "      \"parallel_ms\": " << r.parallel_ms << ",\n"
+          << "      \"speedup\": " << r.speedup << ",\n"
+          << "      \"bits_per_player\": " << r.bits_per_player << ",\n"
+          << "      \"identical\": " << (r.identical ? "true" : "false")
+          << "\n    }" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote " << path << "\n";
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  [[nodiscard]] static double ms_since(Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  }
+
+  std::vector<ParallelCaseRecord> records_;
+};
+
+}  // namespace ds::bench

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build the release preset and run the parallel-engine benchmark.
+#
+# Emits BENCH_parallel.json (schema in docs/PARALLELISM.md): wall time
+# serial vs parallel, speedup, bits/player per case, and an "identical"
+# flag certifying the determinism contract held. Exits nonzero if any
+# parallel run diverged from its serial twin.
+#
+# Usage:
+#   scripts/bench.sh                 # writes ./BENCH_parallel.json
+#   scripts/bench.sh out.json        # custom output path
+#   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_parallel.json}"
+BUILD_DIR=build-release
+
+if command -v ninja > /dev/null 2>&1; then
+  cmake --preset release -G Ninja
+else
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel
+
+"$BUILD_DIR"/bench/bench_parallel "$OUT"

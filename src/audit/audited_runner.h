@@ -34,6 +34,7 @@
 #include "model/coins.h"
 #include "model/protocol.h"
 #include "model/runner.h"
+#include "parallel/thread_pool.h"
 
 namespace ds::audit {
 
@@ -59,27 +60,35 @@ class AuditedRunner {
   [[nodiscard]] const AuditConfig& config() const noexcept { return config_; }
 
   /// Audited equivalent of model::run_protocol on an unweighted graph.
+  /// The forward encode pass and the scrub probe fan out across the pool
+  /// (null = global); each player is audited independently and the
+  /// per-chunk CommStats / AuditReports merge in vertex order, so the
+  /// verdict, comm, and report are identical at any thread count.  The
+  /// order probe stays sequential — it exists to detect cross-player
+  /// encode-order dependence, which only a fixed replay order can witness.
   template <typename Output>
   [[nodiscard]] AuditedRunResult<Output> run(
       const graph::Graph& g,
-      const model::SketchingProtocol<Output>& protocol) const {
+      const model::SketchingProtocol<Output>& protocol,
+      parallel::ThreadPool* pool = nullptr) const {
     return run_impl<Output>(
         g.num_vertices(),
         [&g](graph::Vertex v) { return g.neighbors(v); },
         [](graph::Vertex) { return std::span<const std::uint32_t>{}; },
-        protocol);
+        protocol, pool);
   }
 
   /// Audited equivalent of model::run_protocol on a weighted graph.
   template <typename Output>
   [[nodiscard]] AuditedRunResult<Output> run(
       const graph::WeightedGraph& g,
-      const model::SketchingProtocol<Output>& protocol) const {
+      const model::SketchingProtocol<Output>& protocol,
+      parallel::ThreadPool* pool = nullptr) const {
     return run_impl<Output>(
         g.num_vertices(),
         [&g](graph::Vertex v) { return g.topology().neighbors(v); },
         [&g](graph::Vertex v) { return g.neighbor_weights(v); },
-        protocol);
+        protocol, pool);
   }
 
   /// Audited equivalent of model::run_adaptive (multi-round path).  The
@@ -89,7 +98,8 @@ class AuditedRunner {
   template <typename Output>
   [[nodiscard]] AuditedAdaptiveResult<Output> run_adaptive(
       const graph::Graph& g,
-      const model::AdaptiveProtocol<Output>& protocol) const {
+      const model::AdaptiveProtocol<Output>& protocol,
+      parallel::ThreadPool* pool = nullptr) const {
     static_assert(std::equality_comparable<Output>);
     const graph::Vertex n = g.num_vertices();
     const unsigned rounds = protocol.num_rounds();
@@ -105,18 +115,23 @@ class AuditedRunner {
                                   util::BitWriter& out) {
         protocol.encode_round(view, round, broadcasts, out);
       };
-      model::CommStats round_comm;
-      std::vector<util::BitString> sketches;
-      sketches.reserve(n);
-      for (graph::Vertex v = 0; v < n; ++v) {
-        util::BitString msg = audited_encode_player(
-            encode, n, v, g.neighbors(v), {}, seed_, config_, report,
-            protocol.name() + " (round " + std::to_string(round) + ")");
-        round_comm.record(msg.bit_count());
-        player_bits[v] += msg.bit_count();
-        sketches.push_back(std::move(msg));
-      }
-      result.by_round.push_back(round_comm);
+      const std::string round_name =
+          protocol.name() + " (round " + std::to_string(round) + ")";
+      std::vector<util::BitString> sketches(n);
+      const AuditAccum round_accum = parallel::parallel_reduce(
+          pool, std::size_t{0}, std::size_t{n}, AuditAccum{},
+          [&](AuditAccum& acc, std::size_t i) {
+            const auto v = static_cast<graph::Vertex>(i);
+            util::BitString msg = audited_encode_player(
+                encode, n, v, g.neighbors(v), {}, seed_, config_,
+                acc.report, round_name);
+            acc.comm.record(msg.bit_count());
+            player_bits[i] += msg.bit_count();
+            sketches[i] = std::move(msg);
+          },
+          [](AuditAccum& into, const AuditAccum& from) { into.merge(from); });
+      report.merge(round_accum.report);
+      result.by_round.push_back(round_accum.comm);
       all_rounds.push_back(std::move(sketches));
       if (round + 1 < rounds) {
         const model::PublicCoins coins(seed_);
@@ -156,27 +171,43 @@ class AuditedRunner {
   }
 
  private:
+  // Per-chunk accumulator for parallel audited passes; merged in vertex
+  // order, which reproduces the serial record()/merge() sequence exactly.
+  struct AuditAccum {
+    model::CommStats comm;
+    AuditReport report;
+    void merge(const AuditAccum& other) noexcept {
+      comm.merge(other.comm);
+      report.merge(other.report);
+    }
+  };
+
   template <typename Output, typename RowFn, typename WeightFn>
   [[nodiscard]] AuditedRunResult<Output> run_impl(
       graph::Vertex n, const RowFn& row_of, const WeightFn& weights_of,
-      const model::SketchingProtocol<Output>& protocol) const {
+      const model::SketchingProtocol<Output>& protocol,
+      parallel::ThreadPool* pool) const {
     static_assert(std::equality_comparable<Output>);
     const EncodeFn encode = [&protocol](const model::VertexView& view,
                                         util::BitWriter& out) {
       protocol.encode(view, out);
     };
+    const std::string proto_name = protocol.name();
 
-    AuditReport report;
-    model::CommStats comm;
-    std::vector<util::BitString> messages;
-    messages.reserve(n);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      util::BitString msg =
-          audited_encode_player(encode, n, v, row_of(v), weights_of(v),
-                                seed_, config_, report, protocol.name());
-      comm.record(msg.bit_count());
-      messages.push_back(std::move(msg));
-    }
+    std::vector<util::BitString> messages(n);
+    AuditAccum forward = parallel::parallel_reduce(
+        pool, std::size_t{0}, std::size_t{n}, AuditAccum{},
+        [&](AuditAccum& acc, std::size_t i) {
+          const auto v = static_cast<graph::Vertex>(i);
+          util::BitString msg =
+              audited_encode_player(encode, n, v, row_of(v), weights_of(v),
+                                    seed_, config_, acc.report, proto_name);
+          acc.comm.record(msg.bit_count());
+          messages[i] = std::move(msg);
+        },
+        [](AuditAccum& into, const AuditAccum& from) { into.merge(from); });
+    AuditReport report = forward.report;
+    model::CommStats comm = forward.comm;
 
     if (config_.check_locality) {
       // Order probe: replaying players back-to-front must reproduce the
@@ -211,9 +242,16 @@ class AuditedRunner {
     }
     if (config_.check_accounting) {
       // Scrub probe: poison any encoder-side state, then decode again.
-      for (graph::Vertex v = 0; v < n; ++v) {
-        scrub_encode_player(encode, n, v, seed_, report);
-      }
+      // Decoy encodes are independent per player, so they fan out too.
+      report.merge(parallel::parallel_reduce(
+          pool, std::size_t{0}, std::size_t{n}, AuditReport{},
+          [&](AuditReport& acc, std::size_t i) {
+            scrub_encode_player(encode, n, static_cast<graph::Vertex>(i),
+                                seed_, acc);
+          },
+          [](AuditReport& into, const AuditReport& from) {
+            into.merge(from);
+          }));
       const model::PublicCoins coins(seed_);
       const Output after_scrub = protocol.decode(n, messages, coins);
       if (!(after_scrub == output)) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "model/runner.h"
+#include "parallel/thread_pool.h"
 #include "util/stats.h"
 
 namespace ds::core {
@@ -35,6 +36,14 @@ struct SweepResult {
 /// For each budget: `trials` independent runs, each with a fresh graph
 /// from `make_graph(trial_seed)` and fresh public coins; success judged by
 /// `is_success(graph, output)`.
+///
+/// Trials run concurrently on the thread pool (null `pool` = the global
+/// one).  Each trial's seed is derived counter-style from (seed, trial) —
+/// util::derive_seed — so trial i's input and coins never depend on which
+/// thread ran it or on the other trials, and the per-trial outcomes are
+/// folded in trial order: the SweepResult is bit-identical at any thread
+/// count, including 1.  make_graph / make_protocol / is_success must be
+/// safe to call concurrently (pure functions of their arguments).
 template <typename Output>
 [[nodiscard]] SweepResult sweep_budgets(
     std::span<const std::size_t> budgets, std::size_t trials,
@@ -44,22 +53,30 @@ template <typename Output>
         std::unique_ptr<model::SketchingProtocol<Output>>(std::size_t)>&
         make_protocol,
     const std::function<bool(const graph::Graph&, const Output&)>& is_success,
-    double target_rate = 0.99) {
+    double target_rate = 0.99, parallel::ThreadPool* pool = nullptr) {
   SweepResult result;
+  struct TrialOutcome {
+    bool success = false;
+    std::size_t max_bits = 0;
+  };
   for (std::size_t budget : budgets) {
     SweepPoint point;
     point.budget_bits = budget;
     const auto protocol = make_protocol(budget);
-    for (std::size_t trial = 0; trial < trials; ++trial) {
-      const std::uint64_t trial_seed = util::mix64(seed, trial);
+    std::vector<TrialOutcome> outcomes(trials);
+    parallel::parallel_for(pool, 0, trials, [&](std::size_t trial) {
+      const std::uint64_t trial_seed = util::derive_seed(seed, trial);
       const graph::Graph g = make_graph(trial_seed);
-      const model::PublicCoins coins(util::mix64(trial_seed, 0xC01));
+      const model::PublicCoins coins(util::derive_seed(trial_seed, 0xC01));
       const model::RunResult<Output> run =
-          model::run_protocol(g, *protocol, coins);
+          model::run_protocol(g, *protocol, coins, pool);
+      outcomes[trial] = {is_success(g, run.output), run.comm.max_bits};
+    });
+    for (const TrialOutcome& outcome : outcomes) {
       ++point.trials;
-      if (is_success(g, run.output)) ++point.successes;
-      if (run.comm.max_bits > point.max_bits_seen) {
-        point.max_bits_seen = run.comm.max_bits;
+      if (outcome.success) ++point.successes;
+      if (outcome.max_bits > point.max_bits_seen) {
+        point.max_bits_seen = outcome.max_bits;
       }
     }
     point.rate = point.trials == 0

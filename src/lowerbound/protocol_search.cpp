@@ -2,43 +2,84 @@
 
 #include <cmath>
 
+#include "parallel/thread_pool.h"
+
 namespace ds::lowerbound {
+
+namespace {
+
+std::vector<std::uint8_t> nth_table(std::uint64_t index, std::size_t states,
+                                    std::uint64_t values) {
+  std::vector<std::uint8_t> table(states);
+  for (std::size_t s = 0; s < states; ++s) {
+    table[s] = static_cast<std::uint8_t>(index % values);
+    index /= values;
+  }
+  return table;
+}
+
+// Per-chunk argmax carrying the winning (public, unique) table indices.
+// The serial loop keeps the FIRST protocol that is strictly better, so the
+// parallel scan preserves that tie-break: each chunk scans its pi range in
+// order, and chunks merge in pi order with a strict `>` — the earliest
+// maximizer wins at any thread count.
+struct SearchBest {
+  double success = 0.0;
+  double fano_cap = 0.0;
+  std::uint64_t public_index = 0;
+  std::uint64_t unique_index = 0;
+  bool found = false;
+};
+
+}  // namespace
 
 ProtocolSearchResult search_degree_protocols(const rs::RsGraph& base,
                                              std::uint64_t k, unsigned bits,
-                                             std::size_t degree_cap) {
+                                             std::size_t degree_cap,
+                                             parallel::ThreadPool* pool) {
   const std::size_t states = degree_cap + 1;
   const std::uint64_t values = std::uint64_t{1} << bits;
   // Every table is a function [states] -> [values]: values^states choices.
   std::uint64_t table_count = 1;
   for (std::size_t s = 0; s < states; ++s) table_count *= values;
 
-  const auto nth_table = [&](std::uint64_t index) {
-    std::vector<std::uint8_t> table(states);
-    for (std::size_t s = 0; s < states; ++s) {
-      table[s] = static_cast<std::uint8_t>(index % values);
-      index /= values;
-    }
-    return table;
-  };
-
   ProtocolSearchResult result;
   result.silent_baseline =
       std::exp2(-static_cast<double>(k * base.r()));
-  for (std::uint64_t pi = 0; pi < table_count; ++pi) {
-    const std::vector<std::uint8_t> public_table = nth_table(pi);
-    for (std::uint64_t ui = 0; ui < table_count; ++ui) {
-      const DegreeTableEncoder encoder(bits, public_table, nth_table(ui));
-      const OptimalRefereeResult r =
-          optimal_referee_success(base, k, encoder);
-      ++result.protocols_searched;
-      if (r.optimal_success > result.best_success) {
-        result.best_success = r.optimal_success;
-        result.fano_cap_at_best = r.fano_success_bound;
-        result.best_public_table = public_table;
-        result.best_unique_table = nth_table(ui);
-      }
-    }
+
+  // Outer loop (public tables) fans out across the pool; every (pi, ui)
+  // cell is an independent MAP-referee evaluation.
+  const SearchBest best = parallel::parallel_reduce(
+      pool, std::size_t{0}, static_cast<std::size_t>(table_count),
+      SearchBest{},
+      [&](SearchBest& acc, std::size_t pi) {
+        const std::vector<std::uint8_t> public_table =
+            nth_table(pi, states, values);
+        for (std::uint64_t ui = 0; ui < table_count; ++ui) {
+          const DegreeTableEncoder encoder(bits, public_table,
+                                           nth_table(ui, states, values));
+          const OptimalRefereeResult r =
+              optimal_referee_success(base, k, encoder);
+          if (r.optimal_success > acc.success) {
+            acc.success = r.optimal_success;
+            acc.fano_cap = r.fano_success_bound;
+            acc.public_index = pi;
+            acc.unique_index = ui;
+            acc.found = true;
+          }
+        }
+      },
+      [](SearchBest& into, const SearchBest& from) {
+        if (from.success > into.success) into = from;
+      });
+
+  result.protocols_searched =
+      static_cast<std::size_t>(table_count * table_count);
+  result.best_success = best.success;
+  result.fano_cap_at_best = best.fano_cap;
+  if (best.found) {
+    result.best_public_table = nth_table(best.public_index, states, values);
+    result.best_unique_table = nth_table(best.unique_index, states, values);
   }
   return result;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lowerbound/optimal_referee.h"
+#include "parallel/thread_pool.h"
 
 namespace ds::lowerbound {
 
@@ -62,8 +63,13 @@ struct ProtocolSearchResult {
 /// degree states 0..degree_cap, scoring each with the exact MAP referee
 /// (identity sigma).  Cost: (2^bits)^(2*(degree_cap+1)) full enumerations
 /// — keep bits * (degree_cap+1) small.
+///
+/// Public tables fan out across the thread pool (null = global pool);
+/// each chunk scans its index range in order and chunks merge in index
+/// order keeping the first strict maximizer, so the winning tables are
+/// identical to the serial scan at any thread count.
 [[nodiscard]] ProtocolSearchResult search_degree_protocols(
     const rs::RsGraph& base, std::uint64_t k, unsigned bits,
-    std::size_t degree_cap);
+    std::size_t degree_cap, parallel::ThreadPool* pool = nullptr);
 
 }  // namespace ds::lowerbound

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "model/protocol.h"
+#include "parallel/thread_pool.h"
 
 namespace ds::model {
 
@@ -66,7 +67,7 @@ struct AdaptiveRunResult {
 template <typename Output>
 [[nodiscard]] AdaptiveRunResult<Output> run_adaptive(
     const graph::Graph& g, const AdaptiveProtocol<Output>& protocol,
-    const PublicCoins& coins) {
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
   const unsigned rounds = protocol.num_rounds();
   const graph::Vertex n = g.num_vertices();
 
@@ -77,17 +78,22 @@ template <typename Output>
   std::vector<std::size_t> player_bits(n, 0);
 
   for (unsigned round = 0; round < rounds; ++round) {
-    CommStats round_comm;
-    std::vector<util::BitString> sketches;
-    sketches.reserve(n);
-    for (graph::Vertex v = 0; v < n; ++v) {
-      const VertexView view{n, v, g.neighbors(v), &coins};
-      util::BitWriter writer;
-      protocol.encode_round(view, round, broadcasts, writer);
-      round_comm.record(writer.bit_count());
-      player_bits[v] += writer.bit_count();
-      sketches.emplace_back(writer);
-    }
+    // Within a round every player sees only (view, earlier broadcasts),
+    // so the encode loop parallelizes exactly like the one-round runner;
+    // the broadcast barrier between rounds stays sequential by design.
+    std::vector<util::BitString> sketches(n);
+    const CommStats round_comm = parallel::parallel_reduce(
+        pool, std::size_t{0}, std::size_t{n}, CommStats{},
+        [&](CommStats& acc, std::size_t i) {
+          const auto v = static_cast<graph::Vertex>(i);
+          const VertexView view{n, v, g.neighbors(v), &coins};
+          util::BitWriter writer;
+          protocol.encode_round(view, round, broadcasts, writer);
+          acc.record(writer.bit_count());
+          player_bits[i] += writer.bit_count();
+          sketches[i] = util::BitString(writer);
+        },
+        [](CommStats& into, const CommStats& from) { into.merge(from); });
     result.by_round.push_back(round_comm);
     all_rounds.push_back(std::move(sketches));
 

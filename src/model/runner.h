@@ -3,12 +3,22 @@
 // The runner is the only code that sees both the whole graph and the
 // protocol: it slices the graph into per-vertex views, collects the
 // sketches (charging exact bit counts), and hands them to the referee.
+//
+// Sketch collection runs through the deterministic thread pool
+// (src/parallel): each player's message is a function of its own view and
+// the public coins only (Section 2.1), so per-vertex encodes are
+// independent by construction.  Messages land in slot sketches[v] and the
+// per-chunk CommStats are merged in vertex order, so the result — outputs
+// AND bit accounting — is identical to the serial loop at any thread
+// count.  Pass a ThreadPool to choose one explicitly; null uses the
+// global pool (sized by DISTSKETCH_THREADS).
 #pragma once
 
 #include <span>
 
 #include "graph/weighted.h"
 #include "model/protocol.h"
+#include "parallel/thread_pool.h"
 
 namespace ds::model {
 
@@ -18,30 +28,53 @@ struct RunResult {
   CommStats comm;
 };
 
+namespace detail {
+
+/// The shared encode loop: materialize view_of(v) for every vertex,
+/// encode it, and charge exact bits.  CommStats accumulate per chunk and
+/// merge in vertex order — bit-identical to the serial record() sequence.
+template <typename Output, typename ViewFn>
+[[nodiscard]] std::vector<util::BitString> collect_sketches_impl(
+    graph::Vertex n, const SketchingProtocol<Output>& protocol,
+    const ViewFn& view_of, CommStats& comm, parallel::ThreadPool* pool) {
+  std::vector<util::BitString> sketches(n);
+  CommStats encoded = parallel::parallel_reduce(
+      pool, std::size_t{0}, std::size_t{n}, CommStats{},
+      [&](CommStats& acc, std::size_t i) {
+        const auto v = static_cast<graph::Vertex>(i);
+        util::BitWriter writer;
+        protocol.encode(view_of(v), writer);
+        acc.record(writer.bit_count());
+        sketches[i] = util::BitString(writer);
+      },
+      [](CommStats& into, const CommStats& from) { into.merge(from); });
+  comm.merge(encoded);
+  return sketches;
+}
+
+}  // namespace detail
+
 /// Materialize every player's sketch for `g` under `protocol`.
 template <typename Output>
 [[nodiscard]] std::vector<util::BitString> collect_sketches(
     const graph::Graph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins, CommStats& comm) {
-  std::vector<util::BitString> sketches;
-  sketches.reserve(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
-    const VertexView view{g.num_vertices(), v, g.neighbors(v), &coins};
-    util::BitWriter writer;
-    protocol.encode(view, writer);
-    comm.record(writer.bit_count());
-    sketches.emplace_back(writer);
-  }
-  return sketches;
+    const PublicCoins& coins, CommStats& comm,
+    parallel::ThreadPool* pool = nullptr) {
+  return detail::collect_sketches_impl(
+      g.num_vertices(), protocol,
+      [&g, &coins](graph::Vertex v) {
+        return VertexView{g.num_vertices(), v, g.neighbors(v), &coins};
+      },
+      comm, pool);
 }
 
 template <typename Output>
 [[nodiscard]] RunResult<Output> run_protocol(
     const graph::Graph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins) {
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
   CommStats comm;
   const std::vector<util::BitString> sketches =
-      collect_sketches(g, protocol, coins, comm);
+      collect_sketches(g, protocol, coins, comm, pool);
   return {protocol.decode(g.num_vertices(), sketches, coins),
           comm};
 }
@@ -50,27 +83,24 @@ template <typename Output>
 template <typename Output>
 [[nodiscard]] std::vector<util::BitString> collect_sketches(
     const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins, CommStats& comm) {
-  std::vector<util::BitString> sketches;
-  sketches.reserve(g.num_vertices());
-  for (graph::Vertex v = 0; v < g.num_vertices(); ++v) {
-    const VertexView view{g.num_vertices(), v, g.topology().neighbors(v),
+    const PublicCoins& coins, CommStats& comm,
+    parallel::ThreadPool* pool = nullptr) {
+  return detail::collect_sketches_impl(
+      g.num_vertices(), protocol,
+      [&g, &coins](graph::Vertex v) {
+        return VertexView{g.num_vertices(), v, g.topology().neighbors(v),
                           &coins, g.neighbor_weights(v)};
-    util::BitWriter writer;
-    protocol.encode(view, writer);
-    comm.record(writer.bit_count());
-    sketches.emplace_back(writer);
-  }
-  return sketches;
+      },
+      comm, pool);
 }
 
 template <typename Output>
 [[nodiscard]] RunResult<Output> run_protocol(
     const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins) {
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
   CommStats comm;
   const std::vector<util::BitString> sketches =
-      collect_sketches(g, protocol, coins, comm);
+      collect_sketches(g, protocol, coins, comm, pool);
   return {protocol.decode(g.num_vertices(), sketches, coins), comm};
 }
 

@@ -1,0 +1,149 @@
+#include "parallel/thread_pool.h"
+
+#include <cstdlib>
+
+namespace ds::parallel {
+
+namespace {
+
+// Set while this thread is executing a pool chunk.  Nested parallel loops
+// (a trial body that itself calls collect_sketches) run inline instead of
+// re-entering the pool, so a worker can never block on a job that only it
+// could finish.
+thread_local bool t_inside_pool_task = false;
+
+constexpr std::size_t kMaxThreads = 512;
+constexpr std::size_t kMaxChunks = 64;
+
+}  // namespace
+
+std::size_t parse_thread_count(const char* text,
+                               std::size_t hardware) noexcept {
+  const std::size_t fallback = hardware == 0 ? 1 : hardware;
+  if (text == nullptr || *text == '\0') return fallback;
+  std::size_t value = 0;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return fallback;
+    const auto digit = static_cast<std::size_t>(*p - '0');
+    if (value > (kMaxThreads - digit) / 10) return kMaxThreads;  // overflow
+    value = value * 10 + digit;
+  }
+  if (value == 0) return fallback;
+  return value > kMaxThreads ? kMaxThreads : value;
+}
+
+std::size_t configured_threads() noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, before any worker
+  // exists (the global pool is constructed on first use).
+  return parse_thread_count(std::getenv("DISTSKETCH_THREADS"),
+                            std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t lanes = threads == 0 ? 1 : threads;
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t n) noexcept {
+  return n < kMaxChunks ? n : kMaxChunks;
+}
+
+std::pair<std::size_t, std::size_t> ThreadPool::chunk_bounds(
+    std::size_t n, std::size_t chunks, std::size_t c) noexcept {
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t lo = c * base + (c < rem ? c : rem);
+  const std::size_t hi = lo + base + (c < rem ? 1 : 0);
+  return {lo, hi};
+}
+
+void ThreadPool::run_chunks(std::size_t count,
+                            const std::function<void(std::size_t)>& chunk_fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1 || t_inside_pool_task) {
+    // Serial path: no workers, a single chunk, or a nested loop issued
+    // from inside a pool task.  Exceptions propagate naturally.
+    for (std::size_t c = 0; c < count; ++c) chunk_fn(c);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> submit_guard(submit_mutex_);
+  auto job = std::make_shared<Job>();
+  job->fn = chunk_fn;
+  job->count = count;
+  {
+    const std::lock_guard<std::mutex> lk(mutex_);
+    job_ = job;
+  }
+  work_cv_.notify_all();
+
+  drain(*job);  // the submitting thread is a lane too
+
+  std::unique_lock<std::mutex> lk(mutex_);
+  done_cv_.wait(lk, [&] { return job->done == job->count; });
+  job_.reset();
+  lk.unlock();
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::drain(Job& job) {
+  t_inside_pool_task = true;
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.count) break;
+    bool skip;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      skip = job.error != nullptr;  // fail fast once one chunk threw
+    }
+    if (!skip) {
+      try {
+        job.fn(c);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lk(mutex_);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      if (++job.done == job.count) done_cv_.notify_all();
+    }
+  }
+  t_inside_pool_task = false;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      work_cv_.wait(lk, [&] {
+        return stop_ ||
+               (job_ != nullptr &&
+                job_->next.load(std::memory_order_relaxed) < job_->count);
+      });
+      if (stop_) return;
+      job = job_;
+    }
+    drain(*job);
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ds::parallel

@@ -1,0 +1,164 @@
+// Deterministic parallel execution for the trial loops and per-player
+// encode loops that dominate every experiment's wall clock.
+//
+// The model itself guarantees the parallelism is safe: a player's message
+// is a deterministic function of its own view plus the public coins
+// (Section 2.1), so per-vertex encodes never race, and trial loops use
+// counter-based seed derivation (util::derive_seed) so trial i's
+// randomness is independent of how many trials ran before it.
+//
+// Determinism contract (see docs/PARALLELISM.md): every parallel_for /
+// parallel_reduce decomposes [begin, end) into a FIXED chunk partition
+// that depends only on the range size — never on the thread count — and
+// parallel_reduce folds the per-chunk accumulators in chunk order on the
+// calling thread.  Results are therefore bit-identical at any thread
+// count (including 1), even for non-commutative or floating-point merges.
+//
+// This is deliberately a work-stealing-free pool: one shared job at a
+// time, chunks claimed from an atomic cursor, no per-thread deques.  The
+// loops it serves are embarrassingly parallel and coarse-grained, so the
+// simple design wins on predictability and auditability.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ds::parallel {
+
+/// Parse a DISTSKETCH_THREADS-style override.  Returns `hardware`
+/// (clamped to >= 1) when `text` is null, empty, non-numeric, or zero;
+/// otherwise the parsed value clamped to [1, 512].
+[[nodiscard]] std::size_t parse_thread_count(const char* text,
+                                             std::size_t hardware) noexcept;
+
+/// The thread count the global pool uses: DISTSKETCH_THREADS if set,
+/// else std::thread::hardware_concurrency().
+[[nodiscard]] std::size_t configured_threads() noexcept;
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` total execution lanes (the calling thread
+  /// participates, so `threads - 1` workers are spawned).  `threads <= 1`
+  /// spawns nothing and every loop runs inline on the caller.
+  explicit ThreadPool(std::size_t threads = configured_threads());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes, including the calling thread. Always >= 1.
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// body(i) for every i in [begin, end), in parallel.  The body must only
+  /// write state owned by index i (slot-indexed outputs).  The first
+  /// exception thrown by any invocation is rethrown on the calling thread
+  /// after the loop completes; later chunks are skipped once one fails.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, Body&& body) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = chunk_count(n);
+    run_chunks(chunks, [&](std::size_t c) {
+      const auto [lo, hi] = chunk_bounds(n, chunks, c);
+      for (std::size_t i = lo; i < hi; ++i) body(begin + i);
+    });
+  }
+
+  /// Deterministic reduction: each chunk folds into its own copy of
+  /// `init` via body(acc, i) (indices in order within the chunk), then the
+  /// per-chunk accumulators are merged IN CHUNK ORDER on the calling
+  /// thread via merge(into, from).  Because the chunk partition is
+  /// independent of the thread count, the result is bit-identical at any
+  /// thread count — merge need not be commutative.
+  template <typename T, typename Body, typename Merge>
+  [[nodiscard]] T parallel_reduce(std::size_t begin, std::size_t end, T init,
+                                  Body&& body, Merge&& merge) {
+    if (begin >= end) return init;
+    const std::size_t n = end - begin;
+    const std::size_t chunks = chunk_count(n);
+    std::vector<T> partials(chunks, init);
+    run_chunks(chunks, [&](std::size_t c) {
+      const auto [lo, hi] = chunk_bounds(n, chunks, c);
+      T& acc = partials[c];
+      for (std::size_t i = lo; i < hi; ++i) body(acc, begin + i);
+    });
+    T result = std::move(partials[0]);
+    for (std::size_t c = 1; c < chunks; ++c) {
+      merge(result, std::move(partials[c]));
+    }
+    return result;
+  }
+
+  /// The fixed range decomposition: min(n, 64) chunks, a function of the
+  /// range size only (public so tests can assert the partition).
+  [[nodiscard]] static std::size_t chunk_count(std::size_t n) noexcept;
+
+  /// Half-open [lo, hi) of chunk c under the `chunks`-way split of n
+  /// items: sizes differ by at most one, earlier chunks get the remainder.
+  [[nodiscard]] static std::pair<std::size_t, std::size_t> chunk_bounds(
+      std::size_t n, std::size_t chunks, std::size_t c) noexcept;
+
+ private:
+  // One in-flight job: chunks are claimed via fetch_add on `next`; `done`
+  // and `error` are guarded by the pool mutex.  Heap-allocated and shared
+  // so a worker that wakes late holds the old job alive harmlessly (its
+  // cursor is exhausted) instead of touching recycled state.
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;
+    std::exception_ptr error;
+  };
+
+  void run_chunks(std::size_t count,
+                  const std::function<void(std::size_t)>& chunk_fn);
+  void drain(Job& job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait here for a job
+  std::condition_variable done_cv_;   // the submitter waits here
+  std::mutex submit_mutex_;           // serializes concurrent submitters
+  std::shared_ptr<Job> job_;          // guarded by mutex_
+  bool stop_ = false;                 // guarded by mutex_
+};
+
+/// The process-wide pool, sized by configured_threads() at first use.
+/// Every harness entry point that takes an optional `ThreadPool*` routes
+/// null here, so `DISTSKETCH_THREADS=1 ./binary` forces serial execution
+/// everywhere without code changes.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Route-through helpers: run on `pool` if given, else the global pool.
+[[nodiscard]] inline ThreadPool& resolve(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_pool();
+}
+
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  Body&& body) {
+  resolve(pool).parallel_for(begin, end, std::forward<Body>(body));
+}
+
+template <typename T, typename Body, typename Merge>
+[[nodiscard]] T parallel_reduce(ThreadPool* pool, std::size_t begin,
+                                std::size_t end, T init, Body&& body,
+                                Merge&& merge) {
+  return resolve(pool).parallel_reduce(begin, end, std::move(init),
+                                       std::forward<Body>(body),
+                                       std::forward<Merge>(merge));
+}
+
+}  // namespace ds::parallel

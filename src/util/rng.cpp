@@ -26,6 +26,12 @@ std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept {
   return x ^ splitmix64(s);
 }
 
+std::uint64_t derive_seed(std::uint64_t master, std::uint64_t index) noexcept {
+  // Two chained splitmix64 finalizers over (master, index); identical to
+  // mix64 so pre-existing mix64(seed, trial) call sites keep their outputs.
+  return mix64(master, index);
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);

@@ -87,4 +87,12 @@ class Rng {
 /// Stateless mix of two words into one (used to build stream tags).
 [[nodiscard]] std::uint64_t mix64(std::uint64_t a, std::uint64_t b) noexcept;
 
+/// Counter-based per-trial seed derivation (splitmix-style): statelessly
+/// maps (master, index) to an independent seed.  Trial i's randomness is a
+/// pure function of the master seed and i — not of how many trials ran
+/// before it — which is what lets trial loops run in parallel while
+/// staying bit-identical to the serial order (docs/PARALLELISM.md).
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master,
+                                        std::uint64_t index) noexcept;
+
 }  // namespace ds::util

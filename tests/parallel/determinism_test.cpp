@@ -1,0 +1,198 @@
+// The determinism contract of docs/PARALLELISM.md, asserted end to end:
+// every harness that fans out across the thread pool — sketch collection,
+// budget sweeps, the audited runner, the exhaustive protocol search —
+// must produce BIT-identical outputs and identical CommStats at 1, 2, and
+// 8 threads.  These tests are also the payload of the CI tsan job.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "audit/audited_runner.h"
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "graph/generators.h"
+#include "lowerbound/protocol_search.h"
+#include "model/runner.h"
+#include "parallel/thread_pool.h"
+#include "protocols/sampled_matching.h"
+#include "protocols/two_round_matching.h"
+#include "rs/rs_graph.h"
+
+namespace ds {
+namespace {
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+void expect_same_comm(const model::CommStats& a, const model::CommStats& b,
+                      std::size_t threads) {
+  EXPECT_EQ(a.max_bits, b.max_bits) << "at " << threads << " threads";
+  EXPECT_EQ(a.total_bits, b.total_bits) << "at " << threads << " threads";
+  EXPECT_EQ(a.num_players, b.num_players) << "at " << threads << " threads";
+}
+
+void expect_same_sketches(const std::vector<util::BitString>& a,
+                          const std::vector<util::BitString>& b,
+                          std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].bit_count(), b[v].bit_count())
+        << "player " << v << " at " << threads << " threads";
+    EXPECT_EQ(a[v].words(), b[v].words())
+        << "player " << v << " at " << threads << " threads";
+  }
+}
+
+TEST(ParallelDeterminism, CollectSketchesBitIdenticalAcrossThreadCounts) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp(150, 0.08, rng);
+  const protocols::BudgetedMatching protocol(96);
+  const model::PublicCoins coins(1234);
+
+  parallel::ThreadPool reference_pool(1);
+  model::CommStats reference_comm;
+  const auto reference = model::collect_sketches(
+      g, protocol, coins, reference_comm, &reference_pool);
+
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    model::CommStats comm;
+    const auto sketches =
+        model::collect_sketches(g, protocol, coins, comm, &pool);
+    expect_same_sketches(reference, sketches, threads);
+    expect_same_comm(reference_comm, comm, threads);
+  }
+}
+
+TEST(ParallelDeterminism, RunProtocolOutputIdenticalAcrossThreadCounts) {
+  util::Rng rng(13);
+  const graph::Graph g = graph::gnp(100, 0.1, rng);
+  const protocols::BudgetedMatching protocol(128);
+  const model::PublicCoins coins(77);
+
+  parallel::ThreadPool serial(1);
+  const auto reference = model::run_protocol(g, protocol, coins, &serial);
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    const auto run = model::run_protocol(g, protocol, coins, &pool);
+    EXPECT_EQ(run.output, reference.output) << "at " << threads << " threads";
+    expect_same_comm(reference.comm, run.comm, threads);
+  }
+}
+
+TEST(ParallelDeterminism, SweepBitIdenticalAcrossThreadCounts) {
+  const std::vector<std::size_t> budgets{1, 64, 2048};
+  const auto run_sweep = [&](parallel::ThreadPool* pool) {
+    return core::sweep_budgets<model::MatchingOutput>(
+        budgets, /*trials=*/16, /*seed=*/7,
+        [](std::uint64_t seed) {
+          util::Rng rng(seed);
+          return graph::gnp(30, 0.2, rng);
+        },
+        [](std::size_t budget) {
+          return std::make_unique<protocols::BudgetedMatching>(budget);
+        },
+        [](const graph::Graph& g, const model::MatchingOutput& m) {
+          return core::score_matching(g, m).maximal;
+        },
+        /*target_rate=*/0.99, pool);
+  };
+
+  parallel::ThreadPool serial(1);
+  const core::SweepResult reference = run_sweep(&serial);
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    const core::SweepResult result = run_sweep(&pool);
+    EXPECT_EQ(result.threshold_budget, reference.threshold_budget)
+        << "at " << threads << " threads";
+    ASSERT_EQ(result.points.size(), reference.points.size());
+    for (std::size_t p = 0; p < result.points.size(); ++p) {
+      EXPECT_EQ(result.points[p].budget_bits, reference.points[p].budget_bits);
+      EXPECT_EQ(result.points[p].trials, reference.points[p].trials);
+      EXPECT_EQ(result.points[p].successes, reference.points[p].successes)
+          << "budget " << budgets[p] << " at " << threads << " threads";
+      EXPECT_EQ(result.points[p].max_bits_seen,
+                reference.points[p].max_bits_seen);
+      EXPECT_EQ(result.points[p].rate, reference.points[p].rate);
+      EXPECT_EQ(result.points[p].ci.lo, reference.points[p].ci.lo);
+      EXPECT_EQ(result.points[p].ci.hi, reference.points[p].ci.hi);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SweepMatchesPreParallelSerialSemantics) {
+  // Guards the seed-derivation scheme itself: derive_seed(master, i) must
+  // equal the mix64(master, i) the serial sweep used before the pool
+  // existed, so historical sweep numbers remain reproducible.
+  EXPECT_EQ(util::derive_seed(7, 3), util::mix64(7, 3));
+  EXPECT_EQ(util::derive_seed(0, 0), util::mix64(0, 0));
+  // And distinct trials get distinct, order-free seeds.
+  EXPECT_NE(util::derive_seed(7, 3), util::derive_seed(7, 4));
+  EXPECT_NE(util::derive_seed(7, 3), util::derive_seed(8, 3));
+}
+
+TEST(ParallelDeterminism, AuditedRunnerVerdictIdenticalAcrossThreadCounts) {
+  util::Rng rng(17);
+  const graph::Graph g = graph::gnp(80, 0.1, rng);
+  const protocols::BudgetedMatching protocol(64);
+  const audit::AuditedRunner runner(4242);
+
+  parallel::ThreadPool serial(1);
+  const auto reference = runner.run(g, protocol, &serial);
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    const auto audited = runner.run(g, protocol, &pool);
+    EXPECT_EQ(audited.output, reference.output)
+        << "at " << threads << " threads";
+    expect_same_comm(reference.comm, audited.comm, threads);
+    EXPECT_EQ(audited.report.players_audited,
+              reference.report.players_audited);
+    EXPECT_EQ(audited.report.encode_calls, reference.report.encode_calls);
+    EXPECT_EQ(audited.report.bits_verified, reference.report.bits_verified);
+  }
+}
+
+TEST(ParallelDeterminism, AdaptiveRunIdenticalAcrossThreadCounts) {
+  util::Rng rng(19);
+  const graph::Graph g = graph::gnp(64, 0.15, rng);
+  const protocols::TwoRoundMatching protocol(4, 8);
+  const model::PublicCoins coins(99);
+
+  parallel::ThreadPool serial(1);
+  const auto reference = model::run_adaptive(g, protocol, coins, &serial);
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    const auto run = model::run_adaptive(g, protocol, coins, &pool);
+    EXPECT_EQ(run.output, reference.output) << "at " << threads << " threads";
+    expect_same_comm(reference.comm, run.comm, threads);
+    EXPECT_EQ(run.broadcast_bits, reference.broadcast_bits);
+    ASSERT_EQ(run.by_round.size(), reference.by_round.size());
+    for (std::size_t r = 0; r < run.by_round.size(); ++r) {
+      expect_same_comm(reference.by_round[r], run.by_round[r], threads);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, ProtocolSearchIdenticalAcrossThreadCounts) {
+  const rs::RsGraph base = rs::book_rs(1, 2);
+
+  parallel::ThreadPool serial(1);
+  const auto reference =
+      lowerbound::search_degree_protocols(base, 2, /*bits=*/1,
+                                          /*degree_cap=*/3, &serial);
+  for (const std::size_t threads : kThreadCounts) {
+    parallel::ThreadPool pool(threads);
+    const auto result = lowerbound::search_degree_protocols(
+        base, 2, /*bits=*/1, /*degree_cap=*/3, &pool);
+    EXPECT_EQ(result.best_success, reference.best_success)
+        << "at " << threads << " threads";
+    EXPECT_EQ(result.fano_cap_at_best, reference.fano_cap_at_best);
+    EXPECT_EQ(result.protocols_searched, reference.protocols_searched);
+    EXPECT_EQ(result.best_public_table, reference.best_public_table);
+    EXPECT_EQ(result.best_unique_table, reference.best_unique_table);
+    EXPECT_EQ(result.silent_baseline, reference.silent_baseline);
+  }
+}
+
+}  // namespace
+}  // namespace ds

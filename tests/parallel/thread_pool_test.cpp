@@ -1,0 +1,167 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ds::parallel {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<std::uint32_t>> hits(kN);
+    pool.parallel_for(0, kN, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "index " << i << " at " << threads
+                                    << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, RespectsRangeOffset) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> calls{0};
+  pool.parallel_for(0, 0, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallel_for(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+  EXPECT_EQ(pool.parallel_reduce(
+                0, 0, std::size_t{42},
+                [](std::size_t& acc, std::size_t) { ++acc; },
+                [](std::size_t& a, std::size_t b) { a += b; }),
+            42u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  pool.parallel_for(0, seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::size_t calls = 0;
+  pool.parallel_for(0, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.parallel_for(0, 200,
+                                   [&](std::size_t i) {
+                                     if (i == 137) {
+                                       throw std::runtime_error("task 137");
+                                     }
+                                   }),
+                 std::runtime_error);
+    // The pool must remain fully usable after a failed job.
+    std::atomic<std::size_t> calls{0};
+    pool.parallel_for(0, 100, [&](std::size_t) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 100u);
+  }
+}
+
+TEST(ThreadPool, NestedParallelLoopsRunInline) {
+  // A body that issues another parallel loop on the same pool must not
+  // deadlock: nested loops run inline on the issuing lane.
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t j) {
+      total.fetch_add(j, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 28u);
+}
+
+TEST(ThreadPool, ReduceFoldsChunksInOrder) {
+  // The merge below is NOT commutative (concatenation); the reduce is
+  // only deterministic if chunks fold in chunk order, independent of the
+  // thread count — the pool's central contract.
+  const auto concat_indices = [](ThreadPool& pool, std::size_t n) {
+    return pool.parallel_reduce(
+        0, n, std::vector<std::size_t>{},
+        [](std::vector<std::size_t>& acc, std::size_t i) { acc.push_back(i); },
+        [](std::vector<std::size_t>& into, std::vector<std::size_t>&& from) {
+          into.insert(into.end(), from.begin(), from.end());
+        });
+  };
+  std::vector<std::size_t> expected(777);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(concat_indices(pool, 777), expected)
+        << "at " << threads << " threads";
+  }
+}
+
+TEST(ThreadPool, ChunkBoundsPartitionTheRange) {
+  for (const std::size_t n : {1u, 7u, 64u, 65u, 1000u}) {
+    const std::size_t chunks = ThreadPool::chunk_count(n);
+    EXPECT_GE(chunks, 1u);
+    EXPECT_LE(chunks, n);
+    std::size_t covered = 0;
+    std::size_t expected_lo = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const auto [lo, hi] = ThreadPool::chunk_bounds(n, chunks, c);
+      EXPECT_EQ(lo, expected_lo);  // contiguous, in order, no gaps
+      EXPECT_GT(hi, lo);
+      covered += hi - lo;
+      expected_lo = hi;
+    }
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ThreadPool, ChunkCountIsIndependentOfThreadCount) {
+  // chunk_count is a pure function of the range size; nothing about the
+  // pool (or DISTSKETCH_THREADS) may leak into the decomposition.
+  EXPECT_EQ(ThreadPool::chunk_count(10), 10u);
+  EXPECT_EQ(ThreadPool::chunk_count(64), 64u);
+  EXPECT_EQ(ThreadPool::chunk_count(100000), 64u);
+}
+
+TEST(ThreadPool, ParseThreadCount) {
+  // Unset / empty / malformed / zero fall back to hardware concurrency.
+  EXPECT_EQ(parse_thread_count(nullptr, 8), 8u);
+  EXPECT_EQ(parse_thread_count("", 8), 8u);
+  EXPECT_EQ(parse_thread_count("abc", 8), 8u);
+  EXPECT_EQ(parse_thread_count("4x", 8), 8u);
+  EXPECT_EQ(parse_thread_count("-2", 8), 8u);
+  EXPECT_EQ(parse_thread_count("0", 8), 8u);
+  // Hardware probe returning 0 still yields a usable count.
+  EXPECT_EQ(parse_thread_count(nullptr, 0), 1u);
+  // DISTSKETCH_THREADS=1 is the serial fallback.
+  EXPECT_EQ(parse_thread_count("1", 8), 1u);
+  EXPECT_EQ(parse_thread_count("3", 8), 3u);
+  // Absurd values clamp instead of exhausting the machine.
+  EXPECT_EQ(parse_thread_count("99999999999999999999", 8), 512u);
+  EXPECT_EQ(parse_thread_count("4096", 8), 512u);
+}
+
+}  // namespace
+}  // namespace ds::parallel
