@@ -1,19 +1,27 @@
 #!/usr/bin/env bash
-# Build the release preset and run the parallel-engine benchmark.
+# Build the release preset and run the JSON-emitting benchmarks.
 #
 # Emits BENCH_parallel.json (schema in docs/PARALLELISM.md): wall time
 # serial vs parallel, speedup, bits/player per case, and an "identical"
 # flag certifying the determinism contract held. Exits nonzero if any
 # parallel run diverged from its serial twin.
 #
+# Also emits BENCH_wire.json (schema in docs/WIRE.md): simulated vs
+# loopback vs TCP wall time per case, players/sec, and the
+# payload/framing/transport byte split, with a "payload_matches_sim"
+# flag certifying the wire accounting contract. Exits nonzero if any
+# wire session's payload bits diverged from the simulated CommStats.
+#
 # Usage:
-#   scripts/bench.sh                 # writes ./BENCH_parallel.json
-#   scripts/bench.sh out.json        # custom output path
+#   scripts/bench.sh                 # writes ./BENCH_parallel.json + ./BENCH_wire.json
+#   scripts/bench.sh out.json        # custom BENCH_parallel.json path
+#   scripts/bench.sh out.json wire.json   # custom paths for both
 #   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_parallel.json}"
+WIRE_OUT="${2:-BENCH_wire.json}"
 BUILD_DIR=build-release
 
 if command -v ninja > /dev/null 2>&1; then
@@ -21,6 +29,7 @@ if command -v ninja > /dev/null 2>&1; then
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
+"$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"

@@ -35,8 +35,17 @@ struct VertexView {
   [[nodiscard]] std::uint32_t degree() const noexcept {
     return static_cast<std::uint32_t>(neighbors.size());
   }
+  /// True iff this view carries per-edge weights.  An isolated vertex has
+  /// no incident edges and hence no weights, so it reports unweighted on
+  /// weighted and unweighted runs alike — deliberately: a degree-zero
+  /// player's view is identical in both cases, and letting it distinguish
+  /// them would hand encoders information that is not in the view (the
+  /// locality rule of Section 2.1).  The previous definition
+  /// (`!neighbor_weights.empty() || neighbors.empty()`) got this wrong in
+  /// both directions, claiming weighted() == true for isolated vertices
+  /// on unweighted runs.  Regression: tests/model/vertex_view_test.cpp.
   [[nodiscard]] bool weighted() const noexcept {
-    return !neighbor_weights.empty() || neighbors.empty();
+    return !neighbor_weights.empty();
   }
 };
 

@@ -1,0 +1,169 @@
+// The player side of the wire: encode owned vertices, batch the frames
+// into one message, send, and await the referee's response.
+//
+// A client may own any subset of the vertices (one process per vertex is
+// the literal model; one process per shard is the practical deployment —
+// the frames are identical either way, which is the point).  Encoding
+// reuses SketchingProtocol::encode on a VertexView built from the local
+// graph shard, so a player's uplink bits are byte-for-byte the bits the
+// simulated runner charges.
+#pragma once
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "graph/weighted.h"
+#include "model/adaptive.h"
+#include "model/protocol.h"
+#include "service/output_codec.h"
+#include "service/referee_service.h"
+#include "service/session.h"
+
+namespace ds::service {
+
+/// Per-player uplink accounting the client observed (payload bits match
+/// what the referee will charge for these vertices).
+struct PlayerSendStats {
+  std::size_t frames = 0;
+  std::size_t payload_bits = 0;
+  std::size_t framing_bits = 0;
+};
+
+/// Encode and send one round's sketches for `owned` vertices as a single
+/// batched message.  Throws ServiceError if the link rejects the send.
+template <typename Output>
+PlayerSendStats send_sketches(
+    wire::Link& link, const graph::Graph& g,
+    std::span<const graph::Vertex> owned,
+    const model::SketchingProtocol<Output>& protocol,
+    const model::PublicCoins& coins) {
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+  PlayerSendStats stats;
+  std::vector<std::uint8_t> batch;
+  for (const graph::Vertex v : owned) {
+    const model::VertexView view{g.num_vertices(), v, g.neighbors(v),
+                                 &coins};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    const util::BitString sketch(writer);
+    stats.framing_bits +=
+        append_sketch_frame(batch, proto, v, 0, sketch);
+    stats.payload_bits += sketch.bit_count();
+    ++stats.frames;
+  }
+  if (!link.send(batch)) {
+    throw ServiceError("player: referee link rejected the sketch batch");
+  }
+  return stats;
+}
+
+/// Weighted overload: views carry per-neighbor weights, mirroring the
+/// WeightedGraph runner.
+template <typename Output>
+PlayerSendStats send_sketches(
+    wire::Link& link, const graph::WeightedGraph& g,
+    std::span<const graph::Vertex> owned,
+    const model::SketchingProtocol<Output>& protocol,
+    const model::PublicCoins& coins) {
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+  PlayerSendStats stats;
+  std::vector<std::uint8_t> batch;
+  for (const graph::Vertex v : owned) {
+    const model::VertexView view{g.num_vertices(), v,
+                                 g.topology().neighbors(v), &coins,
+                                 g.neighbor_weights(v)};
+    util::BitWriter writer;
+    protocol.encode(view, writer);
+    const util::BitString sketch(writer);
+    stats.framing_bits += append_sketch_frame(batch, proto, v, 0, sketch);
+    stats.payload_bits += sketch.bit_count();
+    ++stats.frames;
+  }
+  if (!link.send(batch)) {
+    throw ServiceError("player: referee link rejected the sketch batch");
+  }
+  return stats;
+}
+
+/// Block until the referee's kResult frame arrives and decode it.
+template <typename Output>
+[[nodiscard]] Output await_result(
+    wire::Link& link, const model::SketchingProtocol<Output>& protocol,
+    std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
+  const wire::Frame frame =
+      await_referee_frame(link, wire::FrameType::kResult,
+                          wire::protocol_id(protocol.name()), timeout);
+  util::BitReader reader(frame.payload);
+  return OutputCodec<Output>::decode(reader);
+}
+
+/// One-round client: send every owned vertex's sketch, return the
+/// broadcast result.
+template <typename Output>
+[[nodiscard]] Output play_protocol(
+    wire::Link& link, const graph::Graph& g,
+    std::span<const graph::Vertex> owned,
+    const model::SketchingProtocol<Output>& protocol,
+    const model::PublicCoins& coins,
+    std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
+  (void)send_sketches(link, g, owned, protocol, coins);
+  return await_result(link, protocol, timeout);
+}
+
+/// Adaptive client: participate in every round (encode with the
+/// broadcasts received so far), then decode the final kResult frame.
+template <typename Output>
+[[nodiscard]] Output play_adaptive(
+    wire::Link& link, const graph::Graph& g,
+    std::span<const graph::Vertex> owned,
+    const model::AdaptiveProtocol<Output>& protocol,
+    const model::PublicCoins& coins,
+    std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+  const unsigned rounds = protocol.num_rounds();
+  std::vector<util::BitString> broadcasts;
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    std::vector<std::uint8_t> batch;
+    for (const graph::Vertex v : owned) {
+      const model::VertexView view{g.num_vertices(), v, g.neighbors(v),
+                                   &coins};
+      util::BitWriter writer;
+      protocol.encode_round(view, round, broadcasts, writer);
+      (void)append_sketch_frame(batch, proto, v, round,
+                                util::BitString(writer));
+    }
+    if (!link.send(batch)) {
+      throw ServiceError("player: referee link rejected a round batch");
+    }
+    if (round + 1 < rounds) {
+      wire::Frame frame = await_referee_frame(
+          link, wire::FrameType::kBroadcast, proto, timeout);
+      broadcasts.push_back(std::move(frame.payload));
+    }
+  }
+
+  const wire::Frame frame =
+      await_referee_frame(link, wire::FrameType::kResult, proto, timeout);
+  util::BitReader reader(frame.payload);
+  return OutputCodec<Output>::decode(reader);
+}
+
+/// Split [0, n) into `players` contiguous shards; shard i is the vertex
+/// set client i owns.  Every caller with the same (n, players) computes
+/// identical shards — the referee does not need to be told the layout.
+[[nodiscard]] inline std::vector<graph::Vertex> shard_vertices(
+    graph::Vertex n, std::size_t players, std::size_t index) {
+  const std::size_t base = n / players;
+  const std::size_t extra = n % players;
+  const std::size_t begin =
+      index * base + std::min<std::size_t>(index, extra);
+  const std::size_t size = base + (index < extra ? 1 : 0);
+  std::vector<graph::Vertex> owned(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    owned[i] = static_cast<graph::Vertex>(begin + i);
+  }
+  return owned;
+}
+
+}  // namespace ds::service

@@ -1,0 +1,149 @@
+// The referee as a service: run any existing SketchingProtocol<Output> or
+// AdaptiveProtocol<Output> over real links.
+//
+// The service accepts all n sketches for a round from its links (players
+// are multiplexed over the links arbitrarily and batched per message),
+// runs the protocol's unmodified decode, and broadcasts the result back
+// as a kResult frame.  For adaptive protocols it additionally drives the
+// inter-round loop of model/adaptive.h: after each non-final round it
+// computes make_broadcast and pushes a kBroadcast frame down every link.
+//
+// The returned CommStats are computed from the wire payloads exactly the
+// way the simulated runners charge them — per-player cumulative bits,
+// recorded in vertex order — so `result.comm` here and the CommStats of
+// model::run_protocol / model::run_adaptive must agree bit for bit (the
+// tests/audit cross-check).  Framing and transport overhead are reported
+// separately in WireStats.
+#pragma once
+
+#include "model/adaptive.h"
+#include "model/protocol.h"
+#include "service/output_codec.h"
+#include "service/session.h"
+
+namespace ds::service {
+
+inline constexpr std::chrono::milliseconds kDefaultRoundTimeout{5000};
+
+template <typename Output>
+struct ServeResult {
+  Output output;
+  model::CommStats comm;  // uplink payload bits, per player
+  WireStats uplink;
+  WireStats downlink;
+};
+
+template <typename Output>
+struct AdaptiveServeResult {
+  Output output;
+  model::CommStats comm;                   // per-player totals, all rounds
+  std::vector<model::CommStats> by_round;  // per-round breakdown
+  std::size_t broadcast_bits = 0;          // model downlink, counted once
+                                           // per round as in run_adaptive
+  WireStats uplink;
+  WireStats downlink;
+};
+
+/// One-round service: collect, decode, broadcast the result.
+template <typename Output>
+[[nodiscard]] ServeResult<Output> serve_protocol(
+    std::span<const std::unique_ptr<wire::Link>> links,
+    const model::SketchingProtocol<Output>& protocol, graph::Vertex n,
+    const model::PublicCoins& coins,
+    std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+  CollectedRound round = collect_sketch_round(links, n, proto, 0, timeout);
+
+  ServeResult<Output> result{
+      protocol.decode(n, round.sketches, coins),
+      comm_from_sketches(round.sketches), round.wire, WireStats{}};
+
+  util::BitWriter w;
+  OutputCodec<Output>::encode(result.output, w);
+  const util::BitString encoded(w);
+  result.downlink = broadcast_to_links(
+      links, {wire::FrameType::kResult, proto, 0, 0}, encoded);
+  return result;
+}
+
+/// Multi-round adaptive service: the run_adaptive loop over real links.
+template <typename Output>
+[[nodiscard]] AdaptiveServeResult<Output> serve_adaptive(
+    std::span<const std::unique_ptr<wire::Link>> links,
+    const model::AdaptiveProtocol<Output>& protocol, graph::Vertex n,
+    const model::PublicCoins& coins,
+    std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+  const unsigned rounds = protocol.num_rounds();
+
+  AdaptiveServeResult<Output> result{};
+  std::vector<std::vector<util::BitString>> all_rounds;
+  std::vector<util::BitString> broadcasts;
+  std::vector<std::size_t> player_bits(n, 0);
+
+  for (unsigned round = 0; round < rounds; ++round) {
+    CollectedRound collected =
+        collect_sketch_round(links, n, proto, round, timeout);
+    result.by_round.push_back(comm_from_sketches(collected.sketches));
+    for (graph::Vertex v = 0; v < n; ++v) {
+      player_bits[v] += collected.sketches[v].bit_count();
+    }
+    result.uplink.merge(collected.wire);
+    all_rounds.push_back(std::move(collected.sketches));
+
+    if (round + 1 < rounds) {
+      util::BitString b =
+          protocol.make_broadcast(round, n, all_rounds, coins);
+      result.broadcast_bits += b.bit_count();
+      result.downlink.merge(broadcast_to_links(
+          links, {wire::FrameType::kBroadcast, proto, 0, round}, b));
+      broadcasts.push_back(std::move(b));
+    }
+  }
+
+  for (const std::size_t bits : player_bits) result.comm.record(bits);
+  result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+
+  util::BitWriter w;
+  OutputCodec<Output>::encode(result.output, w);
+  const util::BitString encoded(w);
+  result.downlink.merge(broadcast_to_links(
+      links, {wire::FrameType::kResult, proto, 0, rounds - 1}, encoded));
+  return result;
+}
+
+/// Convenience owner: links + timeout + coins in one object, for the
+/// service binary and tests.
+class RefereeService {
+ public:
+  RefereeService(std::vector<std::unique_ptr<wire::Link>> links,
+                 std::uint64_t coin_seed,
+                 std::chrono::milliseconds timeout = kDefaultRoundTimeout)
+      : links_(std::move(links)), coins_(coin_seed), timeout_(timeout) {}
+
+  template <typename Output>
+  [[nodiscard]] ServeResult<Output> run(
+      const model::SketchingProtocol<Output>& protocol, graph::Vertex n) {
+    return serve_protocol(links_, protocol, n, coins_, timeout_);
+  }
+
+  template <typename Output>
+  [[nodiscard]] AdaptiveServeResult<Output> run_adaptive(
+      const model::AdaptiveProtocol<Output>& protocol, graph::Vertex n) {
+    return serve_adaptive(links_, protocol, n, coins_, timeout_);
+  }
+
+  [[nodiscard]] std::size_t num_links() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] const model::PublicCoins& coins() const noexcept {
+    return coins_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<wire::Link>> links_;
+  model::PublicCoins coins_;
+  std::chrono::milliseconds timeout_;
+};
+
+}  // namespace ds::service

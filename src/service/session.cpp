@@ -1,0 +1,183 @@
+#include "service/session.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ds::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-link poll slice while a round is collecting: long enough to avoid
+/// busy-spinning, short enough that a referee multiplexing many links
+/// stays responsive on all of them.
+constexpr std::chrono::milliseconds kPollSlice{20};
+
+std::chrono::milliseconds slice_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  if (left.count() <= 0) return std::chrono::milliseconds(0);
+  return std::min(left, kPollSlice);
+}
+
+}  // namespace
+
+CollectedRound collect_sketch_round(
+    std::span<const std::unique_ptr<wire::Link>> links, graph::Vertex n,
+    std::uint32_t protocol_id, std::uint32_t round,
+    std::chrono::milliseconds timeout) {
+  CollectedRound result;
+  result.sketches.resize(n);
+  std::vector<bool> have(n, false);
+  std::vector<bool> link_live(links.size(), true);
+  graph::Vertex missing = n;
+
+  const auto reject = [&result](std::string reason) {
+    ++result.wire.rejected_frames;
+    result.rejects.push_back(std::move(reason));
+  };
+
+  const Clock::time_point deadline = Clock::now() + timeout;
+  while (missing > 0) {
+    bool any_live = false;
+    for (std::size_t li = 0; li < links.size() && missing > 0; ++li) {
+      if (!link_live[li]) continue;
+      any_live = true;
+      const wire::RecvResult msg = links[li]->recv(slice_until(deadline));
+      if (msg.status == wire::RecvStatus::kTimeout) continue;
+      if (msg.status != wire::RecvStatus::kOk) {
+        // Links are fixed for the session, so a closed or broken one
+        // stops being polled; its players' missing sketches surface at
+        // the deadline.
+        link_live[li] = false;
+        continue;
+      }
+      ++result.wire.messages;
+
+      wire::BatchDecode batch = wire::decode_frames(msg.message);
+      if (batch.status != wire::DecodeStatus::kOk) {
+        std::ostringstream os;
+        os << "link " << li << ": "
+           << wire::decode_status_name(batch.status) << " at byte "
+           << batch.rest_offset << " of a " << msg.message.size()
+           << "-byte message; dropped the rest of the message";
+        reject(os.str());
+      }
+      for (wire::Frame& frame : batch.frames) {
+        const wire::FrameHeader& h = frame.header;
+        if (h.type != wire::FrameType::kSketch) {
+          reject("unexpected frame type from a player");
+          continue;
+        }
+        if (h.protocol_id != protocol_id) {
+          reject("protocol id mismatch from vertex " +
+                 std::to_string(h.vertex));
+          continue;
+        }
+        if (h.round != round) {
+          reject("round " + std::to_string(h.round) + " frame from vertex " +
+                 std::to_string(h.vertex) + " during round " +
+                 std::to_string(round));
+          continue;
+        }
+        if (h.vertex >= n) {
+          reject("vertex " + std::to_string(h.vertex) + " out of range");
+          continue;
+        }
+        if (have[h.vertex]) {
+          reject("duplicate sketch for vertex " + std::to_string(h.vertex));
+          continue;
+        }
+        have[h.vertex] = true;
+        --missing;
+        ++result.wire.frames;
+        result.wire.payload_bits += frame.payload.bit_count();
+        result.wire.framing_bits +=
+            wire::encoded_frame_size(h, frame.payload.bit_count()) * 8 -
+            frame.payload.bit_count();
+        result.sketches[h.vertex] = std::move(frame.payload);
+      }
+    }
+    if (missing == 0) break;
+    if (Clock::now() >= deadline || !any_live) {
+      std::ostringstream os;
+      os << "round " << round << ": " << missing
+         << " sketch(es) missing at the deadline (first absent vertex ";
+      for (graph::Vertex v = 0; v < n; ++v) {
+        if (!have[v]) {
+          os << v;
+          break;
+        }
+      }
+      os << "); " << result.wire.rejected_frames << " frame(s) rejected";
+      throw ServiceError(os.str());
+    }
+  }
+  return result;
+}
+
+WireStats broadcast_to_links(
+    std::span<const std::unique_ptr<wire::Link>> links,
+    const wire::FrameHeader& header, const util::BitString& payload) {
+  std::vector<std::uint8_t> bytes;
+  const std::size_t framing = wire::encode_frame(header, payload, bytes);
+  WireStats stats;
+  for (const std::unique_ptr<wire::Link>& link : links) {
+    if (!link->send(bytes)) {
+      throw ServiceError("broadcast failed: a player link is gone");
+    }
+    ++stats.frames;
+    ++stats.messages;
+    stats.payload_bits += payload.bit_count();
+    stats.framing_bits += framing;
+  }
+  return stats;
+}
+
+std::size_t append_sketch_frame(std::vector<std::uint8_t>& batch,
+                                std::uint32_t protocol_id,
+                                graph::Vertex vertex, std::uint32_t round,
+                                const util::BitString& payload) {
+  const wire::FrameHeader header{wire::FrameType::kSketch, protocol_id,
+                                 vertex, round};
+  return wire::encode_frame(header, payload, batch);
+}
+
+wire::Frame await_referee_frame(wire::Link& link,
+                                wire::FrameType expected_type,
+                                std::uint32_t protocol_id,
+                                std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  while (Clock::now() < deadline) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const wire::RecvResult msg =
+        link.recv(std::max(left, std::chrono::milliseconds(1)));
+    if (msg.status == wire::RecvStatus::kTimeout) continue;
+    if (msg.status != wire::RecvStatus::kOk) {
+      throw ServiceError("referee link lost while awaiting a response");
+    }
+    wire::BatchDecode batch = wire::decode_frames(msg.message);
+    if (batch.status != wire::DecodeStatus::kOk) {
+      throw ServiceError(std::string("corrupt referee message: ") +
+                         std::string(wire::decode_status_name(batch.status)));
+    }
+    for (wire::Frame& frame : batch.frames) {
+      if (frame.header.type == expected_type &&
+          frame.header.protocol_id == protocol_id) {
+        return std::move(frame);
+      }
+    }
+  }
+  throw ServiceError("timed out awaiting the referee's response");
+}
+
+model::CommStats comm_from_sketches(
+    std::span<const util::BitString> sketches) {
+  model::CommStats comm;
+  for (const util::BitString& s : sketches) comm.record(s.bit_count());
+  return comm;
+}
+
+}  // namespace ds::service

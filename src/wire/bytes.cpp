@@ -1,0 +1,100 @@
+#include "wire/bytes.h"
+
+#include <array>
+
+namespace ds::wire {
+
+void ByteWriter::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void ByteWriter::put_u32_le(std::uint32_t value) {
+  bytes_.push_back(static_cast<std::uint8_t>(value));
+  bytes_.push_back(static_cast<std::uint8_t>(value >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(value >> 16));
+  bytes_.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::uint8_t> ByteReader::get_u8() {
+  if (pos_ >= bytes_.size()) return std::nullopt;
+  return bytes_[pos_++];
+}
+
+std::optional<std::uint64_t> ByteReader::get_varint() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (unsigned i = 0; i < 10; ++i) {
+    const std::optional<std::uint8_t> byte = get_u8();
+    if (!byte) return std::nullopt;
+    const std::uint64_t payload = *byte & 0x7F;
+    // The 10th byte may only contribute the final value bit (64 = 9*7 + 1).
+    if (shift == 63 && payload > 1) return std::nullopt;
+    value |= payload << shift;
+    if ((*byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;  // continuation bit set on the 10th byte
+}
+
+std::optional<std::uint32_t> ByteReader::get_u32_le() {
+  if (remaining() < 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return value;
+}
+
+std::optional<std::span<const std::uint8_t>> ByteReader::get_bytes(
+    std::size_t count) {
+  if (remaining() < count) return std::nullopt;
+  const std::span<const std::uint8_t> view = bytes_.subspan(pos_, count);
+  pos_ += count;
+  return view;
+}
+
+std::size_t varint_size(std::uint64_t value) noexcept {
+  std::size_t size = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : bytes) {
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace ds::wire

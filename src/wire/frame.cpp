@@ -1,0 +1,194 @@
+#include "wire/frame.h"
+
+#include <cassert>
+
+namespace ds::wire {
+
+std::string_view decode_status_name(DecodeStatus s) noexcept {
+  switch (s) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMoreData: return "need-more-data";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kMalformed: return "malformed";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  return "unknown";
+}
+
+std::uint32_t protocol_id(std::string_view name) noexcept {
+  std::uint32_t h = 0x811C9DC5u;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::size_t payload_byte_count(std::uint64_t bits) noexcept {
+  return static_cast<std::size_t>((bits + 7) / 8);
+}
+
+/// Byte i of the wire payload holds BitString bits [8i, 8i+8), LSB first —
+/// the same order BitWriter packs its 64-bit words.
+std::uint8_t payload_byte(const util::BitString& payload,
+                          std::size_t i) noexcept {
+  const std::uint64_t word = payload.words()[i / 8];
+  return static_cast<std::uint8_t>(word >> (8 * (i % 8)));
+}
+
+}  // namespace
+
+std::size_t encoded_frame_size(const FrameHeader& header,
+                               std::size_t payload_bits) noexcept {
+  return 2  // magic + version
+         + varint_size(static_cast<std::uint64_t>(header.type)) +
+         varint_size(header.protocol_id) + varint_size(header.vertex) +
+         varint_size(header.round) + varint_size(payload_bits) +
+         payload_byte_count(payload_bits) + 4;  // CRC trailer
+}
+
+std::size_t encode_frame(const FrameHeader& header,
+                         const util::BitString& payload,
+                         std::vector<std::uint8_t>& out) {
+  const std::size_t payload_bits = payload.bit_count();
+  assert(payload_bits <= kMaxPayloadBits);
+  const std::size_t start = out.size();
+
+  ByteWriter w;
+  w.put_u8(kFrameMagic);
+  w.put_u8(kWireVersion);
+  w.put_varint(static_cast<std::uint64_t>(header.type));
+  w.put_varint(header.protocol_id);
+  w.put_varint(header.vertex);
+  w.put_varint(header.round);
+  w.put_varint(payload_bits);
+  const std::size_t payload_bytes = payload_byte_count(payload_bits);
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    w.put_u8(payload_byte(payload, i));
+  }
+  w.put_u32_le(crc32(w.bytes()));
+
+  const std::vector<std::uint8_t> frame = std::move(w).take();
+  out.insert(out.end(), frame.begin(), frame.end());
+  return (out.size() - start) * 8 - payload_bits;
+}
+
+DecodeStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& frame,
+                          std::size_t& consumed) {
+  consumed = 0;
+  ByteReader r(bytes);
+
+  const std::optional<std::uint8_t> magic = r.get_u8();
+  if (!magic) return DecodeStatus::kNeedMoreData;
+  if (*magic != kFrameMagic) {
+    consumed = 1;
+    return DecodeStatus::kBadMagic;
+  }
+  const std::optional<std::uint8_t> version = r.get_u8();
+  if (!version) return DecodeStatus::kNeedMoreData;
+  if (*version != kWireVersion) {
+    consumed = 2;
+    return DecodeStatus::kBadVersion;
+  }
+
+  // Header varints.  A truncated varint at end-of-buffer is a short read;
+  // an overlong one mid-buffer is malformed.
+  const auto read_field = [&](std::uint64_t& out_value,
+                              DecodeStatus& status) {
+    const std::optional<std::uint64_t> v = r.get_varint();
+    if (v) {
+      out_value = *v;
+      return true;
+    }
+    status = r.remaining() == 0 ? DecodeStatus::kNeedMoreData
+                                : DecodeStatus::kMalformed;
+    consumed = status == DecodeStatus::kMalformed ? r.position() : 0;
+    return false;
+  };
+
+  std::uint64_t type_raw = 0;
+  std::uint64_t proto = 0;
+  std::uint64_t vertex = 0;
+  std::uint64_t round = 0;
+  std::uint64_t payload_bits = 0;
+  DecodeStatus status = DecodeStatus::kOk;
+  if (!read_field(type_raw, status) || !read_field(proto, status) ||
+      !read_field(vertex, status) || !read_field(round, status) ||
+      !read_field(payload_bits, status)) {
+    return status;
+  }
+
+  if (type_raw < static_cast<std::uint64_t>(FrameType::kSketch) ||
+      type_raw > static_cast<std::uint64_t>(FrameType::kResult) ||
+      proto > 0xFFFFFFFFu || vertex > 0xFFFFFFFFu || round > 0xFFFFFFFFu ||
+      payload_bits > kMaxPayloadBits) {
+    consumed = r.position();
+    return DecodeStatus::kMalformed;
+  }
+
+  const std::size_t payload_bytes = payload_byte_count(payload_bits);
+  const std::optional<std::span<const std::uint8_t>> payload =
+      r.get_bytes(payload_bytes);
+  if (!payload) return DecodeStatus::kNeedMoreData;
+
+  // Nonzero padding bits in the final byte are corrupt: the frame would
+  // carry information the bit accounting does not charge.
+  if (const unsigned tail_bits = static_cast<unsigned>(payload_bits % 8);
+      tail_bits != 0) {
+    const std::uint8_t last = (*payload)[payload_bytes - 1];
+    if ((last >> tail_bits) != 0) {
+      consumed = r.position();
+      return DecodeStatus::kMalformed;
+    }
+  }
+
+  const std::size_t crc_start = r.position();
+  const std::optional<std::uint32_t> stated_crc = r.get_u32_le();
+  if (!stated_crc) return DecodeStatus::kNeedMoreData;
+  const std::uint32_t actual_crc = crc32(bytes.subspan(0, crc_start));
+  if (actual_crc != *stated_crc) {
+    consumed = r.position();
+    return DecodeStatus::kBadCrc;
+  }
+
+  // Reassemble the BitString through the public BitWriter API so the
+  // result is bit-for-bit what the encoder charged.
+  util::BitWriter w;
+  for (std::size_t i = 0; i < payload_bytes; ++i) {
+    const unsigned width = static_cast<unsigned>(
+        payload_bits - 8 * i >= 8 ? 8 : payload_bits - 8 * i);
+    w.put_bits((*payload)[i], width);
+  }
+  frame.header.type = static_cast<FrameType>(type_raw);
+  frame.header.protocol_id = static_cast<std::uint32_t>(proto);
+  frame.header.vertex = static_cast<std::uint32_t>(vertex);
+  frame.header.round = static_cast<std::uint32_t>(round);
+  frame.payload = util::BitString(w);
+  consumed = r.position();
+  return DecodeStatus::kOk;
+}
+
+BatchDecode decode_frames(std::span<const std::uint8_t> bytes) {
+  BatchDecode batch;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeStatus status =
+        decode_frame(bytes.subspan(offset), frame, consumed);
+    if (status != DecodeStatus::kOk) {
+      batch.status = status;
+      batch.rest_offset = offset;
+      return batch;
+    }
+    batch.frames.push_back(std::move(frame));
+    offset += consumed;
+  }
+  batch.rest_offset = offset;
+  return batch;
+}
+
+}  // namespace ds::wire

@@ -1,0 +1,27 @@
+// In-process transport: a pair of Links joined by two bounded-ish queues.
+//
+// Loopback exists so the referee service, the audit cross-check, and the
+// benches can run the full frame path — encode, batch, "send", decode,
+// verify — with zero sockets and zero flakiness, and so the TCP transport
+// has a behavioral twin to be tested against.  Both ends are thread-safe;
+// a typical test runs players on one thread and the referee on another
+// (or both on one thread, since send never blocks).
+#pragma once
+
+#include <memory>
+
+#include "wire/transport.h"
+
+namespace ds::wire {
+
+struct LoopbackPair {
+  std::unique_ptr<Link> referee_side;  // the end the referee polls
+  std::unique_ptr<Link> player_side;   // the end the player drives
+};
+
+/// A connected pair: bytes sent on one end arrive on the other, in order.
+/// Destroying either end closes the link (the survivor sees kClosed after
+/// draining).
+[[nodiscard]] LoopbackPair make_loopback_pair();
+
+}  // namespace ds::wire

@@ -1,0 +1,262 @@
+#include "wire/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ds::wire {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw WireError(what + ": " + std::strerror(errno));
+}
+
+std::chrono::milliseconds time_left(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? left : std::chrono::milliseconds(0);
+}
+
+/// Wait until fd is readable; false on deadline expiry.
+bool poll_readable(int fd, Clock::time_point deadline) {
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const auto left = time_left(deadline);
+    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+class TcpLink final : public Link {
+ public:
+  explicit TcpLink(int fd) : fd_(fd) {
+    const int one = 1;
+    // Sketch rounds are latency-bound request/response exchanges; never
+    // let Nagle hold a round's final partial segment.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpLink() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool send(std::span<const std::uint8_t> message) override {
+    if (message.size() > kMaxMessageBytes) return false;
+    std::uint8_t prefix[4];
+    const auto len = static_cast<std::uint32_t>(message.size());
+    prefix[0] = static_cast<std::uint8_t>(len);
+    prefix[1] = static_cast<std::uint8_t>(len >> 8);
+    prefix[2] = static_cast<std::uint8_t>(len >> 16);
+    prefix[3] = static_cast<std::uint8_t>(len >> 24);
+    if (!send_all(prefix, sizeof(prefix))) return false;
+    if (!send_all(message.data(), message.size())) return false;
+    sent_ += sizeof(prefix) + message.size();
+    return true;
+  }
+
+  // Partial progress survives across recv() calls: a caller polling with
+  // short timeout slices (the referee's round-robin collect loop) must be
+  // able to drain a message larger than one slice delivers.  Only EOF or
+  // a socket error mid-message is unrecoverable — the boundary is lost.
+  RecvResult recv(std::chrono::milliseconds timeout) override {
+    if (broken_) return {RecvStatus::kError, {}};
+    const Clock::time_point deadline = Clock::now() + timeout;
+
+    if (prefix_done_ < sizeof(prefix_)) {
+      const ReadOutcome head =
+          fill(prefix_, sizeof(prefix_), prefix_done_, deadline);
+      if (head == ReadOutcome::kTimeout) return {RecvStatus::kTimeout, {}};
+      if (head == ReadOutcome::kEof) {
+        // EOF before any byte of a message is a clean close; EOF with a
+        // partial prefix is a short read.
+        if (prefix_done_ == 0) return {RecvStatus::kClosed, {}};
+        broken_ = true;
+        return {RecvStatus::kError, {}};
+      }
+      if (head == ReadOutcome::kError) {
+        broken_ = true;
+        return {RecvStatus::kError, {}};
+      }
+    }
+    if (!have_len_) {
+      const std::uint32_t len = static_cast<std::uint32_t>(prefix_[0]) |
+                                static_cast<std::uint32_t>(prefix_[1]) << 8 |
+                                static_cast<std::uint32_t>(prefix_[2]) << 16 |
+                                static_cast<std::uint32_t>(prefix_[3]) << 24;
+      if (len > kMaxMessageBytes) {  // reject before allocating
+        broken_ = true;
+        return {RecvStatus::kError, {}};
+      }
+      body_.assign(len, 0);
+      body_done_ = 0;
+      have_len_ = true;
+    }
+    if (body_done_ < body_.size()) {
+      const ReadOutcome outcome =
+          fill(body_.data(), body_.size(), body_done_, deadline);
+      if (outcome == ReadOutcome::kTimeout) return {RecvStatus::kTimeout, {}};
+      if (outcome != ReadOutcome::kDone) {  // EOF or error mid-message
+        broken_ = true;
+        return {RecvStatus::kError, {}};
+      }
+    }
+    received_ += sizeof(prefix_) + body_.size();
+    RecvResult result{RecvStatus::kOk, std::move(body_)};
+    prefix_done_ = 0;
+    have_len_ = false;
+    body_ = {};
+    body_done_ = 0;
+    return result;
+  }
+
+  [[nodiscard]] std::size_t bytes_sent() const noexcept override {
+    return sent_;
+  }
+  [[nodiscard]] std::size_t bytes_received() const noexcept override {
+    return received_;
+  }
+
+ private:
+  enum class ReadOutcome : std::uint8_t { kDone, kTimeout, kEof, kError };
+
+  bool send_all(const std::uint8_t* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+      const ssize_t n =
+          ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Advance `done` toward `size` until complete or `deadline`.  On
+  /// kTimeout the progress made so far is kept (in `done`) for the next
+  /// call; kEof/kError report the socket's state.
+  ReadOutcome fill(std::uint8_t* data, std::size_t size, std::size_t& done,
+                   Clock::time_point deadline) {
+    while (done < size) {
+      if (!poll_readable(fd_, deadline)) return ReadOutcome::kTimeout;
+      const ssize_t n = ::recv(fd_, data + done, size - done, 0);
+      if (n == 0) return ReadOutcome::kEof;
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return ReadOutcome::kError;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return ReadOutcome::kDone;
+  }
+
+  int fd_;
+  std::size_t sent_ = 0;
+  std::size_t received_ = 0;
+
+  // In-flight message state, preserved across recv() timeouts.
+  std::uint8_t prefix_[4] = {};
+  std::size_t prefix_done_ = 0;
+  bool have_len_ = false;
+  std::vector<std::uint8_t> body_;
+  std::size_t body_done_ = 0;
+  bool broken_ = false;
+};
+
+}  // namespace
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("bind");
+  }
+  if (::listen(fd_, SOMAXCONN) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Link> TcpListener::accept(std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  if (!poll_readable(fd_, deadline)) return nullptr;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return nullptr;
+  return std::make_unique<TcpLink>(client);
+}
+
+std::unique_ptr<Link> tcp_connect(const std::string& host, std::uint16_t port,
+                                  std::chrono::milliseconds timeout) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw WireError("tcp_connect: bad IPv4 address '" + host + "'");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+
+  // Non-blocking connect so the timeout is honored.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    throw_errno("connect");
+  }
+  if (rc < 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) < 0 ||
+        err != 0) {
+      ::close(fd);
+      throw WireError("tcp_connect: connection to " + host + " failed");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return std::make_unique<TcpLink>(fd);
+}
+
+}  // namespace ds::wire

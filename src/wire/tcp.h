@@ -1,0 +1,58 @@
+// TCP transport: the referee-service deployment shape.
+//
+// Each Link message is sent as a 4-byte little-endian length prefix
+// followed by the body (a batch of self-delimiting frames).  The prefix is
+// transport framing only — it exists so a stream socket can recover whole
+// messages — and is charged to transport bytes, never to the model's bit
+// accounting.
+//
+// Failure handling (exercised by tests/wire/transport_test.cpp):
+//   * recv enforces a deadline via poll(); expiry -> kTimeout, with any
+//     partially received message kept pending so short polling slices
+//     (the referee's round-robin) can drain a large batch across calls,
+//   * a peer closing at a message boundary -> kClosed,
+//   * EOF mid-prefix or mid-body (a short read) -> kError,
+//   * a length prefix above kMaxMessageBytes -> kError without allocating,
+//   * send loops over partial writes and suppresses SIGPIPE.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wire/transport.h"
+
+namespace ds::wire {
+
+/// Hard cap on one message body; a corrupt prefix must not OOM the
+/// referee. 64 MiB >> any sketch batch in this codebase.
+inline constexpr std::uint32_t kMaxMessageBytes = 64u << 20;
+
+/// Listening socket on 127.0.0.1 (port 0 = kernel-assigned; read the
+/// chosen one back from port()).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Next inbound connection, or nullptr if none arrived in time.
+  [[nodiscard]] std::unique_ptr<Link> accept(
+      std::chrono::milliseconds timeout);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a referee at host:port (numeric IPv4, e.g. "127.0.0.1").
+/// Throws WireError on failure.
+[[nodiscard]] std::unique_ptr<Link> tcp_connect(
+    const std::string& host, std::uint16_t port,
+    std::chrono::milliseconds timeout);
+
+}  // namespace ds::wire

@@ -1,0 +1,213 @@
+// The wire/sim byte-accounting cross-check (ISSUE 3 acceptance
+// criterion): for every protocol in the src/protocols/ zoo, the sketches
+// that arrive at the referee over the wire must equal the sketches the
+// simulated runner collects — per-player, BitString for BitString — and
+// the CommStats computed from the wire payloads must match
+// model::run_protocol's accounting bit for bit.  Framing overhead is
+// checked to be strictly separate: payload_bits alone equals the model
+// total; framing_bits never leaks into it.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "protocols/bridge_finding.h"
+#include "protocols/budgeted_two_round.h"
+#include "protocols/coloring.h"
+#include "protocols/luby_bcc.h"
+#include "protocols/needle.h"
+#include "protocols/sampled_matching.h"
+#include "protocols/sampled_mis.h"
+#include "protocols/sampling_zoo.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/trivial.h"
+#include "protocols/two_round_matching.h"
+#include "protocols/two_round_mis.h"
+#include "protocols/zoo.h"
+#include "service/player_client.h"
+#include "service/referee_service.h"
+#include "wire/loopback.h"
+
+namespace ds {
+namespace {
+
+using namespace std::chrono_literals;
+using graph::Graph;
+using graph::Vertex;
+
+Graph test_graph(std::uint64_t seed = 7, Vertex n = 26, double p = 0.25) {
+  util::Rng rng(seed);
+  return graph::gnp(n, p, rng);
+}
+
+struct LoopbackCluster {
+  std::vector<std::unique_ptr<wire::Link>> referee;
+  std::vector<std::unique_ptr<wire::Link>> players;
+};
+
+LoopbackCluster make_cluster(std::size_t players) {
+  LoopbackCluster cluster;
+  for (std::size_t i = 0; i < players; ++i) {
+    wire::LoopbackPair pair = wire::make_loopback_pair();
+    cluster.referee.push_back(std::move(pair.referee_side));
+    cluster.players.push_back(std::move(pair.player_side));
+  }
+  return cluster;
+}
+
+void expect_same_sketches(std::span<const util::BitString> wire_sketches,
+                          std::span<const util::BitString> sim_sketches,
+                          const std::string& name) {
+  ASSERT_EQ(wire_sketches.size(), sim_sketches.size()) << name;
+  for (std::size_t v = 0; v < sim_sketches.size(); ++v) {
+    EXPECT_EQ(wire_sketches[v].bit_count(), sim_sketches[v].bit_count())
+        << name << ": player " << v << " payload length drifted";
+    EXPECT_EQ(wire_sketches[v].words(), sim_sketches[v].words())
+        << name << ": player " << v << " payload bits drifted";
+  }
+}
+
+void expect_same_comm(const model::CommStats& wire_comm,
+                      const model::CommStats& sim_comm,
+                      const std::string& name) {
+  EXPECT_EQ(wire_comm.max_bits, sim_comm.max_bits) << name;
+  EXPECT_EQ(wire_comm.total_bits, sim_comm.total_bits) << name;
+  EXPECT_EQ(wire_comm.num_players, sim_comm.num_players) << name;
+}
+
+/// The cross-check core: ship the zoo protocol's sketches through a
+/// loopback session (players sharded over two links) and compare what the
+/// referee collected against the simulated runner's collection.
+template <typename Output>
+void expect_wire_equals_sim(const Graph& g,
+                            const model::SketchingProtocol<Output>& protocol,
+                            std::uint64_t seed) {
+  const model::PublicCoins coins(seed);
+  model::CommStats sim_comm;
+  const std::vector<util::BitString> sim_sketches =
+      model::collect_sketches(g, protocol, coins, sim_comm);
+
+  LoopbackCluster cluster = make_cluster(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    (void)service::send_sketches(
+        *cluster.players[i], g,
+        service::shard_vertices(g.num_vertices(), 2, i), protocol, coins);
+  }
+  const service::CollectedRound round = service::collect_sketch_round(
+      cluster.referee, g.num_vertices(), wire::protocol_id(protocol.name()),
+      0, 2000ms);
+
+  expect_same_sketches(round.sketches, sim_sketches, protocol.name());
+  expect_same_comm(service::comm_from_sketches(round.sketches), sim_comm,
+                   protocol.name());
+  // The accounting contract itself: payload alone is the model cost;
+  // framing is real but never part of it.
+  EXPECT_EQ(round.wire.payload_bits, sim_comm.total_bits) << protocol.name();
+  EXPECT_EQ(round.wire.rejected_frames, 0u) << protocol.name();
+  EXPECT_GT(round.wire.framing_bits, 0u) << protocol.name();
+}
+
+TEST(WireAudit, SketchingProtocolZooPayloadsMatchSimulation) {
+  const Graph g = test_graph(21);
+  expect_wire_equals_sim(g, protocols::AgmSpanningForest{}, 101);
+  expect_wire_equals_sim(g, protocols::TrivialMaximalMatching{}, 102);
+  expect_wire_equals_sim(g, protocols::TrivialMis{}, 103);
+  expect_wire_equals_sim(g, protocols::BudgetedMatching{64}, 104);
+  expect_wire_equals_sim(g, protocols::BudgetedMis{64}, 105);
+  expect_wire_equals_sim(g, protocols::BridgeFinding{4}, 106);
+  expect_wire_equals_sim(g, protocols::NeedleTwoSided{13}, 107);
+  expect_wire_equals_sim(g, protocols::NeedleOneSided{13, 48}, 108);
+  expect_wire_equals_sim(g, protocols::AgmConnectivity{}, 109);
+  expect_wire_equals_sim(g, protocols::KConnectivityCertificate{2}, 110);
+  expect_wire_equals_sim(
+      g, protocols::PaletteSparsificationColoring{16, 6}, 111);
+  expect_wire_equals_sim(g, protocols::EdgeCountEstimate{8}, 112);
+  expect_wire_equals_sim(g, protocols::SampledSubgraph{0.5}, 113);
+  expect_wire_equals_sim(g, protocols::SampledDegeneracy{0.5}, 114);
+}
+
+TEST(WireAudit, WeightedProtocolPayloadsMatchSimulation) {
+  util::Rng rng(51);
+  const Graph topo = graph::gnp(16, 0.3, rng);
+  std::vector<graph::WeightedEdge> wedges;
+  for (const graph::Edge& e : topo.edges()) {
+    wedges.push_back(
+        {e.u, e.v, static_cast<std::uint32_t>(1 + rng.next_below(3))});
+  }
+  const graph::WeightedGraph wg =
+      graph::WeightedGraph::from_edges(16, wedges);
+  const protocols::MstWeight protocol{3};
+  const model::PublicCoins coins(401);
+
+  model::CommStats sim_comm;
+  const std::vector<util::BitString> sim_sketches =
+      model::collect_sketches(wg, protocol, coins, sim_comm);
+
+  LoopbackCluster cluster = make_cluster(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    (void)service::send_sketches(
+        *cluster.players[i], wg,
+        service::shard_vertices(wg.num_vertices(), 2, i), protocol, coins);
+  }
+  const service::CollectedRound round = service::collect_sketch_round(
+      cluster.referee, wg.num_vertices(),
+      wire::protocol_id(protocol.name()), 0, 2000ms);
+
+  expect_same_sketches(round.sketches, sim_sketches, protocol.name());
+  expect_same_comm(service::comm_from_sketches(round.sketches), sim_comm,
+                   protocol.name());
+  EXPECT_EQ(round.wire.payload_bits, sim_comm.total_bits);
+}
+
+/// Adaptive protocols: the full multi-round session over loopback must
+/// reproduce run_adaptive's accounting — per-round CommStats, totals, and
+/// the once-per-round broadcast charge.
+template <typename Output>
+void expect_adaptive_wire_equals_sim(
+    const Graph& g, const model::AdaptiveProtocol<Output>& protocol,
+    std::uint64_t seed) {
+  const model::PublicCoins coins(seed);
+  constexpr std::size_t kPlayers = 2;
+
+  LoopbackCluster cluster = make_cluster(kPlayers);
+  std::vector<std::thread> threads;
+  threads.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    threads.emplace_back([&, i] {
+      (void)service::play_adaptive(
+          *cluster.players[i], g,
+          service::shard_vertices(g.num_vertices(), kPlayers, i), protocol,
+          coins, 5000ms);
+    });
+  }
+  const service::AdaptiveServeResult<Output> served =
+      service::serve_adaptive(cluster.referee, protocol, g.num_vertices(),
+                              coins, 5000ms);
+  for (std::thread& t : threads) t.join();
+
+  const auto sim = model::run_adaptive(g, protocol, coins);
+  EXPECT_TRUE(served.output == sim.output) << protocol.name();
+  expect_same_comm(served.comm, sim.comm, protocol.name());
+  EXPECT_EQ(served.broadcast_bits, sim.broadcast_bits) << protocol.name();
+  ASSERT_EQ(served.by_round.size(), sim.by_round.size()) << protocol.name();
+  for (std::size_t r = 0; r < served.by_round.size(); ++r) {
+    expect_same_comm(served.by_round[r], sim.by_round[r],
+                     protocol.name() + " round " + std::to_string(r));
+  }
+  EXPECT_EQ(served.uplink.payload_bits, sim.comm.total_bits)
+      << protocol.name();
+}
+
+TEST(WireAudit, AdaptiveProtocolPayloadsMatchSimulation) {
+  const Graph g = test_graph(31, 20, 0.3);
+  expect_adaptive_wire_equals_sim(g, protocols::TwoRoundMatching{4, 8}, 201);
+  expect_adaptive_wire_equals_sim(g, protocols::TwoRoundMis{0.3, 8}, 202);
+  expect_adaptive_wire_equals_sim(
+      g, protocols::BudgetedTwoRoundMatching{48, 48}, 203);
+  expect_adaptive_wire_equals_sim(
+      g, protocols::make_luby_bcc(g.num_vertices()), 204);
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,63 @@
+// Regression for VertexView::weighted() (ISSUE 3 satellite): the old
+// definition short-circuited on `neighbors.empty()` and returned true for
+// an isolated vertex on an UNWEIGHTED run.  The contract now: a view is
+// weighted iff it actually carries per-edge weights, and a degree-zero
+// player reports unweighted on every run — its view is identical on
+// weighted and unweighted inputs, so the predicate must not distinguish
+// them.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "graph/weighted.h"
+#include "model/protocol.h"
+#include "model/runner.h"
+#include "protocols/zoo.h"
+
+namespace ds {
+namespace {
+
+const model::PublicCoins kCoins{17};
+
+TEST(VertexView, IsolatedVertexOnUnweightedRunIsNotWeighted) {
+  const model::VertexView view{4, 0, {}, &kCoins};
+  EXPECT_FALSE(view.weighted());  // the old code returned true here
+  EXPECT_EQ(view.degree(), 0u);
+}
+
+TEST(VertexView, IsolatedVertexOnWeightedRunIsNotWeighted) {
+  // A weighted run hands an isolated vertex empty weights: its view is
+  // bit-identical to the unweighted case and must classify identically.
+  const model::VertexView view{4, 0, {}, &kCoins, {}};
+  EXPECT_FALSE(view.weighted());
+}
+
+TEST(VertexView, VertexWithWeightsIsWeighted) {
+  const std::array<graph::Vertex, 2> neighbors{1, 2};
+  const std::array<std::uint32_t, 2> weights{5, 9};
+  const model::VertexView view{4, 0, neighbors, &kCoins, weights};
+  EXPECT_TRUE(view.weighted());
+  EXPECT_EQ(view.degree(), 2u);
+}
+
+TEST(VertexView, VertexWithNeighborsButNoWeightsIsUnweighted) {
+  const std::array<graph::Vertex, 2> neighbors{1, 2};
+  const model::VertexView view{4, 0, neighbors, &kCoins};
+  EXPECT_FALSE(view.weighted());
+}
+
+// End-to-end: the weighted runner still feeds weights through views with
+// the corrected predicate (MstWeight reads them positionally and the
+// graph below has an isolated vertex to hit the degree-zero path).
+TEST(VertexView, WeightedRunnerStillDeliversWeights) {
+  const std::array<graph::WeightedEdge, 3> edges{{{0, 1, 2}, {1, 2, 1},
+                                                  {0, 2, 3}}};
+  // Vertex 3 is isolated.
+  const graph::WeightedGraph g = graph::WeightedGraph::from_edges(4, edges);
+  const protocols::MstWeight protocol{3};
+  const auto result = model::run_protocol(g, protocol, kCoins);
+  EXPECT_EQ(result.output, 3u);  // MSF = edges of weight 2 + 1
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,203 @@
+// distsketch_service — the sketching model across real process
+// boundaries, one binary with two subcommands:
+//
+//   distsketch_service serve  --players K [--port 0] [--protocol NAME]
+//                             [--n N] [--p P] [--graph-seed S] [--coin-seed C]
+//   distsketch_service player --index I --players K --port PORT
+//                             [--host 127.0.0.1] [--protocol NAME]
+//                             [--n N] [--p P] [--graph-seed S] [--coin-seed C]
+//
+// The referee listens, accepts K player connections, collects all n
+// sketches (players shard [0, n) contiguously by --index), runs the
+// protocol's unmodified decode, and broadcasts the result back.  Players
+// derive their shard of a shared G(n, p) instance from --graph-seed — a
+// stand-in for each process loading its shard of a real dataset; the
+// referee never sees the graph, only the frames.
+//
+// Protocols: spanning-forest (default; AGM, the O(log^3 n) upper bound),
+// connectivity, two-round-matching (adaptive, exercises the multi-round
+// broadcast loop).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/two_round_matching.h"
+#include "protocols/zoo.h"
+#include "service/player_client.h"
+#include "service/referee_service.h"
+#include "wire/tcp.h"
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string protocol = "spanning-forest";
+  ds::graph::Vertex n = 64;
+  double p = 0.12;
+  std::uint64_t graph_seed = 1;
+  std::uint64_t coin_seed = 7;
+  std::size_t players = 1;
+  std::size_t index = 0;
+  std::chrono::milliseconds timeout{10000};
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " serve|player [options]\n"
+      << "  --host H           player: referee address (default 127.0.0.1)\n"
+      << "  --port P           TCP port (serve default 0 = ephemeral)\n"
+      << "  --protocol NAME    spanning-forest | connectivity |"
+         " two-round-matching\n"
+      << "  --n N --p P        shared G(n, p) instance\n"
+      << "  --graph-seed S     shared graph seed\n"
+      << "  --coin-seed C      public coins seed\n"
+      << "  --players K        number of player processes\n"
+      << "  --index I          player: this process's shard index\n"
+      << "  --timeout-ms T     round deadline (default 10000)\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Options opt;
+  opt.command = argv[1];
+  if (opt.command != "serve" && opt.command != "player") usage(argv[0]);
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--host") {
+      opt.host = value;
+    } else if (key == "--port") {
+      opt.port = static_cast<std::uint16_t>(std::stoul(value));
+    } else if (key == "--protocol") {
+      opt.protocol = value;
+    } else if (key == "--n") {
+      opt.n = static_cast<ds::graph::Vertex>(std::stoul(value));
+    } else if (key == "--p") {
+      opt.p = std::stod(value);
+    } else if (key == "--graph-seed") {
+      opt.graph_seed = std::stoull(value);
+    } else if (key == "--coin-seed") {
+      opt.coin_seed = std::stoull(value);
+    } else if (key == "--players") {
+      opt.players = std::stoul(value);
+    } else if (key == "--index") {
+      opt.index = std::stoul(value);
+    } else if (key == "--timeout-ms") {
+      opt.timeout = std::chrono::milliseconds(std::stoul(value));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return opt;
+}
+
+void print_wire(const char* label, const ds::service::WireStats& w) {
+  std::cout << "  " << label << ": " << w.frames << " frames in "
+            << w.messages << " messages, payload " << w.payload_bits
+            << " bits, framing " << w.framing_bits << " bits ("
+            << w.rejected_frames << " rejected)\n";
+}
+
+int run_serve(const Options& opt) {
+  ds::wire::TcpListener listener(opt.port);
+  std::cout << "referee: listening on 127.0.0.1:" << listener.port()
+            << ", awaiting " << opt.players << " player(s)\n";
+  std::vector<std::unique_ptr<ds::wire::Link>> links;
+  for (std::size_t i = 0; i < opt.players; ++i) {
+    std::unique_ptr<ds::wire::Link> link = listener.accept(opt.timeout);
+    if (!link) {
+      std::cerr << "referee: player " << i << " never connected\n";
+      return 1;
+    }
+    links.push_back(std::move(link));
+  }
+
+  ds::service::RefereeService referee(std::move(links), opt.coin_seed,
+                                      opt.timeout);
+  if (opt.protocol == "spanning-forest") {
+    const ds::protocols::AgmSpanningForest protocol;
+    const auto r = referee.run(protocol, opt.n);
+    std::cout << "referee: spanning forest with " << r.output.size()
+              << " edges; max player " << r.comm.max_bits << " bits\n";
+    print_wire("uplink", r.uplink);
+    print_wire("downlink", r.downlink);
+  } else if (opt.protocol == "connectivity") {
+    const ds::protocols::AgmConnectivity protocol;
+    const auto r = referee.run(protocol, opt.n);
+    std::cout << "referee: " << r.output
+              << " connected component(s); max player " << r.comm.max_bits
+              << " bits\n";
+    print_wire("uplink", r.uplink);
+    print_wire("downlink", r.downlink);
+  } else if (opt.protocol == "two-round-matching") {
+    const ds::protocols::TwoRoundMatching protocol{8, 16};
+    const auto r = referee.run_adaptive(protocol, opt.n);
+    std::cout << "referee: matching of size " << r.output.size() << " in "
+              << r.by_round.size() << " rounds; max player "
+              << r.comm.max_bits << " bits, broadcast "
+              << r.broadcast_bits << " bits\n";
+    print_wire("uplink", r.uplink);
+    print_wire("downlink", r.downlink);
+  } else {
+    std::cerr << "unknown protocol " << opt.protocol << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int run_player(const Options& opt) {
+  ds::util::Rng rng(opt.graph_seed);
+  const ds::graph::Graph g = ds::graph::gnp(opt.n, opt.p, rng);
+  const std::vector<ds::graph::Vertex> owned =
+      ds::service::shard_vertices(opt.n, opt.players, opt.index);
+  const ds::model::PublicCoins coins(opt.coin_seed);
+
+  std::unique_ptr<ds::wire::Link> link =
+      ds::wire::tcp_connect(opt.host, opt.port, opt.timeout);
+  std::cout << "player " << opt.index << ": connected, " << owned.size()
+            << " vertices\n";
+
+  if (opt.protocol == "spanning-forest") {
+    const ds::protocols::AgmSpanningForest protocol;
+    const auto forest = ds::service::play_protocol(
+        *link, g, owned, protocol, coins, opt.timeout);
+    std::cout << "player " << opt.index << ": result has "
+              << forest.size() << " forest edges\n";
+  } else if (opt.protocol == "connectivity") {
+    const ds::protocols::AgmConnectivity protocol;
+    const auto components = ds::service::play_protocol(
+        *link, g, owned, protocol, coins, opt.timeout);
+    std::cout << "player " << opt.index << ": " << components
+              << " component(s)\n";
+  } else if (opt.protocol == "two-round-matching") {
+    const ds::protocols::TwoRoundMatching protocol{8, 16};
+    const auto matching = ds::service::play_adaptive(
+        *link, g, owned, protocol, coins, opt.timeout);
+    std::cout << "player " << opt.index << ": matching size "
+              << matching.size() << "\n";
+  } else {
+    std::cerr << "unknown protocol " << opt.protocol << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    return opt.command == "serve" ? run_serve(opt) : run_player(opt);
+  } catch (const std::exception& e) {
+    std::cerr << "distsketch_service: " << e.what() << "\n";
+    return 1;
+  }
+}
