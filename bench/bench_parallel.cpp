@@ -20,6 +20,7 @@
 #include "lowerbound/dmm.h"
 #include "lowerbound/protocol_search.h"
 #include "model/runner.h"
+#include "obs/obs.h"
 #include "parallel_harness.h"
 #include "protocols/sampled_matching.h"
 #include "rs/rs_graph.h"
@@ -145,6 +146,11 @@ void case_protocol_search(ds::bench::ParallelHarness& harness) {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  // Metrics on for the whole run: the BENCH_parallel.json metrics block
+  // then carries pool counters (jobs, chunks, queue wait) alongside the
+  // timings.  The determinism certification below runs with them live,
+  // re-proving instrumentation never touches the result path.
+  ds::obs::set_metrics_enabled(true);
   std::cout << "=== P1: deterministic parallel execution engine ===\n"
             << "pool threads: "
             << ds::parallel::global_pool().num_threads() << "\n\n";

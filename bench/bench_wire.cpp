@@ -17,6 +17,7 @@
 
 #include "graph/generators.h"
 #include "model/runner.h"
+#include "obs/obs.h"
 #include "protocols/spanning_forest.h"
 #include "protocols/zoo.h"
 #include "service/player_client.h"
@@ -181,7 +182,9 @@ void write_json(const std::string& path,
         << (r.payload_matches_sim ? "true" : "false") << "\n    }"
         << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"metrics\": ";
+  ds::obs::write_json(out, ds::obs::snapshot(), "  ");
+  out << "\n}\n";
   std::cout << "wrote " << path << "\n";
 }
 
@@ -189,6 +192,9 @@ void write_json(const std::string& path,
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_wire.json";
+  // Metrics on for the run: BENCH_wire.json's metrics block then carries
+  // the wire/service counter totals next to the byte-split numbers.
+  ds::obs::set_metrics_enabled(true);
 
   std::vector<WireCaseRecord> records;
   records.push_back(run_case("spanning_forest/n=128", 128, 0.10, 4,

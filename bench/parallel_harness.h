@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 #include "util/rng.h"
 
@@ -111,7 +112,9 @@ class ParallelHarness {
           << "      \"identical\": " << (r.identical ? "true" : "false")
           << "\n    }" << (i + 1 < records_.size() ? "," : "") << "\n";
     }
-    out << "  ]\n}\n";
+    out << "  ],\n  \"metrics\": ";
+    obs::write_json(out, obs::snapshot(), "  ");
+    out << "\n}\n";
     std::cout << "wrote " << path << "\n";
   }
 

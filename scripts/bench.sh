@@ -12,6 +12,10 @@
 # flag certifying the wire accounting contract. Exits nonzero if any
 # wire session's payload bits diverged from the simulated CommStats.
 #
+# Both files carry a "metrics" block: the observability snapshot
+# (docs/OBSERVABILITY.md) taken at the end of the run — pool, wire, and
+# service counters/histograms alongside the timings.
+#
 # Usage:
 #   scripts/bench.sh                 # writes ./BENCH_parallel.json + ./BENCH_wire.json
 #   scripts/bench.sh out.json        # custom BENCH_parallel.json path
@@ -24,7 +28,13 @@ OUT="${1:-BENCH_parallel.json}"
 WIRE_OUT="${2:-BENCH_wire.json}"
 BUILD_DIR=build-release
 
-if command -v ninja > /dev/null 2>&1; then
+# Never pass -G at a configured cache: CMake refuses to switch generators
+# in place, so a cache configured with Make would make `-G Ninja` fail.
+# Reconfigure with whatever generator the cache already has; only pick a
+# generator (Ninja if present) on a fresh configure.
+if [ -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake --preset release
+elif command -v ninja > /dev/null 2>&1; then
   cmake --preset release -G Ninja
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

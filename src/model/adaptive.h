@@ -21,9 +21,24 @@
 #include <vector>
 
 #include "model/protocol.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace ds::model {
+
+namespace detail {
+/// Adaptive-runner metrics (docs/OBSERVABILITY.md): round count and the
+/// referee's per-round downlink size.  Per-sketch bits are charged to the
+/// shared model.encode.* series by the encode loop below.
+inline obs::Counter& adaptive_rounds_counter() {
+  static obs::Counter& c = obs::counter("model.adaptive.rounds");
+  return c;
+}
+inline obs::Histogram& adaptive_broadcast_bits_histogram() {
+  static obs::Histogram& h = obs::histogram("model.adaptive.broadcast_bits");
+  return h;
+}
+}  // namespace detail
 
 template <typename Output>
 class AdaptiveProtocol {
@@ -71,6 +86,12 @@ template <typename Output>
   const unsigned rounds = protocol.num_rounds();
   const graph::Vertex n = g.num_vertices();
 
+  // Same series as the one-round runner, so the obs audit can compare
+  // histogram totals against CommStats regardless of which runner ran.
+  obs::Counter& sketches_counter = obs::counter("model.encode.sketches");
+  obs::Histogram& bits_histogram =
+      obs::histogram("model.encode.sketch_bits");
+
   AdaptiveRunResult<Output> result{};
   std::vector<std::vector<util::BitString>> all_rounds;
   std::vector<util::BitString> broadcasts;
@@ -90,22 +111,30 @@ template <typename Output>
           util::BitWriter writer;
           protocol.encode_round(view, round, broadcasts, writer);
           acc.record(writer.bit_count());
+          sketches_counter.increment();
+          bits_histogram.record(writer.bit_count());
           player_bits[i] += writer.bit_count();
           sketches[i] = util::BitString(writer);
         },
         [](CommStats& into, const CommStats& from) { into.merge(from); });
     result.by_round.push_back(round_comm);
     all_rounds.push_back(std::move(sketches));
+    detail::adaptive_rounds_counter().increment();
 
     if (round + 1 < rounds) {
       util::BitString b = protocol.make_broadcast(round, n, all_rounds, coins);
+      detail::adaptive_broadcast_bits_histogram().record(b.bit_count());
       result.broadcast_bits += b.bit_count();
       broadcasts.push_back(std::move(b));
     }
   }
 
   for (std::size_t bits : player_bits) result.comm.record(bits);
-  result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+  {
+    const obs::ScopedSpan span("model.decode",
+                               &obs::histogram("model.decode_us"));
+    result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+  }
   return result;
 }
 

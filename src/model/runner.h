@@ -18,6 +18,7 @@
 
 #include "graph/weighted.h"
 #include "model/protocol.h"
+#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace ds::model {
@@ -30,6 +31,28 @@ struct RunResult {
 
 namespace detail {
 
+/// Model-layer metrics (docs/OBSERVABILITY.md).  The sketch_bits
+/// histogram mirrors CommStats exactly: count == players encoded,
+/// sum == total_bits, max == max_bits — the obs audit test cross-checks
+/// them.  All updates are atomics outside the deterministic reduction
+/// path, so results stay bit-identical at any thread count.
+inline obs::Counter& encode_sketches_counter() {
+  static obs::Counter& c = obs::counter("model.encode.sketches");
+  return c;
+}
+inline obs::Histogram& encode_sketch_bits_histogram() {
+  static obs::Histogram& h = obs::histogram("model.encode.sketch_bits");
+  return h;
+}
+inline obs::Histogram& collect_us_histogram() {
+  static obs::Histogram& h = obs::histogram("model.collect_us");
+  return h;
+}
+inline obs::Histogram& decode_us_histogram() {
+  static obs::Histogram& h = obs::histogram("model.decode_us");
+  return h;
+}
+
 /// The shared encode loop: materialize view_of(v) for every vertex,
 /// encode it, and charge exact bits.  CommStats accumulate per chunk and
 /// merge in vertex order — bit-identical to the serial record() sequence.
@@ -37,6 +60,9 @@ template <typename Output, typename ViewFn>
 [[nodiscard]] std::vector<util::BitString> collect_sketches_impl(
     graph::Vertex n, const SketchingProtocol<Output>& protocol,
     const ViewFn& view_of, CommStats& comm, parallel::ThreadPool* pool) {
+  const obs::ScopedSpan span("model.collect", &collect_us_histogram());
+  obs::Counter& sketches_counter = encode_sketches_counter();
+  obs::Histogram& bits_histogram = encode_sketch_bits_histogram();
   std::vector<util::BitString> sketches(n);
   CommStats encoded = parallel::parallel_reduce(
       pool, std::size_t{0}, std::size_t{n}, CommStats{},
@@ -45,6 +71,8 @@ template <typename Output, typename ViewFn>
         util::BitWriter writer;
         protocol.encode(view_of(v), writer);
         acc.record(writer.bit_count());
+        sketches_counter.increment();
+        bits_histogram.record(writer.bit_count());
         sketches[i] = util::BitString(writer);
       },
       [](CommStats& into, const CommStats& from) { into.merge(from); });
@@ -75,6 +103,8 @@ template <typename Output>
   CommStats comm;
   const std::vector<util::BitString> sketches =
       collect_sketches(g, protocol, coins, comm, pool);
+  const obs::ScopedSpan span("model.decode",
+                             &detail::decode_us_histogram());
   return {protocol.decode(g.num_vertices(), sketches, coins),
           comm};
 }
@@ -101,6 +131,8 @@ template <typename Output>
   CommStats comm;
   const std::vector<util::BitString> sketches =
       collect_sketches(g, protocol, coins, comm, pool);
+  const obs::ScopedSpan span("model.decode",
+                             &detail::decode_us_histogram());
   return {protocol.decode(g.num_vertices(), sketches, coins), comm};
 }
 

@@ -1,6 +1,9 @@
 #include "parallel/thread_pool.h"
 
+#include <chrono>
 #include <cstdlib>
+
+#include "obs/obs.h"
 
 namespace ds::parallel {
 
@@ -14,6 +17,33 @@ thread_local bool t_inside_pool_task = false;
 
 constexpr std::size_t kMaxThreads = 512;
 constexpr std::size_t kMaxChunks = 64;
+
+/// Pool metrics (docs/OBSERVABILITY.md).  Every update is an atomic on a
+/// side channel — never inside the chunk partition or the ordered merge —
+/// so the determinism contract (bit-identical results at any thread
+/// count) is untouched; clocks are only read when metrics are enabled.
+struct PoolMetrics {
+  obs::Counter& jobs = obs::counter("parallel.jobs");
+  obs::Counter& chunks = obs::counter("parallel.chunks");
+  obs::Counter& inline_loops = obs::counter("parallel.inline_loops");
+  obs::Counter& submitter_chunks = obs::counter("parallel.submitter_chunks");
+  obs::Counter& worker_chunks = obs::counter("parallel.worker_chunks");
+  obs::Histogram& job_us = obs::histogram("parallel.job_us");
+  obs::Histogram& chunk_us = obs::histogram("parallel.chunk_us");
+  obs::Histogram& queue_wait_us = obs::histogram("parallel.queue_wait_us");
+};
+
+PoolMetrics& metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -75,21 +105,27 @@ void ThreadPool::run_chunks(std::size_t count,
   if (workers_.empty() || count == 1 || t_inside_pool_task) {
     // Serial path: no workers, a single chunk, or a nested loop issued
     // from inside a pool task.  Exceptions propagate naturally.
+    metrics().inline_loops.increment();
+    metrics().chunks.add(count);
     for (std::size_t c = 0; c < count; ++c) chunk_fn(c);
     return;
   }
+
+  const obs::ScopedSpan job_span("parallel.job", &metrics().job_us);
+  metrics().jobs.increment();
 
   const std::lock_guard<std::mutex> submit_guard(submit_mutex_);
   auto job = std::make_shared<Job>();
   job->fn = chunk_fn;
   job->count = count;
+  if (obs::metrics_enabled()) job->submit_ns = steady_ns();
   {
     const std::lock_guard<std::mutex> lk(mutex_);
     job_ = job;
   }
   work_cv_.notify_all();
 
-  drain(*job);  // the submitting thread is a lane too
+  drain(*job, /*worker=*/false);  // the submitting thread is a lane too
 
   std::unique_lock<std::mutex> lk(mutex_);
   done_cv_.wait(lk, [&] { return job->done == job->count; });
@@ -98,11 +134,26 @@ void ThreadPool::run_chunks(std::size_t count,
   if (job->error) std::rethrow_exception(job->error);
 }
 
-void ThreadPool::drain(Job& job) {
+void ThreadPool::drain(Job& job, bool worker) {
   t_inside_pool_task = true;
+  bool first_claim = true;
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.count) break;
+    if (first_claim) {
+      first_claim = false;
+      // Queue wait: submission to this lane's first claimed chunk.
+      // submit_ns is 0 when metrics were off at submission.
+      if (worker && job.submit_ns != 0) {
+        metrics().queue_wait_us.record((steady_ns() - job.submit_ns) /
+                                       1000);
+      }
+    }
+    metrics().chunks.increment();
+    (worker ? metrics().worker_chunks : metrics().submitter_chunks)
+        .increment();
+    const std::uint64_t chunk_start =
+        job.submit_ns != 0 ? steady_ns() : 0;
     bool skip;
     {
       const std::lock_guard<std::mutex> lk(mutex_);
@@ -115,6 +166,9 @@ void ThreadPool::drain(Job& job) {
         const std::lock_guard<std::mutex> lk(mutex_);
         if (!job.error) job.error = std::current_exception();
       }
+    }
+    if (chunk_start != 0) {
+      metrics().chunk_us.record((steady_ns() - chunk_start) / 1000);
     }
     {
       const std::lock_guard<std::mutex> lk(mutex_);
@@ -137,7 +191,7 @@ void ThreadPool::worker_loop() {
       if (stop_) return;
       job = job_;
     }
-    drain(*job);
+    drain(*job, /*worker=*/true);
   }
 }
 

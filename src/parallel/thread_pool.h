@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -119,11 +120,14 @@ class ThreadPool {
     std::atomic<std::size_t> next{0};
     std::size_t done = 0;
     std::exception_ptr error;
+    // Submission timestamp (steady-clock ns) for the queue-wait metric;
+    // 0 when metrics are off so workers never touch the clock.
+    std::uint64_t submit_ns = 0;
   };
 
   void run_chunks(std::size_t count,
                   const std::function<void(std::size_t)>& chunk_fn);
-  void drain(Job& job);
+  void drain(Job& job, bool worker);
   void worker_loop();
 
   std::vector<std::thread> workers_;

@@ -18,10 +18,24 @@
 
 #include "model/adaptive.h"
 #include "model/protocol.h"
+#include "obs/obs.h"
 #include "service/output_codec.h"
 #include "service/session.h"
 
 namespace ds::service {
+
+namespace detail {
+/// Session-phase timings shared by serve_protocol / serve_adaptive:
+/// accept -> collect -> decode -> reply (docs/OBSERVABILITY.md).
+inline obs::Histogram& decode_us_histogram() {
+  static obs::Histogram& h = obs::histogram("service.decode_us");
+  return h;
+}
+inline obs::Histogram& reply_us_histogram() {
+  static obs::Histogram& h = obs::histogram("service.reply_us");
+  return h;
+}
+}  // namespace detail
 
 inline constexpr std::chrono::milliseconds kDefaultRoundTimeout{5000};
 
@@ -54,10 +68,18 @@ template <typename Output>
   const std::uint32_t proto = wire::protocol_id(protocol.name());
   CollectedRound round = collect_sketch_round(links, n, proto, 0, timeout);
 
-  ServeResult<Output> result{
-      protocol.decode(n, round.sketches, coins),
-      comm_from_sketches(round.sketches), round.wire, WireStats{}};
+  ServeResult<Output> result{[&] {
+                               const obs::ScopedSpan decode_span(
+                                   "service.decode",
+                                   &detail::decode_us_histogram());
+                               return protocol.decode(n, round.sketches,
+                                                      coins);
+                             }(),
+                             comm_from_sketches(round.sketches), round.wire,
+                             WireStats{}};
 
+  const obs::ScopedSpan reply_span("service.reply",
+                                   &detail::reply_us_histogram());
   util::BitWriter w;
   OutputCodec<Output>::encode(result.output, w);
   const util::BitString encoded(w);
@@ -102,8 +124,14 @@ template <typename Output>
   }
 
   for (const std::size_t bits : player_bits) result.comm.record(bits);
-  result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+  {
+    const obs::ScopedSpan decode_span("service.decode",
+                                      &detail::decode_us_histogram());
+    result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+  }
 
+  const obs::ScopedSpan reply_span("service.reply",
+                                   &detail::reply_us_histogram());
   util::BitWriter w;
   OutputCodec<Output>::encode(result.output, w);
   const util::BitString encoded(w);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.h"
+
 namespace ds::service {
 
 namespace {
@@ -21,19 +23,56 @@ std::chrono::milliseconds slice_until(Clock::time_point deadline) {
   return std::min(left, kPollSlice);
 }
 
+/// Session-phase counters and timings.  The per-sketch `sketch_bits`
+/// histogram mirrors the model accounting exactly: count == players,
+/// sum == CommStats::total_bits, max == CommStats::max_bits for a
+/// one-round session (asserted by tests/audit/obs_audit_test.cpp).
+struct ServiceMetrics {
+  obs::Counter& rounds_collected =
+      obs::counter("service.rounds_collected");
+  obs::Counter& messages = obs::counter("service.messages");
+  obs::Counter& frames_accepted = obs::counter("service.frames_accepted");
+  obs::Counter& payload_bits = obs::counter("service.payload_bits");
+  obs::Histogram& sketch_bits = obs::histogram("service.sketch_bits");
+  obs::Histogram& round_payload_bits =
+      obs::histogram("service.round_payload_bits");
+  obs::Histogram& collect_us = obs::histogram("service.collect_us");
+  obs::Counter& dead_links = obs::counter("service.dead_links");
+  obs::Counter& deadline_misses = obs::counter("service.deadline_misses");
+  obs::Counter& broadcasts = obs::counter("service.broadcasts");
+  // Rejected frames, by reason (sum == WireStats::rejected_frames).
+  obs::Counter& reject_corrupt = obs::counter("service.reject.corrupt");
+  obs::Counter& reject_bad_type = obs::counter("service.reject.bad_type");
+  obs::Counter& reject_bad_protocol =
+      obs::counter("service.reject.bad_protocol");
+  obs::Counter& reject_bad_round = obs::counter("service.reject.bad_round");
+  obs::Counter& reject_bad_vertex =
+      obs::counter("service.reject.bad_vertex");
+  obs::Counter& reject_duplicate =
+      obs::counter("service.reject.duplicate");
+};
+
+ServiceMetrics& metrics() {
+  static ServiceMetrics m;
+  return m;
+}
+
 }  // namespace
 
 CollectedRound collect_sketch_round(
     std::span<const std::unique_ptr<wire::Link>> links, graph::Vertex n,
     std::uint32_t protocol_id, std::uint32_t round,
     std::chrono::milliseconds timeout) {
+  const obs::ScopedSpan span("service.collect", &metrics().collect_us);
   CollectedRound result;
   result.sketches.resize(n);
   std::vector<bool> have(n, false);
   std::vector<bool> link_live(links.size(), true);
   graph::Vertex missing = n;
 
-  const auto reject = [&result](std::string reason) {
+  const auto reject = [&result](obs::Counter& reason_counter,
+                                std::string reason) {
+    reason_counter.increment();
     ++result.wire.rejected_frames;
     result.rejects.push_back(std::move(reason));
   };
@@ -51,9 +90,11 @@ CollectedRound collect_sketch_round(
         // stops being polled; its players' missing sketches surface at
         // the deadline.
         link_live[li] = false;
+        metrics().dead_links.increment();
         continue;
       }
       ++result.wire.messages;
+      metrics().messages.increment();
 
       wire::BatchDecode batch = wire::decode_frames(msg.message);
       if (batch.status != wire::DecodeStatus::kOk) {
@@ -62,31 +103,36 @@ CollectedRound collect_sketch_round(
            << wire::decode_status_name(batch.status) << " at byte "
            << batch.rest_offset << " of a " << msg.message.size()
            << "-byte message; dropped the rest of the message";
-        reject(os.str());
+        reject(metrics().reject_corrupt, os.str());
       }
       for (wire::Frame& frame : batch.frames) {
         const wire::FrameHeader& h = frame.header;
         if (h.type != wire::FrameType::kSketch) {
-          reject("unexpected frame type from a player");
+          reject(metrics().reject_bad_type,
+                 "unexpected frame type from a player");
           continue;
         }
         if (h.protocol_id != protocol_id) {
-          reject("protocol id mismatch from vertex " +
-                 std::to_string(h.vertex));
+          reject(metrics().reject_bad_protocol,
+                 "protocol id mismatch from vertex " +
+                     std::to_string(h.vertex));
           continue;
         }
         if (h.round != round) {
-          reject("round " + std::to_string(h.round) + " frame from vertex " +
-                 std::to_string(h.vertex) + " during round " +
-                 std::to_string(round));
+          reject(metrics().reject_bad_round,
+                 "round " + std::to_string(h.round) + " frame from vertex " +
+                     std::to_string(h.vertex) + " during round " +
+                     std::to_string(round));
           continue;
         }
         if (h.vertex >= n) {
-          reject("vertex " + std::to_string(h.vertex) + " out of range");
+          reject(metrics().reject_bad_vertex,
+                 "vertex " + std::to_string(h.vertex) + " out of range");
           continue;
         }
         if (have[h.vertex]) {
-          reject("duplicate sketch for vertex " + std::to_string(h.vertex));
+          reject(metrics().reject_duplicate,
+                 "duplicate sketch for vertex " + std::to_string(h.vertex));
           continue;
         }
         have[h.vertex] = true;
@@ -96,11 +142,15 @@ CollectedRound collect_sketch_round(
         result.wire.framing_bits +=
             wire::encoded_frame_size(h, frame.payload.bit_count()) * 8 -
             frame.payload.bit_count();
+        metrics().frames_accepted.increment();
+        metrics().payload_bits.add(frame.payload.bit_count());
+        metrics().sketch_bits.record(frame.payload.bit_count());
         result.sketches[h.vertex] = std::move(frame.payload);
       }
     }
     if (missing == 0) break;
     if (Clock::now() >= deadline || !any_live) {
+      metrics().deadline_misses.increment();
       std::ostringstream os;
       os << "round " << round << ": " << missing
          << " sketch(es) missing at the deadline (first absent vertex ";
@@ -114,12 +164,15 @@ CollectedRound collect_sketch_round(
       throw ServiceError(os.str());
     }
   }
+  metrics().rounds_collected.increment();
+  metrics().round_payload_bits.record(result.wire.payload_bits);
   return result;
 }
 
 WireStats broadcast_to_links(
     std::span<const std::unique_ptr<wire::Link>> links,
     const wire::FrameHeader& header, const util::BitString& payload) {
+  const obs::ScopedSpan span("service.broadcast");
   std::vector<std::uint8_t> bytes;
   const std::size_t framing = wire::encode_frame(header, payload, bytes);
   WireStats stats;
@@ -131,6 +184,7 @@ WireStats broadcast_to_links(
     ++stats.messages;
     stats.payload_bits += payload.bit_count();
     stats.framing_bits += framing;
+    metrics().broadcasts.increment();
   }
   return stats;
 }

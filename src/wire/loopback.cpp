@@ -4,9 +4,30 @@
 #include <deque>
 #include <mutex>
 
+#include "obs/obs.h"
+
 namespace ds::wire {
 
 namespace {
+
+struct LoopbackMetrics {
+  obs::Counter& messages_sent = obs::counter("wire.loopback.messages_sent");
+  obs::Counter& messages_received =
+      obs::counter("wire.loopback.messages_received");
+  obs::Counter& bytes_sent = obs::counter("wire.loopback.bytes_sent");
+  obs::Counter& bytes_received =
+      obs::counter("wire.loopback.bytes_received");
+  obs::Histogram& message_bytes =
+      obs::histogram("wire.loopback.message_bytes");
+  obs::Counter& recv_timeouts = obs::counter("wire.loopback.recv_timeouts");
+  obs::Counter& clean_closes = obs::counter("wire.loopback.clean_closes");
+  obs::Counter& send_failures = obs::counter("wire.loopback.send_failures");
+};
+
+LoopbackMetrics& metrics() {
+  static LoopbackMetrics m;
+  return m;
+}
 
 /// One direction of the pair: a queue of whole messages.
 struct Channel {
@@ -67,15 +88,29 @@ class LoopbackLink final : public Link {
   }
 
   bool send(std::span<const std::uint8_t> message) override {
-    if (out_->is_closed()) return false;
+    if (out_->is_closed()) {
+      metrics().send_failures.increment();
+      return false;
+    }
     out_->push(message);
     sent_ += message.size();
+    metrics().messages_sent.increment();
+    metrics().bytes_sent.add(message.size());
+    metrics().message_bytes.record(message.size());
     return true;
   }
 
   RecvResult recv(std::chrono::milliseconds timeout) override {
     RecvResult result = in_->pop(timeout);
-    if (result.status == RecvStatus::kOk) received_ += result.message.size();
+    if (result.status == RecvStatus::kOk) {
+      received_ += result.message.size();
+      metrics().messages_received.increment();
+      metrics().bytes_received.add(result.message.size());
+    } else if (result.status == RecvStatus::kTimeout) {
+      metrics().recv_timeouts.increment();
+    } else if (result.status == RecvStatus::kClosed) {
+      metrics().clean_closes.increment();
+    }
     return result;
   }
 

@@ -8,14 +8,74 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+
+#include "obs/obs.h"
+#include "wire/test_hooks.h"
 
 namespace ds::wire {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// -------------------------------------------------------------------
+// Test hooks: unset (the default) routes straight to the real syscall.
+// -------------------------------------------------------------------
+std::atomic<testhooks::PollFn> g_poll_hook{nullptr};
+std::atomic<testhooks::RecvFn> g_recv_hook{nullptr};
+std::atomic<testhooks::SendFn> g_send_hook{nullptr};
+
+int sys_poll(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  const testhooks::PollFn fn = g_poll_hook.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn(fds, nfds, timeout_ms)
+                       : ::poll(fds, nfds, timeout_ms);
+}
+
+ssize_t sys_recv(int fd, void* buf, std::size_t len, int flags) {
+  const testhooks::RecvFn fn = g_recv_hook.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn(fd, buf, len, flags)
+                       : ::recv(fd, buf, len, flags);
+}
+
+ssize_t sys_send(int fd, const void* buf, std::size_t len, int flags) {
+  const testhooks::SendFn fn = g_send_hook.load(std::memory_order_relaxed);
+  return fn != nullptr ? fn(fd, buf, len, flags)
+                       : ::send(fd, buf, len, flags);
+}
+
+// -------------------------------------------------------------------
+// Failure-mode and throughput counters (docs/OBSERVABILITY.md; the
+// cause -> RecvStatus -> counter table lives in docs/WIRE.md).
+// -------------------------------------------------------------------
+struct TcpMetrics {
+  obs::Counter& messages_sent = obs::counter("wire.tcp.messages_sent");
+  obs::Counter& messages_received =
+      obs::counter("wire.tcp.messages_received");
+  obs::Counter& bytes_sent = obs::counter("wire.tcp.bytes_sent");
+  obs::Counter& bytes_received = obs::counter("wire.tcp.bytes_received");
+  obs::Histogram& message_bytes = obs::histogram("wire.tcp.message_bytes");
+  obs::Counter& recv_timeouts = obs::counter("wire.tcp.recv_timeouts");
+  obs::Counter& poll_errors = obs::counter("wire.tcp.poll_errors");
+  obs::Counter& clean_closes = obs::counter("wire.tcp.clean_closes");
+  obs::Counter& short_reads = obs::counter("wire.tcp.short_reads");
+  obs::Counter& oversized_prefix =
+      obs::counter("wire.tcp.oversized_prefix");
+  obs::Counter& recv_errors = obs::counter("wire.tcp.recv_errors");
+  obs::Counter& send_failures = obs::counter("wire.tcp.send_failures");
+  obs::Counter& broken_reuse = obs::counter("wire.tcp.broken_reuse");
+  obs::Counter& eintr_retries = obs::counter("wire.tcp.eintr_retries");
+  obs::Counter& partial_writes = obs::counter("wire.tcp.partial_writes");
+  obs::Counter& accepts = obs::counter("wire.tcp.accepts");
+  obs::Counter& connects = obs::counter("wire.tcp.connects");
+};
+
+TcpMetrics& metrics() {
+  static TcpMetrics m;
+  return m;
+}
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw WireError(what + ": " + std::strerror(errno));
@@ -27,15 +87,34 @@ std::chrono::milliseconds time_left(Clock::time_point deadline) {
   return left.count() > 0 ? left : std::chrono::milliseconds(0);
 }
 
-/// Wait until fd is readable; false on deadline expiry.
-bool poll_readable(int fd, Clock::time_point deadline) {
+/// Deadline expiry and a failed poll() are different events and must
+/// stay distinguishable: collapsing them (the pre-fix bug) made the
+/// session loop spin on a dead fd until the round deadline, reporting
+/// kTimeout the whole way.
+enum class PollOutcome : std::uint8_t { kReady, kTimeout, kError };
+
+/// Wait until fd is readable, the deadline expires, or poll itself
+/// fails.  POLLNVAL (a bad fd) is an error; POLLERR/POLLHUP report
+/// kReady so the subsequent recv() can surface the precise condition.
+PollOutcome poll_readable(int fd, Clock::time_point deadline) {
   for (;;) {
     pollfd pfd{fd, POLLIN, 0};
     const auto left = time_left(deadline);
-    const int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
-    if (rc > 0) return true;
-    if (rc == 0) return false;
-    if (errno != EINTR) return false;
+    const int rc = sys_poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc > 0) {
+      if ((pfd.revents & POLLNVAL) != 0) {
+        metrics().poll_errors.increment();
+        return PollOutcome::kError;
+      }
+      return PollOutcome::kReady;
+    }
+    if (rc == 0) return PollOutcome::kTimeout;
+    if (errno == EINTR) {
+      metrics().eintr_retries.increment();
+      continue;
+    }
+    metrics().poll_errors.increment();
+    return PollOutcome::kError;
   }
 }
 
@@ -53,6 +132,14 @@ class TcpLink final : public Link {
   }
 
   bool send(std::span<const std::uint8_t> message) override {
+    // A partial write leaves the peer mid-frame with no way to find the
+    // next boundary; the link is latched broken so a retried send fails
+    // fast instead of writing a fresh length prefix into the middle of
+    // the half-sent frame and silently desyncing the stream.
+    if (broken_) {
+      metrics().broken_reuse.increment();
+      return false;
+    }
     if (message.size() > kMaxMessageBytes) return false;
     std::uint8_t prefix[4];
     const auto len = static_cast<std::uint32_t>(message.size());
@@ -60,9 +147,16 @@ class TcpLink final : public Link {
     prefix[1] = static_cast<std::uint8_t>(len >> 8);
     prefix[2] = static_cast<std::uint8_t>(len >> 16);
     prefix[3] = static_cast<std::uint8_t>(len >> 24);
-    if (!send_all(prefix, sizeof(prefix))) return false;
-    if (!send_all(message.data(), message.size())) return false;
+    if (!send_all(prefix, sizeof(prefix)) ||
+        !send_all(message.data(), message.size())) {
+      broken_ = true;
+      metrics().send_failures.increment();
+      return false;
+    }
     sent_ += sizeof(prefix) + message.size();
+    metrics().messages_sent.increment();
+    metrics().bytes_sent.add(sizeof(prefix) + message.size());
+    metrics().message_bytes.record(message.size());
     return true;
   }
 
@@ -71,18 +165,28 @@ class TcpLink final : public Link {
   // able to drain a message larger than one slice delivers.  Only EOF or
   // a socket error mid-message is unrecoverable — the boundary is lost.
   RecvResult recv(std::chrono::milliseconds timeout) override {
-    if (broken_) return {RecvStatus::kError, {}};
+    if (broken_) {
+      metrics().broken_reuse.increment();
+      return {RecvStatus::kError, {}};
+    }
     const Clock::time_point deadline = Clock::now() + timeout;
 
     if (prefix_done_ < sizeof(prefix_)) {
       const ReadOutcome head =
           fill(prefix_, sizeof(prefix_), prefix_done_, deadline);
-      if (head == ReadOutcome::kTimeout) return {RecvStatus::kTimeout, {}};
+      if (head == ReadOutcome::kTimeout) {
+        metrics().recv_timeouts.increment();
+        return {RecvStatus::kTimeout, {}};
+      }
       if (head == ReadOutcome::kEof) {
         // EOF before any byte of a message is a clean close; EOF with a
         // partial prefix is a short read.
-        if (prefix_done_ == 0) return {RecvStatus::kClosed, {}};
+        if (prefix_done_ == 0) {
+          metrics().clean_closes.increment();
+          return {RecvStatus::kClosed, {}};
+        }
         broken_ = true;
+        metrics().short_reads.increment();
         return {RecvStatus::kError, {}};
       }
       if (head == ReadOutcome::kError) {
@@ -97,6 +201,7 @@ class TcpLink final : public Link {
                                 static_cast<std::uint32_t>(prefix_[3]) << 24;
       if (len > kMaxMessageBytes) {  // reject before allocating
         broken_ = true;
+        metrics().oversized_prefix.increment();
         return {RecvStatus::kError, {}};
       }
       body_.assign(len, 0);
@@ -106,13 +211,19 @@ class TcpLink final : public Link {
     if (body_done_ < body_.size()) {
       const ReadOutcome outcome =
           fill(body_.data(), body_.size(), body_done_, deadline);
-      if (outcome == ReadOutcome::kTimeout) return {RecvStatus::kTimeout, {}};
+      if (outcome == ReadOutcome::kTimeout) {
+        metrics().recv_timeouts.increment();
+        return {RecvStatus::kTimeout, {}};
+      }
       if (outcome != ReadOutcome::kDone) {  // EOF or error mid-message
         broken_ = true;
+        if (outcome == ReadOutcome::kEof) metrics().short_reads.increment();
         return {RecvStatus::kError, {}};
       }
     }
     received_ += sizeof(prefix_) + body_.size();
+    metrics().messages_received.increment();
+    metrics().bytes_received.add(sizeof(prefix_) + body_.size());
     RecvResult result{RecvStatus::kOk, std::move(body_)};
     prefix_done_ = 0;
     have_len_ = false;
@@ -135,10 +246,16 @@ class TcpLink final : public Link {
     std::size_t done = 0;
     while (done < size) {
       const ssize_t n =
-          ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+          sys_send(fd_, data + done, size - done, MSG_NOSIGNAL);
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR) {
+          metrics().eintr_retries.increment();
+          continue;
+        }
         return false;
+      }
+      if (static_cast<std::size_t>(n) < size - done) {
+        metrics().partial_writes.increment();
       }
       done += static_cast<std::size_t>(n);
     }
@@ -151,11 +268,18 @@ class TcpLink final : public Link {
   ReadOutcome fill(std::uint8_t* data, std::size_t size, std::size_t& done,
                    Clock::time_point deadline) {
     while (done < size) {
-      if (!poll_readable(fd_, deadline)) return ReadOutcome::kTimeout;
-      const ssize_t n = ::recv(fd_, data + done, size - done, 0);
+      const PollOutcome ready = poll_readable(fd_, deadline);
+      if (ready == PollOutcome::kTimeout) return ReadOutcome::kTimeout;
+      if (ready == PollOutcome::kError) return ReadOutcome::kError;
+      const ssize_t n = sys_recv(fd_, data + done, size - done, 0);
       if (n == 0) return ReadOutcome::kEof;
       if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
+        if (errno == EINTR) {
+          metrics().eintr_retries.increment();
+          continue;
+        }
+        if (errno == EAGAIN) continue;
+        metrics().recv_errors.increment();
         return ReadOutcome::kError;
       }
       done += static_cast<std::size_t>(n);
@@ -177,6 +301,25 @@ class TcpLink final : public Link {
 };
 
 }  // namespace
+
+namespace testhooks {
+
+void set_poll(PollFn fn) noexcept {
+  g_poll_hook.store(fn, std::memory_order_relaxed);
+}
+void set_recv(RecvFn fn) noexcept {
+  g_recv_hook.store(fn, std::memory_order_relaxed);
+}
+void set_send(SendFn fn) noexcept {
+  g_send_hook.store(fn, std::memory_order_relaxed);
+}
+void reset() noexcept {
+  set_poll(nullptr);
+  set_recv(nullptr);
+  set_send(nullptr);
+}
+
+}  // namespace testhooks
 
 TcpListener::TcpListener(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -216,10 +359,15 @@ TcpListener::~TcpListener() {
 
 std::unique_ptr<Link> TcpListener::accept(std::chrono::milliseconds timeout) {
   const Clock::time_point deadline = Clock::now() + timeout;
-  if (!poll_readable(fd_, deadline)) return nullptr;
+  if (poll_readable(fd_, deadline) != PollOutcome::kReady) return nullptr;
   const int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return nullptr;
+  metrics().accepts.increment();
   return std::make_unique<TcpLink>(client);
+}
+
+std::unique_ptr<Link> tcp_adopt_fd(int fd) {
+  return std::make_unique<TcpLink>(fd);
 }
 
 std::unique_ptr<Link> tcp_connect(const std::string& host, std::uint16_t port,
@@ -256,6 +404,7 @@ std::unique_ptr<Link> tcp_connect(const std::string& host, std::uint16_t port,
     }
   }
   ::fcntl(fd, F_SETFL, flags);
+  metrics().connects.increment();
   return std::make_unique<TcpLink>(fd);
 }
 

@@ -6,14 +6,22 @@
 // messages — and is charged to transport bytes, never to the model's bit
 // accounting.
 //
-// Failure handling (exercised by tests/wire/transport_test.cpp):
+// Failure handling (exercised by tests/wire/transport_test.cpp and
+// tests/wire/failure_injection_test.cpp; the full cause -> RecvStatus ->
+// counter table is in docs/WIRE.md):
 //   * recv enforces a deadline via poll(); expiry -> kTimeout, with any
 //     partially received message kept pending so short polling slices
 //     (the referee's round-robin) can drain a large batch across calls,
+//   * a poll() hard failure or POLLNVAL (a dead fd) -> kError — never
+//     kTimeout, so the session loop abandons the link instead of
+//     spinning on it until the round deadline,
 //   * a peer closing at a message boundary -> kClosed,
 //   * EOF mid-prefix or mid-body (a short read) -> kError,
 //   * a length prefix above kMaxMessageBytes -> kError without allocating,
-//   * send loops over partial writes and suppresses SIGPIPE.
+//   * send loops over partial writes and suppresses SIGPIPE; a send that
+//     fails mid-message latches the link broken (the peer is stranded
+//     mid-frame), so every later send/recv fails fast instead of
+//     desyncing the framing with a fresh length prefix.
 #pragma once
 
 #include <chrono>
@@ -54,5 +62,11 @@ class TcpListener {
 [[nodiscard]] std::unique_ptr<Link> tcp_connect(
     const std::string& host, std::uint16_t port,
     std::chrono::milliseconds timeout);
+
+/// Wrap an already-connected stream socket (ownership of `fd` passes to
+/// the Link, which closes it on destruction).  Exists for the
+/// failure-injection tests — socketpair() gives a deterministic peer —
+/// and for embedders that do their own connection establishment.
+[[nodiscard]] std::unique_ptr<Link> tcp_adopt_fd(int fd);
 
 }  // namespace ds::wire

@@ -1,0 +1,233 @@
+// The observability audit (ISSUE 4 acceptance criterion): counters are
+// only trustworthy if they agree with the ground truth the code already
+// computes.  With metrics enabled,
+//
+//   * wire byte counters must equal the links' own bytes_sent() /
+//     bytes_received() accounting, summed over every link in the session,
+//   * the service.sketch_bits histogram must equal the session's
+//     CommStats exactly (count == num_players, sum == total_bits,
+//     max == max_bits), and service.payload_bits the uplink payload,
+//   * the model.encode.sketch_bits histogram must equal the simulated
+//     runner's CommStats the same way, for one-round and adaptive runs.
+//
+// Everything here runs single-session with obs::reset() up front, so the
+// equalities are exact, not approximate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "model/adaptive.h"
+#include "model/runner.h"
+#include "obs/obs.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/two_round_matching.h"
+#include "protocols/zoo.h"
+#include "service/player_client.h"
+#include "service/referee_service.h"
+#include "wire/loopback.h"
+#include "wire/tcp.h"
+
+namespace ds {
+namespace {
+
+using namespace std::chrono_literals;
+using graph::Graph;
+
+class ObsAudit : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_metrics_enabled(true);
+    obs::reset();
+    if (!obs::metrics_enabled()) {
+      GTEST_SKIP() << "observability compiled out (DISTSKETCH_OBS=OFF)";
+    }
+  }
+  void TearDown() override { obs::set_metrics_enabled(false); }
+
+  static Graph test_graph() {
+    util::Rng rng(11);
+    return graph::gnp(24, 0.25, rng);
+  }
+};
+
+/// Bytes both ends of every link believe they moved, for comparison
+/// against the transport counters.
+struct LinkBytes {
+  std::size_t sent = 0;
+  std::size_t received = 0;
+
+  void add(std::span<const std::unique_ptr<wire::Link>> links) {
+    for (const std::unique_ptr<wire::Link>& link : links) {
+      sent += link->bytes_sent();
+      received += link->bytes_received();
+    }
+  }
+};
+
+TEST_F(ObsAudit, LoopbackByteCountersMatchLinkAccounting) {
+  const Graph g = test_graph();
+  const protocols::AgmSpanningForest protocol;
+  const model::PublicCoins coins(71);
+  constexpr std::size_t kPlayers = 3;
+
+  std::vector<std::unique_ptr<wire::Link>> referee_links;
+  std::vector<std::unique_ptr<wire::Link>> player_links;
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    wire::LoopbackPair pair = wire::make_loopback_pair();
+    referee_links.push_back(std::move(pair.referee_side));
+    player_links.push_back(std::move(pair.player_side));
+  }
+
+  std::vector<std::thread> clients;
+  clients.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    clients.emplace_back([&, i] {
+      (void)service::play_protocol(
+          *player_links[i], g,
+          service::shard_vertices(g.num_vertices(), kPlayers, i), protocol,
+          coins, 5000ms);
+    });
+  }
+  const auto served = service::serve_protocol(
+      referee_links, protocol, g.num_vertices(), coins, 5000ms);
+  for (std::thread& t : clients) t.join();
+
+  LinkBytes bytes;
+  bytes.add(referee_links);
+  bytes.add(player_links);
+  EXPECT_EQ(obs::counter("wire.loopback.bytes_sent").value(), bytes.sent);
+  EXPECT_EQ(obs::counter("wire.loopback.bytes_received").value(),
+            bytes.received);
+  EXPECT_EQ(
+      obs::counter("wire.loopback.messages_sent").value(),
+      obs::histogram("wire.loopback.message_bytes").count());
+
+  // Service accounting against the session's CommStats, bit for bit.
+  const obs::Histogram& sketch_bits = obs::histogram("service.sketch_bits");
+  EXPECT_EQ(sketch_bits.count(), served.comm.num_players);
+  EXPECT_EQ(sketch_bits.sum(), served.comm.total_bits);
+  EXPECT_EQ(sketch_bits.max(), served.comm.max_bits);
+  EXPECT_EQ(obs::counter("service.payload_bits").value(),
+            served.uplink.payload_bits);
+  EXPECT_EQ(obs::counter("service.frames_accepted").value(),
+            served.comm.num_players);
+  EXPECT_EQ(obs::counter("service.rounds_collected").value(), 1u);
+  EXPECT_EQ(obs::counter("service.reject.corrupt").value(), 0u);
+}
+
+TEST_F(ObsAudit, TcpByteCountersMatchLinkAccounting) {
+  const Graph g = test_graph();
+  const protocols::AgmConnectivity protocol;
+  const model::PublicCoins coins(72);
+  constexpr std::size_t kPlayers = 2;
+
+  wire::TcpListener listener;
+  std::vector<std::unique_ptr<wire::Link>> player_links;
+  std::thread connector([&] {
+    for (std::size_t i = 0; i < kPlayers; ++i) {
+      player_links.push_back(
+          wire::tcp_connect("127.0.0.1", listener.port(), 5000ms));
+    }
+  });
+  std::vector<std::unique_ptr<wire::Link>> referee_links;
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    referee_links.push_back(listener.accept(5000ms));
+    ASSERT_NE(referee_links.back(), nullptr);
+  }
+  connector.join();
+
+  std::vector<std::thread> clients;
+  clients.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    clients.emplace_back([&, i] {
+      (void)service::play_protocol(
+          *player_links[i], g,
+          service::shard_vertices(g.num_vertices(), kPlayers, i), protocol,
+          coins, 5000ms);
+    });
+  }
+  const auto served = service::serve_protocol(
+      referee_links, protocol, g.num_vertices(), coins, 5000ms);
+  for (std::thread& t : clients) t.join();
+
+  LinkBytes bytes;
+  bytes.add(referee_links);
+  bytes.add(player_links);
+  EXPECT_EQ(obs::counter("wire.tcp.bytes_sent").value(), bytes.sent);
+  EXPECT_EQ(obs::counter("wire.tcp.bytes_received").value(), bytes.received);
+  // Loopback TCP delivers every byte: both directions balance.
+  EXPECT_EQ(bytes.sent, bytes.received);
+  EXPECT_EQ(obs::counter("wire.tcp.accepts").value(), kPlayers);
+  EXPECT_EQ(obs::counter("wire.tcp.connects").value(), kPlayers);
+  EXPECT_EQ(obs::counter("wire.tcp.send_failures").value(), 0u);
+  EXPECT_EQ(obs::counter("wire.tcp.poll_errors").value(), 0u);
+
+  const obs::Histogram& sketch_bits = obs::histogram("service.sketch_bits");
+  EXPECT_EQ(sketch_bits.count(), served.comm.num_players);
+  EXPECT_EQ(sketch_bits.sum(), served.comm.total_bits);
+  EXPECT_EQ(sketch_bits.max(), served.comm.max_bits);
+}
+
+TEST_F(ObsAudit, ModelHistogramMatchesSimulatedCommStats) {
+  const Graph g = test_graph();
+  const protocols::AgmSpanningForest protocol;
+  const model::PublicCoins coins(73);
+
+  const auto run = model::run_protocol(g, protocol, coins);
+
+  const obs::Histogram& bits = obs::histogram("model.encode.sketch_bits");
+  EXPECT_EQ(obs::counter("model.encode.sketches").value(),
+            run.comm.num_players);
+  EXPECT_EQ(bits.count(), run.comm.num_players);
+  EXPECT_EQ(bits.sum(), run.comm.total_bits);
+  EXPECT_EQ(bits.max(), run.comm.max_bits);
+}
+
+TEST_F(ObsAudit, AdaptiveRunnerCountersMatchByRoundTotals) {
+  const Graph g = test_graph();
+  const protocols::TwoRoundMatching protocol{4, 8};
+  const model::PublicCoins coins(74);
+
+  const auto run = model::run_adaptive(g, protocol, coins);
+
+  std::size_t total_bits = 0;
+  std::size_t encodes = 0;
+  for (const model::CommStats& round : run.by_round) {
+    total_bits += round.total_bits;
+    encodes += round.num_players;
+  }
+  const obs::Histogram& bits = obs::histogram("model.encode.sketch_bits");
+  EXPECT_EQ(obs::counter("model.encode.sketches").value(), encodes);
+  EXPECT_EQ(bits.count(), encodes);
+  EXPECT_EQ(bits.sum(), total_bits);
+  EXPECT_EQ(obs::counter("model.adaptive.rounds").value(),
+            protocol.num_rounds());
+  EXPECT_EQ(obs::histogram("model.adaptive.broadcast_bits").sum(),
+            run.broadcast_bits);
+}
+
+TEST_F(ObsAudit, DisabledMetricsRecordNothingAndPreserveResults) {
+  const Graph g = test_graph();
+  const protocols::AgmSpanningForest protocol;
+  const model::PublicCoins coins(75);
+
+  const auto with_metrics = model::run_protocol(g, protocol, coins);
+  obs::set_metrics_enabled(false);
+  obs::reset();
+  const auto without_metrics = model::run_protocol(g, protocol, coins);
+  obs::set_metrics_enabled(true);
+
+  // Zero recording while off...
+  EXPECT_EQ(obs::counter("model.encode.sketches").value(), 0u);
+  EXPECT_EQ(obs::histogram("model.encode.sketch_bits").count(), 0u);
+  // ...and bit-identical results either way.
+  EXPECT_EQ(with_metrics.comm.total_bits, without_metrics.comm.total_bits);
+  EXPECT_EQ(with_metrics.comm.max_bits, without_metrics.comm.max_bits);
+  EXPECT_TRUE(with_metrics.output == without_metrics.output);
+}
+
+}  // namespace
+}  // namespace ds

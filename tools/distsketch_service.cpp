@@ -17,14 +17,20 @@
 // Protocols: spanning-forest (default; AGM, the O(log^3 n) upper bound),
 // connectivity, two-round-matching (adaptive, exercises the multi-round
 // broadcast loop).
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "graph/generators.h"
+#include "obs/obs.h"
 #include "protocols/spanning_forest.h"
 #include "protocols/two_round_matching.h"
 #include "protocols/zoo.h"
@@ -46,7 +52,56 @@ struct Options {
   std::size_t players = 1;
   std::size_t index = 0;
   std::chrono::milliseconds timeout{10000};
+  std::string metrics_out;  // write obs snapshot JSON here on exit
+  std::chrono::milliseconds metrics_interval{0};  // 0 = no periodic summary
 };
+
+/// Background stderr heartbeat: one obs::summary_line() per interval
+/// while the session runs, so a stuck collect is visible live.
+class MetricsReporter {
+ public:
+  explicit MetricsReporter(std::chrono::milliseconds interval) {
+    if (interval.count() <= 0) return;
+    thread_ = std::thread([this, interval] {
+      std::unique_lock<std::mutex> lk(mutex_);
+      while (!cv_.wait_for(lk, interval, [this] { return stopping_; })) {
+        std::cerr << "metrics: " << ds::obs::summary_line() << "\n";
+      }
+    });
+  }
+
+  ~MetricsReporter() {
+    if (!thread_.joinable()) return;
+    {
+      const std::lock_guard<std::mutex> lk(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  MetricsReporter(const MetricsReporter&) = delete;
+  MetricsReporter& operator=(const MetricsReporter&) = delete;
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+void write_metrics_snapshot(const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "distsketch_service: cannot write metrics to " << path
+              << "\n";
+    return;
+  }
+  ds::obs::write_json(out, ds::obs::snapshot());
+  out << "\n";
+  std::cerr << "metrics: snapshot written to " << path << "\n";
+}
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
@@ -60,7 +115,12 @@ struct Options {
       << "  --coin-seed C      public coins seed\n"
       << "  --players K        number of player processes\n"
       << "  --index I          player: this process's shard index\n"
-      << "  --timeout-ms T     round deadline (default 10000)\n";
+      << "  --timeout-ms T     round deadline (default 10000)\n"
+      << "  --metrics-out F    enable metrics; write the obs JSON snapshot"
+         " to F on exit\n"
+      << "  --metrics-interval-ms T\n"
+      << "                     enable metrics; print a summary line to"
+         " stderr every T ms\n";
   std::exit(2);
 }
 
@@ -92,9 +152,16 @@ Options parse(int argc, char** argv) {
       opt.index = std::stoul(value);
     } else if (key == "--timeout-ms") {
       opt.timeout = std::chrono::milliseconds(std::stoul(value));
+    } else if (key == "--metrics-out") {
+      opt.metrics_out = value;
+    } else if (key == "--metrics-interval-ms") {
+      opt.metrics_interval = std::chrono::milliseconds(std::stoul(value));
     } else {
       usage(argv[0]);
     }
+  }
+  if (!opt.metrics_out.empty() || opt.metrics_interval.count() > 0) {
+    ds::obs::set_metrics_enabled(true);
   }
   return opt;
 }
@@ -107,17 +174,22 @@ void print_wire(const char* label, const ds::service::WireStats& w) {
 }
 
 int run_serve(const Options& opt) {
+  const MetricsReporter reporter(opt.metrics_interval);
   ds::wire::TcpListener listener(opt.port);
   std::cout << "referee: listening on 127.0.0.1:" << listener.port()
             << ", awaiting " << opt.players << " player(s)\n";
   std::vector<std::unique_ptr<ds::wire::Link>> links;
-  for (std::size_t i = 0; i < opt.players; ++i) {
-    std::unique_ptr<ds::wire::Link> link = listener.accept(opt.timeout);
-    if (!link) {
-      std::cerr << "referee: player " << i << " never connected\n";
-      return 1;
+  {
+    const ds::obs::ScopedSpan accept_span(
+        "service.accept", &ds::obs::histogram("service.accept_us"));
+    for (std::size_t i = 0; i < opt.players; ++i) {
+      std::unique_ptr<ds::wire::Link> link = listener.accept(opt.timeout);
+      if (!link) {
+        std::cerr << "referee: player " << i << " never connected\n";
+        return 1;
+      }
+      links.push_back(std::move(link));
     }
-    links.push_back(std::move(link));
   }
 
   ds::service::RefereeService referee(std::move(links), opt.coin_seed,
@@ -150,10 +222,12 @@ int run_serve(const Options& opt) {
     std::cerr << "unknown protocol " << opt.protocol << "\n";
     return 2;
   }
+  write_metrics_snapshot(opt.metrics_out);
   return 0;
 }
 
 int run_player(const Options& opt) {
+  const MetricsReporter reporter(opt.metrics_interval);
   ds::util::Rng rng(opt.graph_seed);
   const ds::graph::Graph g = ds::graph::gnp(opt.n, opt.p, rng);
   const std::vector<ds::graph::Vertex> owned =
@@ -187,6 +261,7 @@ int run_player(const Options& opt) {
     std::cerr << "unknown protocol " << opt.protocol << "\n";
     return 2;
   }
+  write_metrics_snapshot(opt.metrics_out);
   return 0;
 }
 
