@@ -1,0 +1,286 @@
+// P2: the engine's buffer-pooling layer (ISSUE 5 tentpole perf fold-in).
+//
+// The hot encode loop used to allocate one heap BitString per vertex per
+// trial.  With a SketchArena the engine adopts pooled word storage into
+// each BitWriter and reclaims it after the round, so steady-state encodes
+// perform zero per-vertex heap allocations.  This bench measures both
+// configurations on the same instances — wall time, encode throughput,
+// and the ACTUAL global allocation count via an operator-new override —
+// and emits BENCH_engine.json.
+//
+// Exits nonzero if pooled and unpooled sketches differ bit for bit, or
+// if the pooled steady state still allocates per vertex (allocations per
+// trial >= n on an encode-only case).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "engine/arena.h"
+#include "engine/local_source.h"
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "parallel/thread_pool.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/trivial.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter.  Counts every operator-new in the process
+// (all threads), so measured regions below snapshot before/after.
+
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ds {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::uint64_t fingerprint(std::span<const util::BitString> sketches) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const util::BitString& s : sketches) {
+    h = util::mix64(h, s.bit_count());
+    for (std::uint64_t w : s.words()) h = util::mix64(h, w);
+  }
+  return h;
+}
+
+struct Measured {
+  double ms = 0.0;
+  std::size_t allocs_per_trial = 0;
+  std::uint64_t fingerprint = 0;
+};
+
+struct CaseRecord {
+  std::string name;
+  std::size_t n = 0;
+  std::size_t trials = 0;
+  Measured unpooled;
+  Measured pooled;
+  bool identical = false;
+  bool zero_per_vertex = false;  // pooled steady state: allocs/trial < n
+  bool gate_allocs = true;       // encode-only cases gate on the above
+};
+
+/// Run `trials` encode-only rounds through a LocalSource; with an arena
+/// the round's storage is reclaimed after each trial (the sweep pattern).
+template <typename Source>
+Measured measure_collect(Source& source, engine::SketchArena* arena,
+                         std::size_t trials) {
+  Measured m;
+  for (int warm = 0; warm < 2; ++warm) {  // reach arena steady state
+    std::vector<util::BitString> sketches = source.collect(0, {});
+    m.fingerprint = fingerprint(sketches);
+    if (arena != nullptr) arena->reclaim_round(std::move(sketches), 0);
+  }
+  const std::size_t alloc_start =
+      g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<util::BitString> sketches = source.collect(0, {});
+    m.fingerprint = fingerprint(sketches);
+    if (arena != nullptr) arena->reclaim_round(std::move(sketches), 0);
+  }
+  m.ms = ms_since(start);
+  m.allocs_per_trial =
+      (g_alloc_count.load(std::memory_order_relaxed) - alloc_start) / trials;
+  return m;
+}
+
+/// `gate_allocs` should be true only for protocols whose encode performs
+/// no internal heap allocation of its own (e.g. TrivialMis): for those,
+/// pooled steady-state allocations per trial < n proves the engine's
+/// buffer layer allocates nothing per vertex.  Protocols like the AGM
+/// sketches construct samplers inside encode — allocations outside the
+/// buffer layer's scope — so their cases report counts without gating.
+template <typename Output>
+CaseRecord encode_case(std::string name, const graph::Graph& g,
+                       const model::SketchingProtocol<Output>& protocol,
+                       std::uint64_t coin_seed, std::size_t trials,
+                       parallel::ThreadPool& pool, bool gate_allocs) {
+  const graph::Vertex n = g.num_vertices();
+  const model::PublicCoins coins(coin_seed);
+  CaseRecord rec;
+  rec.name = std::move(name);
+  rec.n = n;
+  rec.trials = trials;
+  rec.gate_allocs = gate_allocs;
+
+  auto unpooled_source = engine::make_local_source(
+      n, engine::graph_view_fn(g, coins),
+      model::detail::one_round_encode(protocol), &pool, nullptr);
+  rec.unpooled = measure_collect(unpooled_source, nullptr, trials);
+
+  engine::SketchArena arena;
+  auto pooled_source = engine::make_local_source(
+      n, engine::graph_view_fn(g, coins),
+      model::detail::one_round_encode(protocol), &pool, &arena);
+  rec.pooled = measure_collect(pooled_source, &arena, trials);
+
+  rec.identical = rec.unpooled.fingerprint == rec.pooled.fingerprint;
+  // Zero per-vertex buffers: either literally fewer allocations than
+  // vertices, or (for protocols that allocate inside encode) at least one
+  // allocation per vertex eliminated relative to the unpooled loop.
+  rec.zero_per_vertex =
+      rec.pooled.allocs_per_trial < n ||
+      rec.pooled.allocs_per_trial + n <= rec.unpooled.allocs_per_trial;
+  return rec;
+}
+
+/// Full run_protocol (encode + charge + decode) throughput, pooled vs
+/// not.  Decode allocates its output, so this case reports allocation
+/// counts but does not gate on them.
+template <typename Output>
+CaseRecord full_run_case(std::string name, const graph::Graph& g,
+                         const model::SketchingProtocol<Output>& protocol,
+                         std::uint64_t coin_seed, std::size_t trials,
+                         parallel::ThreadPool& pool) {
+  const model::PublicCoins coins(coin_seed);
+  CaseRecord rec;
+  rec.name = std::move(name);
+  rec.n = g.num_vertices();
+  rec.trials = trials;
+  rec.gate_allocs = false;
+
+  auto measure = [&](engine::SketchArena* arena) {
+    Measured m;
+    for (int warm = 0; warm < 2; ++warm) {
+      (void)model::run_protocol(g, protocol, coins, &pool, arena);
+    }
+    const std::size_t alloc_start =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const auto start = Clock::now();
+    std::uint64_t fold = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const auto run = model::run_protocol(g, protocol, coins, &pool, arena);
+      fold = util::mix64(fold, run.comm.total_bits);
+    }
+    m.ms = ms_since(start);
+    m.fingerprint = fold;
+    m.allocs_per_trial =
+        (g_alloc_count.load(std::memory_order_relaxed) - alloc_start) /
+        trials;
+    return m;
+  };
+  rec.unpooled = measure(nullptr);
+  engine::SketchArena arena;
+  rec.pooled = measure(&arena);
+  rec.identical = rec.unpooled.fingerprint == rec.pooled.fingerprint;
+  rec.zero_per_vertex = true;  // not gated for full runs
+  return rec;
+}
+
+double sketches_per_sec(const CaseRecord& rec, const Measured& m) {
+  return m.ms > 0.0
+             ? static_cast<double>(rec.n * rec.trials) / (m.ms / 1000.0)
+             : 0.0;
+}
+
+void write_json(const std::string& path,
+                const std::vector<CaseRecord>& records,
+                std::size_t pool_threads) {
+  std::ofstream out(path);
+  out << "{\n  \"pool_threads\": " << pool_threads
+      << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const CaseRecord& r = records[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"n\": " << r.n << ",\n"
+        << "      \"trials\": " << r.trials << ",\n"
+        << "      \"unpooled_ms\": " << r.unpooled.ms << ",\n"
+        << "      \"pooled_ms\": " << r.pooled.ms << ",\n"
+        << "      \"unpooled_sketches_per_sec\": "
+        << sketches_per_sec(r, r.unpooled) << ",\n"
+        << "      \"pooled_sketches_per_sec\": "
+        << sketches_per_sec(r, r.pooled) << ",\n"
+        << "      \"unpooled_allocs_per_trial\": "
+        << r.unpooled.allocs_per_trial << ",\n"
+        << "      \"pooled_allocs_per_trial\": "
+        << r.pooled.allocs_per_trial << ",\n"
+        << "      \"identical\": " << (r.identical ? "true" : "false")
+        << ",\n"
+        << "      \"steady_state_zero_per_vertex\": "
+        << (r.zero_per_vertex ? "true" : "false") << "\n    }"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+int run(const std::string& out_path) {
+  parallel::ThreadPool& pool = parallel::global_pool();
+  std::vector<CaseRecord> records;
+
+  {
+    util::Rng rng(7);
+    const graph::Graph g = graph::gnp(192, 0.08, rng);
+    records.push_back(encode_case("encode/agm-spanning-forest-192", g,
+                                  protocols::AgmSpanningForest{}, 11, 10,
+                                  pool, /*gate_allocs=*/true));
+  }
+  {
+    util::Rng rng(9);
+    const graph::Graph g = graph::gnp(1024, 0.02, rng);
+    records.push_back(encode_case("encode/trivial-mis-1024", g,
+                                  protocols::TrivialMis{}, 12, 40, pool,
+                                  /*gate_allocs=*/true));
+  }
+  {
+    util::Rng rng(13);
+    const graph::Graph g = graph::gnp(160, 0.1, rng);
+    records.push_back(full_run_case("run/agm-spanning-forest-160", g,
+                                    protocols::AgmSpanningForest{}, 13, 8,
+                                    pool));
+  }
+
+  bool ok = true;
+  for (const CaseRecord& r : records) {
+    std::cout << "[" << r.name << "] n=" << r.n << " trials=" << r.trials
+              << " unpooled=" << r.unpooled.ms << "ms ("
+              << r.unpooled.allocs_per_trial << " allocs/trial) pooled="
+              << r.pooled.ms << "ms (" << r.pooled.allocs_per_trial
+              << " allocs/trial) identical="
+              << (r.identical ? "yes" : "NO") << "\n";
+    ok &= r.identical;
+    if (r.gate_allocs) ok &= r.zero_per_vertex;
+  }
+  write_json(out_path, records, pool.num_threads());
+  if (!ok) {
+    std::cerr << "bench_engine: pooled run diverged or still allocates "
+                 "per vertex in steady state\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ds
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_engine.json";
+  return ds::run(out);
+}

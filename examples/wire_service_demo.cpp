@@ -3,12 +3,16 @@
 // travels as a self-delimiting wire frame through a loopback transport to
 // a referee service, and the result comes back as a broadcast frame.
 //
-// The point of the demo is the accounting split.  The model charges
-// exactly BitWriter::bit_count() per player; the wire adds framing
-// (header varints, byte-rounding padding, CRC-32) on top.  The two are
-// reported side by side and the payload column must equal the simulated
-// CommStats bit for bit — the invariant tests/audit/wire_audit_test.cpp
-// enforces for the whole protocol zoo.
+// Both runs below are the SAME round engine (docs/ENGINE.md): the
+// simulator runs it with an in-process LocalSource, the RefereeService
+// with a WireSource over the loopback links.  The point of the demo is
+// the accounting split.  The model charges exactly BitWriter::bit_count()
+// per player — from the engine's single ChargeSheet site in either
+// configuration — and the wire adds framing (header varints,
+// byte-rounding padding, CRC-32) on top.  The two are reported side by
+// side and the payload column must equal the simulated CommStats bit for
+// bit — the invariant tests/audit/wire_audit_test.cpp enforces for the
+// whole protocol zoo.
 #include <iostream>
 
 #include "graph/connectivity.h"
@@ -54,9 +58,12 @@ int main() {
               << " bits + framing " << sent.framing_bits << " bits\n";
   }
 
+  // The engine's wire configuration: the RefereeService adapter runs the
+  // same collect/charge/decode core as model::run_protocol above, fed by
+  // a WireSource instead of an in-process LocalSource.
+  service::RefereeService referee(std::move(referee_links), 99);
   const service::ServeResult<model::ForestOutput> served =
-      service::serve_protocol(referee_links, protocol, g.num_vertices(),
-                              coins);
+      referee.run(protocol, g.num_vertices());
   // Every client decodes the broadcast result.
   bool all_agree = true;
   for (const std::unique_ptr<wire::Link>& link : player_links) {

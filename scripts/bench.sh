@@ -16,16 +16,23 @@
 # (docs/OBSERVABILITY.md) taken at the end of the run — pool, wire, and
 # service counters/histograms alongside the timings.
 #
+# Also emits BENCH_engine.json (schema in docs/ENGINE.md): encode
+# throughput and global allocation counts for the round engine with and
+# without a SketchArena. Exits nonzero if the pooled steady state still
+# allocates per vertex or its sketches diverge from the unpooled run.
+#
 # Usage:
-#   scripts/bench.sh                 # writes ./BENCH_parallel.json + ./BENCH_wire.json
+#   scripts/bench.sh                 # writes ./BENCH_parallel.json +
+#                                    #   ./BENCH_wire.json + ./BENCH_engine.json
 #   scripts/bench.sh out.json        # custom BENCH_parallel.json path
-#   scripts/bench.sh out.json wire.json   # custom paths for both
+#   scripts/bench.sh out.json wire.json engine.json   # custom paths
 #   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_parallel.json}"
 WIRE_OUT="${2:-BENCH_wire.json}"
+ENGINE_OUT="${3:-BENCH_engine.json}"
 BUILD_DIR=build-release
 
 # Never pass -G at a configured cache: CMake refuses to switch generators
@@ -39,7 +46,8 @@ elif command -v ninja > /dev/null 2>&1; then
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
 "$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"
+"$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT"

@@ -1,34 +1,52 @@
 // Instrumented drop-in for model/runner.h and model/adaptive.h: runs a
 // protocol while enforcing the three model invariants (see audit.h).
 //
-// The audited runner is a superset of the plain runner: it produces the
-// same output and the same CommStats (messages are encoded from
-// guard-padded copies of each row, which an honest protocol cannot
-// distinguish from the real thing), plus an AuditReport.  On a violation
-// it fails through audit::fail with a diagnostic naming the invariant.
+// The audited runner is the engine's audit-certifying configuration: the
+// collect/charge/broadcast/decode loop is the same round engine every
+// other path runs (engine/round_engine.h), with
+//   * an AuditSource — a LocalSource twin whose per-player encodes go
+//     through audited_encode_player (guard-padded row copies, coin-replay
+//     and locality probes per player), accumulating the AuditReport in
+//     vertex order, and
+//   * an AuditInstrumentation policy — structural accounting checks on
+//     every referee broadcast, at the same point of the loop the seed
+//     runner checked them.
+// It therefore produces the same output and the same CommStats as the
+// plain runner (an honest protocol cannot distinguish the guarded views),
+// plus an AuditReport.  On a violation it fails through audit::fail with
+// a diagnostic naming the invariant.
 //
-// Checks layered on top of the per-player core (audit.h):
+// Checks layered on top of the engine run:
 //   * order probe    — every player is re-encoded in reverse order after
 //                      the forward pass; a message that depends on WHICH
 //                      other players encoded before it leaks state across
 //                      players (locality);
-//   * referee replay — decode runs twice on the same messages with fresh
-//                      PublicCoins(seed); differing outputs mean the
+//   * referee replay — decode runs twice on the same messages with the
+//                      same PublicCoins(seed); differing outputs mean the
 //                      referee is nondeterministic (coin-determinism);
 //   * scrub probe    — every player is re-encoded on a decoy view, then
 //                      decode runs again: an output change means encoder
 //                      state reached the referee outside the charged
 //                      messages, i.e. the true message length was
-//                      under-reported (bit-accounting).
+//                      under-reported (bit-accounting);
+//   * accounting     — the engine-charged CommStats are re-derived from
+//                      the serialized round messages via a fresh
+//                      ChargeSheet and must agree exactly.
 //
 // Outputs must be equality-comparable; every output type in the tree is.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <sstream>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "audit/audit.h"
+#include "engine/charge.h"
+#include "engine/instrumentation.h"
+#include "engine/round_engine.h"
 #include "graph/weighted.h"
 #include "model/adaptive.h"
 #include "model/coins.h"
@@ -51,6 +69,113 @@ struct AuditedAdaptiveResult {
   AuditReport report;
 };
 
+namespace detail {
+
+/// The audit-certifying SketchSource: every per-player encode goes
+/// through audited_encode_player on guard-padded views.  Encodes fan out
+/// across the pool; per-chunk AuditReports merge in vertex order, so the
+/// verdict and report are identical at any thread count.
+///
+/// MakeEncode: EncodeFn(unsigned round,
+///                      std::span<const util::BitString> broadcasts)
+/// NameFn:     std::string(unsigned round)
+template <typename RowFn, typename WeightFn, typename MakeEncode,
+          typename NameFn>
+class AuditSource {
+ public:
+  AuditSource(graph::Vertex n, RowFn row_of, WeightFn weights_of,
+              MakeEncode make_encode, NameFn name_of, std::uint64_t seed,
+              const AuditConfig& config, parallel::ThreadPool* pool)
+      : n_(n), row_of_(std::move(row_of)),
+        weights_of_(std::move(weights_of)),
+        make_encode_(std::move(make_encode)), name_of_(std::move(name_of)),
+        seed_(seed), config_(&config), pool_(pool) {}
+
+  [[nodiscard]] std::vector<util::BitString> collect(
+      unsigned round, std::span<const util::BitString> broadcasts) {
+    const EncodeFn encode = make_encode_(round, broadcasts);
+    const std::string name = name_of_(round);
+    std::vector<util::BitString> sketches(n_);
+    report_.merge(parallel::parallel_reduce(
+        pool_, std::size_t{0}, std::size_t{n_}, AuditReport{},
+        [&](AuditReport& acc, std::size_t i) {
+          const auto v = static_cast<graph::Vertex>(i);
+          sketches[i] =
+              audited_encode_player(encode, n_, v, row_of_(v),
+                                    weights_of_(v), seed_, *config_, acc,
+                                    name);
+        },
+        [](AuditReport& into, const AuditReport& from) {
+          into.merge(from);
+        }));
+    return sketches;
+  }
+
+  void deliver_broadcast(unsigned, const util::BitString&) const noexcept {}
+
+  [[nodiscard]] const AuditReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  graph::Vertex n_;
+  RowFn row_of_;
+  WeightFn weights_of_;
+  MakeEncode make_encode_;
+  NameFn name_of_;
+  std::uint64_t seed_;
+  const AuditConfig* config_;
+  parallel::ThreadPool* pool_;
+  AuditReport report_;
+};
+
+template <typename RowFn, typename WeightFn, typename MakeEncode,
+          typename NameFn>
+[[nodiscard]] AuditSource<RowFn, WeightFn, MakeEncode, NameFn>
+make_audit_source(graph::Vertex n, RowFn row_of, WeightFn weights_of,
+                  MakeEncode make_encode, NameFn name_of,
+                  std::uint64_t seed, const AuditConfig& config,
+                  parallel::ThreadPool* pool) {
+  return AuditSource<RowFn, WeightFn, MakeEncode, NameFn>(
+      n, std::move(row_of), std::move(weights_of), std::move(make_encode),
+      std::move(name_of), seed, config, pool);
+}
+
+/// Engine Instrumentation policy that runs the structural accounting
+/// checks on every referee broadcast, exactly where the loop produces it.
+class AuditInstrumentation {
+ public:
+  AuditInstrumentation(const std::string& proto_name,
+                       const AuditConfig& config,
+                       AuditReport& report) noexcept
+      : proto_name_(&proto_name), config_(&config), report_(&report) {}
+
+  [[nodiscard]] engine::PlainInstrumentation::NoSpan collect_span()
+      const noexcept {
+    return {};
+  }
+  [[nodiscard]] engine::PlainInstrumentation::NoSpan decode_span()
+      const noexcept {
+    return {};
+  }
+  void on_sketch_bits(std::size_t) const noexcept {}
+  void on_round(unsigned, const model::CommStats&) const noexcept {}
+  void on_broadcast(unsigned round, const util::BitString& b) const {
+    if (!config_->check_accounting) return;
+    check_message_accounting(
+        b, "protocol '" + *proto_name_ + "', broadcast after round " +
+               std::to_string(round),
+        *report_);
+  }
+
+ private:
+  const std::string* proto_name_;
+  const AuditConfig* config_;
+  AuditReport* report_;
+};
+
+}  // namespace detail
+
 class AuditedRunner {
  public:
   explicit AuditedRunner(std::uint64_t coin_seed, AuditConfig config = {})
@@ -61,11 +186,9 @@ class AuditedRunner {
 
   /// Audited equivalent of model::run_protocol on an unweighted graph.
   /// The forward encode pass and the scrub probe fan out across the pool
-  /// (null = global); each player is audited independently and the
-  /// per-chunk CommStats / AuditReports merge in vertex order, so the
-  /// verdict, comm, and report are identical at any thread count.  The
-  /// order probe stays sequential — it exists to detect cross-player
-  /// encode-order dependence, which only a fixed replay order can witness.
+  /// (null = global); the order probe stays sequential — it exists to
+  /// detect cross-player encode-order dependence, which only a fixed
+  /// replay order can witness.
   template <typename Output>
   [[nodiscard]] AuditedRunResult<Output> run(
       const graph::Graph& g,
@@ -91,9 +214,9 @@ class AuditedRunner {
         protocol, pool);
   }
 
-  /// Audited equivalent of model::run_adaptive (multi-round path).  The
-  /// per-round accounting identity — per-player totals equal the sum of
-  /// that player's serialized round messages — is re-derived from the
+  /// Audited equivalent of model::run_adaptive (the engine's R > 1 case).
+  /// The per-round accounting identity — per-player totals equal the sum
+  /// of that player's serialized round messages — is re-derived from the
   /// actual BitStrings and cross-checked.
   template <typename Output>
   [[nodiscard]] AuditedAdaptiveResult<Output> run_adaptive(
@@ -102,86 +225,51 @@ class AuditedRunner {
       parallel::ThreadPool* pool = nullptr) const {
     static_assert(std::equality_comparable<Output>);
     const graph::Vertex n = g.num_vertices();
-    const unsigned rounds = protocol.num_rounds();
+    const std::string proto_name = protocol.name();
     AuditReport report;
-    model::AdaptiveRunResult<Output> result{};
-    std::vector<std::vector<util::BitString>> all_rounds;
-    std::vector<util::BitString> broadcasts;
-    std::vector<std::size_t> player_bits(n, 0);
 
-    for (unsigned round = 0; round < rounds; ++round) {
-      const EncodeFn encode = [&protocol, round, &broadcasts](
-                                  const model::VertexView& view,
-                                  util::BitWriter& out) {
-        protocol.encode_round(view, round, broadcasts, out);
-      };
-      const std::string round_name =
-          protocol.name() + " (round " + std::to_string(round) + ")";
-      std::vector<util::BitString> sketches(n);
-      const AuditAccum round_accum = parallel::parallel_reduce(
-          pool, std::size_t{0}, std::size_t{n}, AuditAccum{},
-          [&](AuditAccum& acc, std::size_t i) {
-            const auto v = static_cast<graph::Vertex>(i);
-            util::BitString msg = audited_encode_player(
-                encode, n, v, g.neighbors(v), {}, seed_, config_,
-                acc.report, round_name);
-            acc.comm.record(msg.bit_count());
-            player_bits[i] += msg.bit_count();
-            sketches[i] = std::move(msg);
-          },
-          [](AuditAccum& into, const AuditAccum& from) { into.merge(from); });
-      report.merge(round_accum.report);
-      result.by_round.push_back(round_accum.comm);
-      all_rounds.push_back(std::move(sketches));
-      if (round + 1 < rounds) {
-        const model::PublicCoins coins(seed_);
-        util::BitString b =
-            protocol.make_broadcast(round, n, all_rounds, coins);
-        if (config_.check_accounting) {
-          check_message_accounting(
-              b, "protocol '" + protocol.name() + "', broadcast after round " +
-                     std::to_string(round),
-              report);
-        }
-        result.broadcast_bits += b.bit_count();
-        broadcasts.push_back(std::move(b));
-      }
-    }
+    auto source = detail::make_audit_source(
+        n, [&g](graph::Vertex v) { return g.neighbors(v); },
+        [](graph::Vertex) { return std::span<const std::uint32_t>{}; },
+        [&protocol](unsigned round,
+                    std::span<const util::BitString> broadcasts) {
+          return EncodeFn([&protocol, round, broadcasts](
+                              const model::VertexView& view,
+                              util::BitWriter& out) {
+            protocol.encode_round(view, round, broadcasts, out);
+          });
+        },
+        [&proto_name](unsigned round) {
+          return proto_name + " (round " + std::to_string(round) + ")";
+        },
+        seed_, config_, pool);
+    const model::PublicCoins coins(seed_);
+    const engine::AdaptiveReferee<Output> referee(protocol, coins);
+    detail::AuditInstrumentation instr(proto_name, config_, report);
+    engine::EngineResult<Output> run =
+        engine::run_rounds(n, referee, source, instr);
+    report.merge(source.report());
 
-    for (std::size_t bits : player_bits) result.comm.record(bits);
     if (config_.check_accounting) {
-      cross_check_adaptive_accounting(result, all_rounds, n, protocol.name());
-    }
-
-    {
-      const model::PublicCoins coins(seed_);
-      result.output = protocol.decode(n, all_rounds, broadcasts, coins);
+      cross_check_adaptive_accounting(run.comm, run.all_rounds, n,
+                                      proto_name);
     }
     if (config_.check_determinism) {
-      const model::PublicCoins coins(seed_);
-      const Output replay = protocol.decode(n, all_rounds, broadcasts, coins);
-      if (!(replay == result.output)) {
+      const Output replay =
+          protocol.decode(n, run.all_rounds, run.broadcasts, coins);
+      if (!(replay == run.output)) {
         fail(Invariant::kCoinDeterminism,
-             "protocol '" + protocol.name() +
+             "protocol '" + proto_name +
                  "': referee produced different outputs from the same "
                  "round messages and the same public coins");
       }
     }
-    return {std::move(result), report};
+    return {{std::move(run.output), run.comm, std::move(run.by_round),
+             run.broadcast_bits},
+            report};
   }
 
  private:
-  // Per-chunk accumulator for parallel audited passes; merged in vertex
-  // order, which reproduces the serial record()/merge() sequence exactly.
-  struct AuditAccum {
-    model::CommStats comm;
-    AuditReport report;
-    void merge(const AuditAccum& other) noexcept {
-      comm.merge(other.comm);
-      report.merge(other.report);
-    }
-  };
-
   template <typename Output, typename RowFn, typename WeightFn>
   [[nodiscard]] AuditedRunResult<Output> run_impl(
       graph::Vertex n, const RowFn& row_of, const WeightFn& weights_of,
@@ -193,21 +281,22 @@ class AuditedRunner {
       protocol.encode(view, out);
     };
     const std::string proto_name = protocol.name();
+    AuditReport report;
 
-    std::vector<util::BitString> messages(n);
-    AuditAccum forward = parallel::parallel_reduce(
-        pool, std::size_t{0}, std::size_t{n}, AuditAccum{},
-        [&](AuditAccum& acc, std::size_t i) {
-          const auto v = static_cast<graph::Vertex>(i);
-          util::BitString msg =
-              audited_encode_player(encode, n, v, row_of(v), weights_of(v),
-                                    seed_, config_, acc.report, proto_name);
-          acc.comm.record(msg.bit_count());
-          messages[i] = std::move(msg);
+    auto source = detail::make_audit_source(
+        n, row_of, weights_of,
+        [&encode](unsigned, std::span<const util::BitString>) {
+          return encode;
         },
-        [](AuditAccum& into, const AuditAccum& from) { into.merge(from); });
-    AuditReport report = forward.report;
-    model::CommStats comm = forward.comm;
+        [&proto_name](unsigned) { return proto_name; }, seed_, config_,
+        pool);
+    const model::PublicCoins coins(seed_);
+    const engine::OneRoundReferee<Output> referee(protocol, coins);
+    detail::AuditInstrumentation instr(proto_name, config_, report);
+    engine::EngineResult<Output> run =
+        engine::run_rounds(n, referee, source, instr);
+    report.merge(source.report());
+    const std::vector<util::BitString>& messages = run.all_rounds[0];
 
     if (config_.check_locality) {
       // Order probe: replaying players back-to-front must reproduce the
@@ -217,7 +306,7 @@ class AuditedRunner {
             encode, n, v, row_of(v), weights_of(v), seed_, config_, report);
         if (!same_message(replay, messages[v])) {
           std::ostringstream out;
-          out << "protocol '" << protocol.name() << "', player " << v
+          out << "protocol '" << proto_name << "', player " << v
               << ": message depends on the order in which OTHER players "
                  "were encoded — state leaks across players (paper "
                  "Section 2.1 locality)";
@@ -225,17 +314,11 @@ class AuditedRunner {
         }
       }
     }
-
-    Output output = [&] {
-      const model::PublicCoins coins(seed_);
-      return protocol.decode(n, messages, coins);
-    }();
     if (config_.check_determinism) {
-      const model::PublicCoins coins(seed_);
       const Output replay = protocol.decode(n, messages, coins);
-      if (!(replay == output)) {
+      if (!(replay == run.output)) {
         fail(Invariant::kCoinDeterminism,
-             "protocol '" + protocol.name() +
+             "protocol '" + proto_name +
                  "': referee produced different outputs from the same "
                  "messages and the same public coins");
       }
@@ -252,39 +335,41 @@ class AuditedRunner {
           [](AuditReport& into, const AuditReport& from) {
             into.merge(from);
           }));
-      const model::PublicCoins coins(seed_);
       const Output after_scrub = protocol.decode(n, messages, coins);
-      if (!(after_scrub == output)) {
+      if (!(after_scrub == run.output)) {
         fail(Invariant::kBitAccounting,
-             "protocol '" + protocol.name() +
+             "protocol '" + proto_name +
                  "': referee output changed after the encoders were re-run "
                  "on decoy views — information reached the referee outside "
                  "the serialized messages, so the charged message length "
                  "under-reports the true communication");
       }
     }
-    return {std::move(output), comm, report};
+    return {std::move(run.output), run.comm, report};
   }
 
-  template <typename Output>
+  /// Re-derive the run-level CommStats from the serialized round messages
+  /// through a fresh ChargeSheet and compare against what the engine
+  /// charged during the run: any drift between the bits charged at encode
+  /// time and the bits actually serialized is a kBitAccounting violation.
   static void cross_check_adaptive_accounting(
-      const model::AdaptiveRunResult<Output>& result,
+      const model::CommStats& reported,
       const std::vector<std::vector<util::BitString>>& all_rounds,
       graph::Vertex n, const std::string& name) {
-    model::CommStats recomputed;
-    for (graph::Vertex v = 0; v < n; ++v) {
-      std::size_t bits = 0;
-      for (const auto& round : all_rounds) bits += round[v].bit_count();
-      recomputed.record(bits);
+    engine::ChargeSheet sheet(n);
+    engine::PlainInstrumentation plain;
+    for (const std::vector<util::BitString>& round : all_rounds) {
+      (void)sheet.charge_round(round, plain);
     }
-    if (recomputed.max_bits != result.comm.max_bits ||
-        recomputed.total_bits != result.comm.total_bits ||
-        recomputed.num_players != result.comm.num_players) {
+    const model::CommStats recomputed = sheet.player_totals();
+    if (recomputed.max_bits != reported.max_bits ||
+        recomputed.total_bits != reported.total_bits ||
+        recomputed.num_players != reported.num_players) {
       std::ostringstream out;
       out << "protocol '" << name
           << "': adaptive CommStats disagree with the serialized round "
              "messages (reported max/total "
-          << result.comm.max_bits << "/" << result.comm.total_bits
+          << reported.max_bits << "/" << reported.total_bits
           << ", serialized " << recomputed.max_bits << "/"
           << recomputed.total_bits << ")";
       fail(Invariant::kBitAccounting, out.str());

@@ -1,0 +1,97 @@
+// The in-process SketchSource: encode every vertex through the
+// deterministic thread pool.
+//
+// A SketchSource is anything the engine can ask for a round of sketches:
+//
+//   std::vector<util::BitString> collect(unsigned round,
+//       std::span<const util::BitString> broadcasts);
+//   void deliver_broadcast(unsigned round, const util::BitString& b);
+//
+// LocalSource implements it by materializing VertexViews and running the
+// player algorithm in-process; service/wire_source.h implements the same
+// contract over wire::Link frames.  Per-vertex encodes are independent by
+// construction (a player sees only its own view, the coins, and earlier
+// broadcasts — Section 2.1), so they fan out across the pool with fixed
+// chunking: sketches land in their vertex slot and results are
+// bit-identical at any thread count.
+//
+// With an arena attached, each (round, vertex) encode adopts pooled word
+// storage into its BitWriter and moves the finished words into the
+// BitString — zero per-vertex heap allocations in steady state
+// (docs/ENGINE.md, measured by bench/bench_engine.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "engine/arena.h"
+#include "graph/graph.h"
+#include "model/protocol.h"
+#include "parallel/thread_pool.h"
+#include "util/bitio.h"
+
+namespace ds::engine {
+
+/// ViewFn:   model::VertexView(graph::Vertex v)
+/// EncodeFn: void(const model::VertexView&, unsigned round,
+///                std::span<const util::BitString> broadcasts,
+///                util::BitWriter&)
+template <typename ViewFn, typename EncodeFn>
+class LocalSource {
+ public:
+  LocalSource(graph::Vertex n, ViewFn view_of, EncodeFn encode,
+              parallel::ThreadPool* pool, SketchArena* arena) noexcept
+      : n_(n), view_of_(std::move(view_of)), encode_(std::move(encode)),
+        pool_(pool), arena_(arena) {}
+
+  [[nodiscard]] std::vector<util::BitString> collect(
+      unsigned round, std::span<const util::BitString> broadcasts) {
+    const std::size_t n = n_;
+    const std::size_t base_slot = static_cast<std::size_t>(round) * n;
+    if (arena_ != nullptr) arena_->prepare(base_slot + n);
+    std::vector<util::BitString> sketches(n);
+    parallel::parallel_for(pool_, std::size_t{0}, n, [&](std::size_t i) {
+      util::BitWriter writer(arena_ != nullptr
+                                 ? arena_->take(base_slot + i)
+                                 : std::vector<std::uint64_t>{});
+      encode_(view_of_(static_cast<graph::Vertex>(i)), round, broadcasts,
+              writer);
+      sketches[i] = util::BitString(std::move(writer));
+    });
+    return sketches;
+  }
+
+  /// In-process players read broadcasts straight from the engine's
+  /// accumulated list passed to collect(); nothing to deliver.
+  void deliver_broadcast(unsigned, const util::BitString&) const noexcept {}
+
+  [[nodiscard]] SketchArena* arena() const noexcept { return arena_; }
+
+ private:
+  graph::Vertex n_;
+  ViewFn view_of_;
+  EncodeFn encode_;
+  parallel::ThreadPool* pool_;
+  SketchArena* arena_;
+};
+
+/// Deduction helper (the class template has two deduced functor types).
+template <typename ViewFn, typename EncodeFn>
+[[nodiscard]] LocalSource<ViewFn, EncodeFn> make_local_source(
+    graph::Vertex n, ViewFn view_of, EncodeFn encode,
+    parallel::ThreadPool* pool = nullptr, SketchArena* arena = nullptr) {
+  return LocalSource<ViewFn, EncodeFn>(n, std::move(view_of),
+                                       std::move(encode), pool, arena);
+}
+
+/// The unweighted model view for vertex v of g.
+[[nodiscard]] inline auto graph_view_fn(const graph::Graph& g,
+                                        const model::PublicCoins& coins) {
+  return [&g, &coins](graph::Vertex v) {
+    return model::VertexView{g.num_vertices(), v, g.neighbors(v), &coins};
+  };
+}
+
+}  // namespace ds::engine

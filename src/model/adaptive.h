@@ -14,31 +14,26 @@
 // Broadcast bits are charged separately (they are "downlink", not part of
 // the per-player sketch cost the lower bound speaks about, but reported so
 // experiments can show the full budget honestly).
+//
+// run_adaptive is a thin adapter over the round engine
+// (engine/round_engine.h) — the same collect/charge/broadcast/decode loop
+// the one-round runner uses with R = 1 — with the obs-metrics
+// instrumentation policy in adaptive mode (round counter + broadcast
+// histogram on top of the shared model.encode.* series, all owned by
+// engine/instrumentation.cpp).
 #pragma once
 
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "engine/local_source.h"
+#include "engine/round_engine.h"
 #include "model/protocol.h"
-#include "obs/obs.h"
 #include "parallel/thread_pool.h"
 
 namespace ds::model {
-
-namespace detail {
-/// Adaptive-runner metrics (docs/OBSERVABILITY.md): round count and the
-/// referee's per-round downlink size.  Per-sketch bits are charged to the
-/// shared model.encode.* series by the encode loop below.
-inline obs::Counter& adaptive_rounds_counter() {
-  static obs::Counter& c = obs::counter("model.adaptive.rounds");
-  return c;
-}
-inline obs::Histogram& adaptive_broadcast_bits_histogram() {
-  static obs::Histogram& h = obs::histogram("model.adaptive.broadcast_bits");
-  return h;
-}
-}  // namespace detail
 
 template <typename Output>
 class AdaptiveProtocol {
@@ -82,60 +77,27 @@ struct AdaptiveRunResult {
 template <typename Output>
 [[nodiscard]] AdaptiveRunResult<Output> run_adaptive(
     const graph::Graph& g, const AdaptiveProtocol<Output>& protocol,
-    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
-  const unsigned rounds = protocol.num_rounds();
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr,
+    engine::SketchArena* arena = nullptr) {
   const graph::Vertex n = g.num_vertices();
-
-  // Same series as the one-round runner, so the obs audit can compare
-  // histogram totals against CommStats regardless of which runner ran.
-  obs::Counter& sketches_counter = obs::counter("model.encode.sketches");
-  obs::Histogram& bits_histogram =
-      obs::histogram("model.encode.sketch_bits");
-
-  AdaptiveRunResult<Output> result{};
-  std::vector<std::vector<util::BitString>> all_rounds;
-  std::vector<util::BitString> broadcasts;
-  // Per-player cumulative bits, to compute the true worst-case player.
-  std::vector<std::size_t> player_bits(n, 0);
-
-  for (unsigned round = 0; round < rounds; ++round) {
-    // Within a round every player sees only (view, earlier broadcasts),
-    // so the encode loop parallelizes exactly like the one-round runner;
-    // the broadcast barrier between rounds stays sequential by design.
-    std::vector<util::BitString> sketches(n);
-    const CommStats round_comm = parallel::parallel_reduce(
-        pool, std::size_t{0}, std::size_t{n}, CommStats{},
-        [&](CommStats& acc, std::size_t i) {
-          const auto v = static_cast<graph::Vertex>(i);
-          const VertexView view{n, v, g.neighbors(v), &coins};
-          util::BitWriter writer;
-          protocol.encode_round(view, round, broadcasts, writer);
-          acc.record(writer.bit_count());
-          sketches_counter.increment();
-          bits_histogram.record(writer.bit_count());
-          player_bits[i] += writer.bit_count();
-          sketches[i] = util::BitString(writer);
-        },
-        [](CommStats& into, const CommStats& from) { into.merge(from); });
-    result.by_round.push_back(round_comm);
-    all_rounds.push_back(std::move(sketches));
-    detail::adaptive_rounds_counter().increment();
-
-    if (round + 1 < rounds) {
-      util::BitString b = protocol.make_broadcast(round, n, all_rounds, coins);
-      detail::adaptive_broadcast_bits_histogram().record(b.bit_count());
-      result.broadcast_bits += b.bit_count();
-      broadcasts.push_back(std::move(b));
-    }
-  }
-
-  for (std::size_t bits : player_bits) result.comm.record(bits);
-  {
-    const obs::ScopedSpan span("model.decode",
-                               &obs::histogram("model.decode_us"));
-    result.output = protocol.decode(n, all_rounds, broadcasts, coins);
-  }
-  return result;
+  // Within a round every player sees only (view, earlier broadcasts), so
+  // the encode loop parallelizes exactly like the one-round runner; the
+  // broadcast barrier between rounds stays sequential by design.
+  auto source = engine::make_local_source(
+      n, engine::graph_view_fn(g, coins),
+      [&protocol](const VertexView& view, unsigned round,
+                  std::span<const util::BitString> broadcasts,
+                  util::BitWriter& out) {
+        protocol.encode_round(view, round, broadcasts, out);
+      },
+      pool, arena);
+  const engine::AdaptiveReferee<Output> referee(protocol, coins);
+  engine::ObsInstrumentation instr(/*adaptive=*/true);
+  engine::EngineResult<Output> run =
+      engine::run_rounds(n, referee, source, instr);
+  if (arena != nullptr) arena->reclaim_rounds(std::move(run.all_rounds));
+  return {std::move(run.output), run.comm, std::move(run.by_round),
+          run.broadcast_bits};
 }
 
 }  // namespace ds::model

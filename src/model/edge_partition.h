@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/charge.h"
+#include "engine/instrumentation.h"
 #include "graph/graph.h"
 #include "model/protocol.h"
 #include "util/bitio.h"
@@ -72,9 +74,12 @@ template <typename Output>
                               instance.player_edges[p], &coins};
     util::BitWriter writer;
     protocol.encode(view, writer);
-    result.comm.record(writer.bit_count());
-    sketches.emplace_back(writer);
+    sketches.emplace_back(std::move(writer));
   }
+  // Charge through the engine's single CommStats site (docs/ENGINE.md).
+  engine::ChargeSheet sheet(sketches.size());
+  engine::PlainInstrumentation plain;
+  result.comm = sheet.charge_round(sketches, plain);
   result.output =
       protocol.decode(instance.graph.num_vertices(), sketches, coins);
   return result;

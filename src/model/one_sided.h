@@ -11,6 +11,8 @@
 // and their success compared (see tests and bench_sketch_zoo).
 #pragma once
 
+#include "engine/charge.h"
+#include "engine/instrumentation.h"
 #include "model/protocol.h"
 
 namespace ds::model {
@@ -47,9 +49,12 @@ template <typename Output>
                           instance.graph.neighbors(v), &coins};
     util::BitWriter writer;
     protocol.encode(view, writer);
-    result.comm.record(writer.bit_count());
-    sketches.emplace_back(writer);
+    sketches.emplace_back(std::move(writer));
   }
+  // Charge through the engine's single CommStats site (docs/ENGINE.md).
+  engine::ChargeSheet sheet(sketches.size());
+  engine::PlainInstrumentation plain;
+  result.comm = sheet.charge_round(sketches, plain);
   result.output =
       protocol.decode(instance.graph.num_vertices(), sketches, coins);
   return result;

@@ -10,6 +10,8 @@
 // is deterministic, the referee never touches coins) keep working.
 #pragma once
 
+#include "engine/charge.h"
+#include "engine/instrumentation.h"
 #include "model/runner.h"
 
 namespace ds::model {
@@ -30,9 +32,12 @@ template <typename Output>
                           &private_coins};
     util::BitWriter writer;
     protocol.encode(view, writer);
-    result.comm.record(writer.bit_count());
-    sketches.emplace_back(writer);
+    sketches.emplace_back(std::move(writer));
   }
+  // Charge through the engine's single CommStats site (docs/ENGINE.md).
+  engine::ChargeSheet sheet(sketches.size());
+  engine::PlainInstrumentation plain;
+  result.comm = sheet.charge_round(sketches, plain);
   const PublicCoins referee_coins(util::mix64(seed_base, 0));
   result.output =
       protocol.decode(g.num_vertices(), sketches, referee_coins);

@@ -1,21 +1,24 @@
 // Executes a one-round sketching protocol on a graph.
 //
-// The runner is the only code that sees both the whole graph and the
-// protocol: it slices the graph into per-vertex views, collects the
-// sketches (charging exact bit counts), and hands them to the referee.
+// This is a thin adapter: the actual collect/charge/decode loop is the
+// round engine (engine/round_engine.h), run here as its R = 1 case with
+// an in-process LocalSource and the obs-metrics instrumentation policy.
+// The engine's ChargeSheet is the single place sketch bits enter
+// CommStats, and results — outputs AND bit accounting — are identical to
+// the serial loop at any thread count (docs/ENGINE.md, docs/PARALLELISM.md).
 //
-// Sketch collection runs through the deterministic thread pool
-// (src/parallel): each player's message is a function of its own view and
-// the public coins only (Section 2.1), so per-vertex encodes are
-// independent by construction.  Messages land in slot sketches[v] and the
-// per-chunk CommStats are merged in vertex order, so the result — outputs
-// AND bit accounting — is identical to the serial loop at any thread
-// count.  Pass a ThreadPool to choose one explicitly; null uses the
-// global pool (sized by DISTSKETCH_THREADS).
+// Pass a ThreadPool to choose one explicitly; null uses the global pool
+// (sized by DISTSKETCH_THREADS).  Pass a SketchArena to pool the encode
+// buffers across repeated runs on same-shaped instances (sweeps, benches):
+// steady-state encodes then perform zero per-vertex heap allocations.  An
+// arena must not be shared between concurrently running trials.
 #pragma once
 
 #include <span>
+#include <utility>
 
+#include "engine/local_source.h"
+#include "engine/round_engine.h"
 #include "graph/weighted.h"
 #include "model/protocol.h"
 #include "obs/obs.h"
@@ -31,52 +34,58 @@ struct RunResult {
 
 namespace detail {
 
-/// Model-layer metrics (docs/OBSERVABILITY.md).  The sketch_bits
-/// histogram mirrors CommStats exactly: count == players encoded,
-/// sum == total_bits, max == max_bits — the obs audit test cross-checks
-/// them.  All updates are atomics outside the deterministic reduction
-/// path, so results stay bit-identical at any thread count.
-inline obs::Counter& encode_sketches_counter() {
-  static obs::Counter& c = obs::counter("model.encode.sketches");
-  return c;
-}
-inline obs::Histogram& encode_sketch_bits_histogram() {
-  static obs::Histogram& h = obs::histogram("model.encode.sketch_bits");
-  return h;
-}
-inline obs::Histogram& collect_us_histogram() {
-  static obs::Histogram& h = obs::histogram("model.collect_us");
-  return h;
-}
-inline obs::Histogram& decode_us_histogram() {
-  static obs::Histogram& h = obs::histogram("model.decode_us");
-  return h;
+/// Wrap a one-round protocol's encode as the engine's round-aware
+/// EncodeFn (round and broadcasts are vacuous for R = 1).
+template <typename Output>
+[[nodiscard]] auto one_round_encode(
+    const SketchingProtocol<Output>& protocol) {
+  return [&protocol](const VertexView& view, unsigned /*round*/,
+                     std::span<const util::BitString> /*broadcasts*/,
+                     util::BitWriter& out) { protocol.encode(view, out); };
 }
 
-/// The shared encode loop: materialize view_of(v) for every vertex,
-/// encode it, and charge exact bits.  CommStats accumulate per chunk and
-/// merge in vertex order — bit-identical to the serial record() sequence.
+/// The weighted model view for vertex v of g.
+[[nodiscard]] inline auto weighted_view_fn(const graph::WeightedGraph& g,
+                                           const PublicCoins& coins) {
+  return [&g, &coins](graph::Vertex v) {
+    return VertexView{g.num_vertices(), v, g.topology().neighbors(v),
+                      &coins, g.neighbor_weights(v)};
+  };
+}
+
+/// Shared one-round adapter body: run the engine, reclaim arena storage.
 template <typename Output, typename ViewFn>
-[[nodiscard]] std::vector<util::BitString> collect_sketches_impl(
+[[nodiscard]] RunResult<Output> run_one_round(
     graph::Vertex n, const SketchingProtocol<Output>& protocol,
-    const ViewFn& view_of, CommStats& comm, parallel::ThreadPool* pool) {
-  const obs::ScopedSpan span("model.collect", &collect_us_histogram());
-  obs::Counter& sketches_counter = encode_sketches_counter();
-  obs::Histogram& bits_histogram = encode_sketch_bits_histogram();
-  std::vector<util::BitString> sketches(n);
-  CommStats encoded = parallel::parallel_reduce(
-      pool, std::size_t{0}, std::size_t{n}, CommStats{},
-      [&](CommStats& acc, std::size_t i) {
-        const auto v = static_cast<graph::Vertex>(i);
-        util::BitWriter writer;
-        protocol.encode(view_of(v), writer);
-        acc.record(writer.bit_count());
-        sketches_counter.increment();
-        bits_histogram.record(writer.bit_count());
-        sketches[i] = util::BitString(writer);
-      },
-      [](CommStats& into, const CommStats& from) { into.merge(from); });
-  comm.merge(encoded);
+    const PublicCoins& coins, ViewFn view_of, parallel::ThreadPool* pool,
+    engine::SketchArena* arena) {
+  auto source = engine::make_local_source(
+      n, std::move(view_of), one_round_encode(protocol), pool, arena);
+  const engine::OneRoundReferee<Output> referee(protocol, coins);
+  engine::ObsInstrumentation instr(/*adaptive=*/false);
+  engine::EngineResult<Output> run =
+      engine::run_rounds(n, referee, source, instr);
+  if (arena != nullptr) arena->reclaim_rounds(std::move(run.all_rounds));
+  return {std::move(run.output), run.comm};
+}
+
+/// Shared collect-only body (no decode): one engine round, charged
+/// through the same ChargeSheet site, merged into the caller's stats.
+template <typename Output, typename ViewFn>
+[[nodiscard]] std::vector<util::BitString> collect_one_round(
+    graph::Vertex n, const SketchingProtocol<Output>& protocol,
+    ViewFn view_of, CommStats& comm, parallel::ThreadPool* pool) {
+  auto source = engine::make_local_source(
+      n, std::move(view_of), one_round_encode(protocol), pool,
+      /*arena=*/nullptr);
+  engine::ObsInstrumentation instr(/*adaptive=*/false);
+  std::vector<util::BitString> sketches;
+  {
+    const auto span = instr.collect_span();
+    sketches = source.collect(0, {});
+  }
+  engine::ChargeSheet sheet(n);
+  comm.merge(sheet.charge_round(sketches, instr));
   return sketches;
 }
 
@@ -88,25 +97,19 @@ template <typename Output>
     const graph::Graph& g, const SketchingProtocol<Output>& protocol,
     const PublicCoins& coins, CommStats& comm,
     parallel::ThreadPool* pool = nullptr) {
-  return detail::collect_sketches_impl(
-      g.num_vertices(), protocol,
-      [&g, &coins](graph::Vertex v) {
-        return VertexView{g.num_vertices(), v, g.neighbors(v), &coins};
-      },
-      comm, pool);
+  return detail::collect_one_round(g.num_vertices(), protocol,
+                                   engine::graph_view_fn(g, coins), comm,
+                                   pool);
 }
 
 template <typename Output>
 [[nodiscard]] RunResult<Output> run_protocol(
     const graph::Graph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
-  CommStats comm;
-  const std::vector<util::BitString> sketches =
-      collect_sketches(g, protocol, coins, comm, pool);
-  const obs::ScopedSpan span("model.decode",
-                             &detail::decode_us_histogram());
-  return {protocol.decode(g.num_vertices(), sketches, coins),
-          comm};
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr,
+    engine::SketchArena* arena = nullptr) {
+  return detail::run_one_round(g.num_vertices(), protocol, coins,
+                               engine::graph_view_fn(g, coins), pool,
+                               arena);
 }
 
 /// Weighted runner: views additionally carry per-neighbor weights.
@@ -115,25 +118,19 @@ template <typename Output>
     const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
     const PublicCoins& coins, CommStats& comm,
     parallel::ThreadPool* pool = nullptr) {
-  return detail::collect_sketches_impl(
-      g.num_vertices(), protocol,
-      [&g, &coins](graph::Vertex v) {
-        return VertexView{g.num_vertices(), v, g.topology().neighbors(v),
-                          &coins, g.neighbor_weights(v)};
-      },
-      comm, pool);
+  return detail::collect_one_round(g.num_vertices(), protocol,
+                                   detail::weighted_view_fn(g, coins), comm,
+                                   pool);
 }
 
 template <typename Output>
 [[nodiscard]] RunResult<Output> run_protocol(
     const graph::WeightedGraph& g, const SketchingProtocol<Output>& protocol,
-    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr) {
-  CommStats comm;
-  const std::vector<util::BitString> sketches =
-      collect_sketches(g, protocol, coins, comm, pool);
-  const obs::ScopedSpan span("model.decode",
-                             &detail::decode_us_histogram());
-  return {protocol.decode(g.num_vertices(), sketches, coins), comm};
+    const PublicCoins& coins, parallel::ThreadPool* pool = nullptr,
+    engine::SketchArena* arena = nullptr) {
+  return detail::run_one_round(g.num_vertices(), protocol, coins,
+                               detail::weighted_view_fn(g, coins), pool,
+                               arena);
 }
 
 }  // namespace ds::model

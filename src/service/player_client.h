@@ -11,10 +11,12 @@
 
 #include <algorithm>
 
+#include "engine/local_source.h"
 #include "graph/graph.h"
 #include "graph/weighted.h"
 #include "model/adaptive.h"
 #include "model/protocol.h"
+#include "model/runner.h"
 #include "service/output_codec.h"
 #include "service/referee_service.h"
 #include "service/session.h"
@@ -29,6 +31,32 @@ struct PlayerSendStats {
   std::size_t framing_bits = 0;
 };
 
+namespace detail {
+
+/// The one player-side encode loop: every owned vertex's sketch is
+/// encoded (same ViewFn/EncodeFn shapes as the engine's LocalSource, so
+/// a client's uplink bits are byte-for-byte the bits the engine charges)
+/// and appended to `batch` as a kSketch frame.
+template <typename ViewFn, typename EncodeFn>
+[[nodiscard]] PlayerSendStats batch_owned_sketches(
+    std::vector<std::uint8_t>& batch, std::uint32_t proto,
+    std::uint32_t round, std::span<const graph::Vertex> owned,
+    const ViewFn& view_of, const EncodeFn& encode,
+    std::span<const util::BitString> broadcasts) {
+  PlayerSendStats stats;
+  for (const graph::Vertex v : owned) {
+    util::BitWriter writer;
+    encode(view_of(v), round, broadcasts, writer);
+    const util::BitString sketch(std::move(writer));
+    stats.framing_bits += append_sketch_frame(batch, proto, v, round, sketch);
+    stats.payload_bits += sketch.bit_count();
+    ++stats.frames;
+  }
+  return stats;
+}
+
+}  // namespace detail
+
 /// Encode and send one round's sketches for `owned` vertices as a single
 /// batched message.  Throws ServiceError if the link rejects the send.
 template <typename Output>
@@ -37,20 +65,11 @@ PlayerSendStats send_sketches(
     std::span<const graph::Vertex> owned,
     const model::SketchingProtocol<Output>& protocol,
     const model::PublicCoins& coins) {
-  const std::uint32_t proto = wire::protocol_id(protocol.name());
-  PlayerSendStats stats;
   std::vector<std::uint8_t> batch;
-  for (const graph::Vertex v : owned) {
-    const model::VertexView view{g.num_vertices(), v, g.neighbors(v),
-                                 &coins};
-    util::BitWriter writer;
-    protocol.encode(view, writer);
-    const util::BitString sketch(writer);
-    stats.framing_bits +=
-        append_sketch_frame(batch, proto, v, 0, sketch);
-    stats.payload_bits += sketch.bit_count();
-    ++stats.frames;
-  }
+  const PlayerSendStats stats = detail::batch_owned_sketches(
+      batch, wire::protocol_id(protocol.name()), 0, owned,
+      engine::graph_view_fn(g, coins),
+      model::detail::one_round_encode(protocol), {});
   if (!link.send(batch)) {
     throw ServiceError("player: referee link rejected the sketch batch");
   }
@@ -65,20 +84,11 @@ PlayerSendStats send_sketches(
     std::span<const graph::Vertex> owned,
     const model::SketchingProtocol<Output>& protocol,
     const model::PublicCoins& coins) {
-  const std::uint32_t proto = wire::protocol_id(protocol.name());
-  PlayerSendStats stats;
   std::vector<std::uint8_t> batch;
-  for (const graph::Vertex v : owned) {
-    const model::VertexView view{g.num_vertices(), v,
-                                 g.topology().neighbors(v), &coins,
-                                 g.neighbor_weights(v)};
-    util::BitWriter writer;
-    protocol.encode(view, writer);
-    const util::BitString sketch(writer);
-    stats.framing_bits += append_sketch_frame(batch, proto, v, 0, sketch);
-    stats.payload_bits += sketch.bit_count();
-    ++stats.frames;
-  }
+  const PlayerSendStats stats = detail::batch_owned_sketches(
+      batch, wire::protocol_id(protocol.name()), 0, owned,
+      model::detail::weighted_view_fn(g, coins),
+      model::detail::one_round_encode(protocol), {});
   if (!link.send(batch)) {
     throw ServiceError("player: referee link rejected the sketch batch");
   }
@@ -125,14 +135,14 @@ template <typename Output>
 
   for (unsigned round = 0; round < rounds; ++round) {
     std::vector<std::uint8_t> batch;
-    for (const graph::Vertex v : owned) {
-      const model::VertexView view{g.num_vertices(), v, g.neighbors(v),
-                                   &coins};
-      util::BitWriter writer;
-      protocol.encode_round(view, round, broadcasts, writer);
-      (void)append_sketch_frame(batch, proto, v, round,
-                                util::BitString(writer));
-    }
+    (void)detail::batch_owned_sketches(
+        batch, proto, round, owned, engine::graph_view_fn(g, coins),
+        [&protocol](const model::VertexView& view, unsigned r,
+                    std::span<const util::BitString> bs,
+                    util::BitWriter& out) {
+          protocol.encode_round(view, r, bs, out);
+        },
+        broadcasts);
     if (!link.send(batch)) {
       throw ServiceError("player: referee link rejected a round batch");
     }

@@ -1,26 +1,26 @@
 // The referee as a service: run any existing SketchingProtocol<Output> or
 // AdaptiveProtocol<Output> over real links.
 //
-// The service accepts all n sketches for a round from its links (players
-// are multiplexed over the links arbitrarily and batched per message),
-// runs the protocol's unmodified decode, and broadcasts the result back
-// as a kResult frame.  For adaptive protocols it additionally drives the
-// inter-round loop of model/adaptive.h: after each non-final round it
-// computes make_broadcast and pushes a kBroadcast frame down every link.
-//
-// The returned CommStats are computed from the wire payloads exactly the
-// way the simulated runners charge them — per-player cumulative bits,
-// recorded in vertex order — so `result.comm` here and the CommStats of
-// model::run_protocol / model::run_adaptive must agree bit for bit (the
-// tests/audit cross-check).  Framing and transport overhead are reported
-// separately in WireStats.
+// This is the round engine's wire configuration: serve_protocol and
+// serve_adaptive run engine::run_rounds with a WireSource (frames from
+// links instead of in-process encodes) and the service instrumentation
+// policy.  The collection loop, the inter-round broadcasts, and — most
+// importantly — the bit accounting are therefore the SAME code the
+// simulated runners execute: CommStats come from the engine's single
+// ChargeSheet site, charged from the wire payloads in vertex order, so
+// `result.comm` here and the CommStats of model::run_protocol /
+// model::run_adaptive agree bit for bit (the tests/audit cross-check).
+// Framing and transport overhead are reported separately in WireStats.
 #pragma once
 
+#include "engine/instrumentation.h"
+#include "engine/round_engine.h"
 #include "model/adaptive.h"
 #include "model/protocol.h"
 #include "obs/obs.h"
 #include "service/output_codec.h"
 #include "service/session.h"
+#include "service/wire_source.h"
 
 namespace ds::service {
 
@@ -34,6 +34,36 @@ inline obs::Histogram& decode_us_histogram() {
 inline obs::Histogram& reply_us_histogram() {
   static obs::Histogram& h = obs::histogram("service.reply_us");
   return h;
+}
+
+/// Engine Instrumentation policy for the service: the decode span.  The
+/// per-frame collect metrics (service.sketch_bits and friends) are owned
+/// by the collection loop in session.cpp, where the frames are observed.
+struct ServiceInstrumentation {
+  [[nodiscard]] engine::PlainInstrumentation::NoSpan collect_span()
+      const noexcept {
+    return {};
+  }
+  [[nodiscard]] obs::ScopedSpan decode_span() const {
+    return obs::ScopedSpan("service.decode", &decode_us_histogram());
+  }
+  void on_sketch_bits(std::size_t) const noexcept {}
+  void on_round(unsigned, const model::CommStats&) const noexcept {}
+  void on_broadcast(unsigned, const util::BitString&) const noexcept {}
+};
+
+/// Encode the decoded output and broadcast it as the final kResult frame.
+template <typename Output>
+[[nodiscard]] WireStats reply_result(
+    std::span<const std::unique_ptr<wire::Link>> links, std::uint32_t proto,
+    std::uint32_t round, const Output& output) {
+  const obs::ScopedSpan reply_span("service.reply", &reply_us_histogram());
+  util::BitWriter w;
+  OutputCodec<Output>::encode(output, w);
+  const util::BitString encoded(std::move(w));
+  return broadcast_to_links(links,
+                            {wire::FrameType::kResult, proto, 0, round},
+                            encoded);
 }
 }  // namespace detail
 
@@ -58,7 +88,8 @@ struct AdaptiveServeResult {
   WireStats downlink;
 };
 
-/// One-round service: collect, decode, broadcast the result.
+/// One-round service: collect, decode, broadcast the result (the engine's
+/// R = 1 case over a WireSource).
 template <typename Output>
 [[nodiscard]] ServeResult<Output> serve_protocol(
     std::span<const std::unique_ptr<wire::Link>> links,
@@ -66,29 +97,20 @@ template <typename Output>
     const model::PublicCoins& coins,
     std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
   const std::uint32_t proto = wire::protocol_id(protocol.name());
-  CollectedRound round = collect_sketch_round(links, n, proto, 0, timeout);
+  WireSource source(links, n, proto, timeout);
+  const engine::OneRoundReferee<Output> referee(protocol, coins);
+  detail::ServiceInstrumentation instr;
+  engine::EngineResult<Output> run =
+      engine::run_rounds(n, referee, source, instr);
 
-  ServeResult<Output> result{[&] {
-                               const obs::ScopedSpan decode_span(
-                                   "service.decode",
-                                   &detail::decode_us_histogram());
-                               return protocol.decode(n, round.sketches,
-                                                      coins);
-                             }(),
-                             comm_from_sketches(round.sketches), round.wire,
-                             WireStats{}};
-
-  const obs::ScopedSpan reply_span("service.reply",
-                                   &detail::reply_us_histogram());
-  util::BitWriter w;
-  OutputCodec<Output>::encode(result.output, w);
-  const util::BitString encoded(w);
-  result.downlink = broadcast_to_links(
-      links, {wire::FrameType::kResult, proto, 0, 0}, encoded);
+  ServeResult<Output> result{std::move(run.output), run.comm,
+                             source.uplink(), source.downlink()};
+  result.downlink.merge(detail::reply_result(links, proto, 0, result.output));
   return result;
 }
 
-/// Multi-round adaptive service: the run_adaptive loop over real links.
+/// Multi-round adaptive service: the same engine loop over real links,
+/// with inter-round kBroadcast frames pushed by the WireSource.
 template <typename Output>
 [[nodiscard]] AdaptiveServeResult<Output> serve_adaptive(
     std::span<const std::unique_ptr<wire::Link>> links,
@@ -96,47 +118,17 @@ template <typename Output>
     const model::PublicCoins& coins,
     std::chrono::milliseconds timeout = kDefaultRoundTimeout) {
   const std::uint32_t proto = wire::protocol_id(protocol.name());
-  const unsigned rounds = protocol.num_rounds();
+  WireSource source(links, n, proto, timeout);
+  const engine::AdaptiveReferee<Output> referee(protocol, coins);
+  detail::ServiceInstrumentation instr;
+  engine::EngineResult<Output> run =
+      engine::run_rounds(n, referee, source, instr);
 
-  AdaptiveServeResult<Output> result{};
-  std::vector<std::vector<util::BitString>> all_rounds;
-  std::vector<util::BitString> broadcasts;
-  std::vector<std::size_t> player_bits(n, 0);
-
-  for (unsigned round = 0; round < rounds; ++round) {
-    CollectedRound collected =
-        collect_sketch_round(links, n, proto, round, timeout);
-    result.by_round.push_back(comm_from_sketches(collected.sketches));
-    for (graph::Vertex v = 0; v < n; ++v) {
-      player_bits[v] += collected.sketches[v].bit_count();
-    }
-    result.uplink.merge(collected.wire);
-    all_rounds.push_back(std::move(collected.sketches));
-
-    if (round + 1 < rounds) {
-      util::BitString b =
-          protocol.make_broadcast(round, n, all_rounds, coins);
-      result.broadcast_bits += b.bit_count();
-      result.downlink.merge(broadcast_to_links(
-          links, {wire::FrameType::kBroadcast, proto, 0, round}, b));
-      broadcasts.push_back(std::move(b));
-    }
-  }
-
-  for (const std::size_t bits : player_bits) result.comm.record(bits);
-  {
-    const obs::ScopedSpan decode_span("service.decode",
-                                      &detail::decode_us_histogram());
-    result.output = protocol.decode(n, all_rounds, broadcasts, coins);
-  }
-
-  const obs::ScopedSpan reply_span("service.reply",
-                                   &detail::reply_us_histogram());
-  util::BitWriter w;
-  OutputCodec<Output>::encode(result.output, w);
-  const util::BitString encoded(w);
-  result.downlink.merge(broadcast_to_links(
-      links, {wire::FrameType::kResult, proto, 0, rounds - 1}, encoded));
+  AdaptiveServeResult<Output> result{
+      std::move(run.output),     run.comm,          std::move(run.by_round),
+      run.broadcast_bits,        source.uplink(),   source.downlink()};
+  result.downlink.merge(detail::reply_result(
+      links, proto, protocol.num_rounds() - 1, result.output));
   return result;
 }
 

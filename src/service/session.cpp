@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "engine/charge.h"
+#include "engine/instrumentation.h"
 #include "obs/obs.h"
 
 namespace ds::service {
@@ -229,9 +231,11 @@ wire::Frame await_referee_frame(wire::Link& link,
 
 model::CommStats comm_from_sketches(
     std::span<const util::BitString> sketches) {
-  model::CommStats comm;
-  for (const util::BitString& s : sketches) comm.record(s.bit_count());
-  return comm;
+  // Delegates to the engine's single charging site so wire accounting can
+  // never drift from the simulated runners (docs/ENGINE.md).
+  engine::ChargeSheet sheet(sketches.size());
+  engine::PlainInstrumentation plain;
+  return sheet.charge_round(sketches, plain);
 }
 
 }  // namespace ds::service

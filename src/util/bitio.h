@@ -19,9 +19,36 @@
 namespace ds::util {
 
 /// Append-only bit buffer.
+///
+/// A writer can adopt previously-used word storage (keeping its heap
+/// capacity) and release it again when the finished message is moved into
+/// a BitString — the engine's sketch arena pools buffers this way so the
+/// hot encode loop stops allocating per vertex (docs/ENGINE.md).
 class BitWriter {
  public:
   BitWriter() = default;
+
+  /// Adopt `storage` as the backing buffer: contents are discarded, heap
+  /// capacity is kept, and the writer starts empty.
+  explicit BitWriter(std::vector<std::uint64_t>&& storage) noexcept
+      : words_(std::move(storage)) {
+    words_.clear();
+  }
+
+  /// Discard all written bits but keep the allocated capacity.
+  void clear() noexcept {
+    words_.clear();
+    bit_count_ = 0;
+  }
+
+  /// Move the word storage out (exactly ceil(bit_count()/64) entries),
+  /// leaving the writer empty.  Capture bit_count() first if needed.
+  [[nodiscard]] std::vector<std::uint64_t> take_words() noexcept {
+    std::vector<std::uint64_t> out = std::move(words_);
+    words_.clear();
+    bit_count_ = 0;
+    return out;
+  }
 
   void put_bit(bool bit);
 
@@ -55,6 +82,29 @@ class BitString {
   BitString() = default;
   explicit BitString(const BitWriter& writer)
       : words_(writer.words()), bit_count_(writer.bit_count()) {}
+
+  /// Steal the writer's storage instead of copying it; the writer is left
+  /// empty.  Equality against a copy-constructed BitString is unaffected
+  /// (vector operator== ignores capacity).
+  explicit BitString(BitWriter&& writer) noexcept {
+    bit_count_ = writer.bit_count();
+    words_ = writer.take_words();
+  }
+
+  /// Adopt raw word storage with an explicit bit length; `words` must hold
+  /// exactly ceil(bit_count/64) entries with unused high bits zero.
+  BitString(std::vector<std::uint64_t>&& words,
+            std::size_t bit_count) noexcept
+      : words_(std::move(words)), bit_count_(bit_count) {}
+
+  /// Move the word storage back out (for buffer pooling); the BitString
+  /// becomes empty.
+  [[nodiscard]] std::vector<std::uint64_t> release_words() noexcept {
+    std::vector<std::uint64_t> out = std::move(words_);
+    words_.clear();
+    bit_count_ = 0;
+    return out;
+  }
 
   [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {

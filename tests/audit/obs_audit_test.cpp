@@ -209,6 +209,85 @@ TEST_F(ObsAudit, AdaptiveRunnerCountersMatchByRoundTotals) {
             run.broadcast_bits);
 }
 
+// The engine registers model.encode.* exactly once
+// (engine/instrumentation.cpp), so a one-round and an adaptive run in
+// the same session share the series: the histogram must equal the SUM of
+// both runs' CommStats, not either one alone.  This is the regression
+// test for the seed-era duplicate registration (runner.h and adaptive.h
+// each owned a copy).
+TEST_F(ObsAudit, OneRoundAndAdaptiveShareTheEncodeSeries) {
+  const Graph g = test_graph();
+  const protocols::AgmSpanningForest one_round;
+  const protocols::TwoRoundMatching adaptive{4, 8};
+  const model::PublicCoins coins(76);
+
+  const auto first = model::run_protocol(g, one_round, coins);
+  const auto second = model::run_adaptive(g, adaptive, coins);
+
+  std::size_t adaptive_encodes = 0;
+  for (const model::CommStats& round : second.by_round) {
+    adaptive_encodes += round.num_players;
+  }
+  const obs::Histogram& bits = obs::histogram("model.encode.sketch_bits");
+  EXPECT_EQ(obs::counter("model.encode.sketches").value(),
+            first.comm.num_players + adaptive_encodes);
+  EXPECT_EQ(bits.count(), first.comm.num_players + adaptive_encodes);
+  EXPECT_EQ(bits.sum(), first.comm.total_bits + second.comm.total_bits);
+  // The adaptive-only series saw only the adaptive run.
+  EXPECT_EQ(obs::counter("model.adaptive.rounds").value(),
+            adaptive.num_rounds());
+  EXPECT_EQ(obs::histogram("model.adaptive.broadcast_bits").sum(),
+            second.broadcast_bits);
+}
+
+// The adaptive wire path runs the same engine loop as serve_protocol:
+// the per-frame service metrics must equal the served CommStats across
+// ALL rounds, and rounds_collected must count every collect the engine
+// issued.
+TEST_F(ObsAudit, AdaptiveServiceHistogramMatchesServedCommStats) {
+  const Graph g = test_graph();
+  const protocols::TwoRoundMatching protocol{4, 8};
+  const model::PublicCoins coins(77);
+  constexpr std::size_t kPlayers = 2;
+
+  std::vector<std::unique_ptr<wire::Link>> referee_links;
+  std::vector<std::unique_ptr<wire::Link>> player_links;
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    wire::LoopbackPair pair = wire::make_loopback_pair();
+    referee_links.push_back(std::move(pair.referee_side));
+    player_links.push_back(std::move(pair.player_side));
+  }
+  std::vector<std::thread> clients;
+  clients.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    clients.emplace_back([&, i] {
+      (void)service::play_adaptive(
+          *player_links[i], g,
+          service::shard_vertices(g.num_vertices(), kPlayers, i), protocol,
+          coins, 5000ms);
+    });
+  }
+  const auto served = service::serve_adaptive(
+      referee_links, protocol, g.num_vertices(), coins, 5000ms);
+  for (std::thread& t : clients) t.join();
+
+  // One frame per (vertex, round); the histogram aggregates all rounds.
+  const obs::Histogram& sketch_bits = obs::histogram("service.sketch_bits");
+  std::size_t frames = 0;
+  for (const model::CommStats& round : served.by_round) {
+    frames += round.num_players;
+  }
+  EXPECT_EQ(sketch_bits.count(), frames);
+  EXPECT_EQ(sketch_bits.sum(), served.comm.total_bits);
+  EXPECT_EQ(obs::counter("service.frames_accepted").value(), frames);
+  EXPECT_EQ(obs::counter("service.rounds_collected").value(),
+            protocol.num_rounds());
+  EXPECT_EQ(obs::counter("service.payload_bits").value(),
+            served.uplink.payload_bits);
+  // Both decode paths ran through the engine's decode span.
+  EXPECT_EQ(obs::histogram("service.decode_us").count(), 1u);
+}
+
 TEST_F(ObsAudit, DisabledMetricsRecordNothingAndPreserveResults) {
   const Graph g = test_graph();
   const protocols::AgmSpanningForest protocol;

@@ -173,6 +173,14 @@ void print_wire(const char* label, const ds::service::WireStats& w) {
             << w.rejected_frames << " rejected)\n";
 }
 
+/// Shared tail of every serve branch: the wire accounting both
+/// ServeResult and AdaptiveServeResult carry.
+template <typename Result>
+void print_serve_wire(const Result& r) {
+  print_wire("uplink", r.uplink);
+  print_wire("downlink", r.downlink);
+}
+
 int run_serve(const Options& opt) {
   const MetricsReporter reporter(opt.metrics_interval);
   ds::wire::TcpListener listener(opt.port);
@@ -199,16 +207,14 @@ int run_serve(const Options& opt) {
     const auto r = referee.run(protocol, opt.n);
     std::cout << "referee: spanning forest with " << r.output.size()
               << " edges; max player " << r.comm.max_bits << " bits\n";
-    print_wire("uplink", r.uplink);
-    print_wire("downlink", r.downlink);
+    print_serve_wire(r);
   } else if (opt.protocol == "connectivity") {
     const ds::protocols::AgmConnectivity protocol;
     const auto r = referee.run(protocol, opt.n);
     std::cout << "referee: " << r.output
               << " connected component(s); max player " << r.comm.max_bits
               << " bits\n";
-    print_wire("uplink", r.uplink);
-    print_wire("downlink", r.downlink);
+    print_serve_wire(r);
   } else if (opt.protocol == "two-round-matching") {
     const ds::protocols::TwoRoundMatching protocol{8, 16};
     const auto r = referee.run_adaptive(protocol, opt.n);
@@ -216,8 +222,7 @@ int run_serve(const Options& opt) {
               << r.by_round.size() << " rounds; max player "
               << r.comm.max_bits << " bits, broadcast "
               << r.broadcast_bits << " bits\n";
-    print_wire("uplink", r.uplink);
-    print_wire("downlink", r.downlink);
+    print_serve_wire(r);
   } else {
     std::cerr << "unknown protocol " << opt.protocol << "\n";
     return 2;
