@@ -31,7 +31,7 @@ void print_experiment() {
 
   for (std::uint64_t m : {5ULL, 8ULL, 12ULL}) {
     const ds::rs::RsGraph base = ds::rs::rs_graph(m);
-    ds::util::Rng rng(31 + m);
+    ds::util::Rng rng(ds::util::derive_seed(31, m));
     std::size_t trials = 0, side_empty = 0, equiv = 0, exact = 0;
     std::uint32_t n_g = 0;
     constexpr std::size_t kTrials = 8;

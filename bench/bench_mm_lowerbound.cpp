@@ -201,6 +201,9 @@ void print_partial_speakers() {
         if (!mute_rng.next_bernoulli(fraction)) {
           sketches[v] = ds::util::BitString();  // silenced
         }
+        // The real run above is charged through ChargeSheet inside
+        // collect_sketches; this recount prices the muted what-if.
+        // distsketch-lint: allow(charge-site) -- counterfactual cost of a muted transcript, not a protocol charge
         muted_comm.record(sketches[v].bit_count());
       }
       const ds::graph::Graph seen =

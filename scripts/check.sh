@@ -7,14 +7,27 @@
 # Exit status is nonzero iff an available check failed.
 #
 # Usage:
-#   scripts/check.sh            # run everything available
-#   scripts/check.sh --fix      # additionally let clang-format rewrite files
+#   scripts/check.sh                  # run everything available
+#   scripts/check.sh --fix            # additionally let clang-format rewrite files
+#   scripts/check.sh --lint-only [D]  # run ONLY distsketch-lint, over tree D
+#                                     # (defaults to this repo); used by the
+#                                     # harness test and for quick local runs.
+#
+# DISTSKETCH_LINT_BIN overrides where the distsketch_lint binary is found
+# (default: $BUILD_DIR/tools/lint/distsketch_lint, built on demand).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIX=0
+LINT_ONLY=0
+LINT_ROOT=$PWD
 if [[ "${1:-}" == "--fix" ]]; then
   FIX=1
+elif [[ "${1:-}" == "--lint-only" ]]; then
+  LINT_ONLY=1
+  if [[ -n "${2:-}" ]]; then
+    LINT_ROOT=$(cd "$2" && pwd)
+  fi
 fi
 
 BUILD_DIR=build-check
@@ -24,6 +37,50 @@ SKIPPED=()
 note()  { printf '\n==> %s\n' "$*"; }
 have()  { command -v "$1" > /dev/null 2>&1; }
 skip()  { SKIPPED+=("$1"); printf '    [skip] %s not installed\n' "$1"; }
+
+# Locate (or build) the distsketch_lint binary.  Prints the path on
+# stdout; returns nonzero if it cannot be produced.
+lint_binary() {
+  if [[ -n "${DISTSKETCH_LINT_BIN:-}" ]]; then
+    echo "$DISTSKETCH_LINT_BIN"
+    return 0
+  fi
+  local bin="$BUILD_DIR/tools/lint/distsketch_lint"
+  if [[ ! -x "$bin" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+      > /dev/null 2>&1 || return 1
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target distsketch_lint \
+      > /dev/null 2>&1 || return 1
+  fi
+  echo "$bin"
+}
+
+run_distsketch_lint() {
+  note "distsketch-lint (model invariants: charge-site, determinism, layering, obs-owner)"
+  local bin
+  if ! bin=$(lint_binary); then
+    printf '    [FAIL] could not build distsketch_lint\n'
+    FAILURES+=("distsketch-lint")
+    return
+  fi
+  if "$bin" --root "$LINT_ROOT" --json lint_report.json \
+        --layers tools/lint/layers.toml --owners tools/lint/obs_owners.toml; then
+    printf '    [ok] distsketch-lint clean (report: lint_report.json)\n'
+  else
+    printf '    [FAIL] distsketch-lint violations (report: lint_report.json)\n'
+    FAILURES+=("distsketch-lint")
+  fi
+}
+
+if [[ $LINT_ONLY -eq 1 ]]; then
+  run_distsketch_lint
+  if ((${#FAILURES[@]})); then
+    printf '\n    FAILED: %s\n' "${FAILURES[*]}"
+    exit 1
+  fi
+  printf '\n    distsketch-lint passed\n'
+  exit 0
+fi
 
 # All first-party sources (the committed tree only, never build dirs).
 mapfile -t SOURCES < <(git ls-files '*.cpp' '*.h' | grep -E '^(src|tests|bench|examples)/')
@@ -40,6 +97,12 @@ else
   grep -E 'warning:|error:' "$BUILD_DIR.build.log" | head -40 || true
   FAILURES+=("werror-build")
 fi
+
+# ---------------------------------------------------------------------------
+# distsketch-lint: the custom invariant checker (tools/lint/).  Runs right
+# after the build so the freshly built binary is reused.
+# ---------------------------------------------------------------------------
+run_distsketch_lint
 
 # ---------------------------------------------------------------------------
 note "include sanity (every source includes its own header first; no cycles)"

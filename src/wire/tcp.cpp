@@ -78,6 +78,9 @@ TcpMetrics& metrics() {
 }
 
 [[noreturn]] void throw_errno(const std::string& what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): glibc strerror uses a
+  // thread-local buffer, and strerror_r's two signatures (GNU vs POSIX)
+  // are not portably selectable at this standard level.
   throw WireError(what + ": " + std::strerror(errno));
 }
 

@@ -1,0 +1,171 @@
+// End-to-end harness test: plant a lint violation in a scratch source
+// tree and assert that (a) the distsketch_lint binary and (b) the
+// scripts/check.sh --lint-only entry point both exit nonzero — i.e. the
+// commit-time gate actually gates.  A clean scratch tree must pass.
+//
+// Paths are injected by CMake: DISTSKETCH_LINT_BIN is the built binary,
+// DISTSKETCH_REPO_ROOT the checkout (for check.sh and the manifests).
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchTree : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("distsketch_lint_harness_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src/model");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& content) {
+    const fs::path p = root_ / rel;
+    fs::create_directories(p.parent_path());
+    std::ofstream out(p);
+    out << content;
+    ASSERT_TRUE(out.good()) << "cannot write " << p;
+  }
+
+  // Runs `cmd` with cwd = repo root; returns the process exit code.
+  static int run(const std::string& cmd) {
+    const std::string full =
+        "cd '" DISTSKETCH_REPO_ROOT "' && " + cmd + " > /dev/null 2>&1";
+    const int status = std::system(full.c_str());
+    if (status == -1 || !WIFEXITED(status)) return -1;
+    return WEXITSTATUS(status);
+  }
+
+  int run_lint_binary() const {
+    return run(std::string("'") + DISTSKETCH_LINT_BIN + "' --root '" +
+               root_.string() +
+               "' --layers tools/lint/layers.toml"
+               " --owners tools/lint/obs_owners.toml");
+  }
+
+  int run_check_sh() const {
+    return run("env DISTSKETCH_LINT_BIN='" DISTSKETCH_LINT_BIN
+               "' bash scripts/check.sh --lint-only '" +
+               root_.string() + "'");
+  }
+
+  fs::path root_;
+};
+
+constexpr const char* kCleanSource =
+    "#include \"util/rng.h\"\n"
+    "namespace ds::model {\n"
+    "int pick(ds::util::Rng& rng) { return static_cast<int>(rng.next()); }\n"
+    "}  // namespace ds::model\n";
+
+constexpr const char* kViolatingSource =
+    "#include <random>\n"
+    "namespace ds::model {\n"
+    "int pick() {\n"
+    "  std::random_device rd;\n"  // determinism violation
+    "  return static_cast<int>(rd());\n"
+    "}\n"
+    "}  // namespace ds::model\n";
+
+TEST_F(ScratchTree, CleanTreePassesBinaryAndCheckScript) {
+  write("src/model/pick.cpp", kCleanSource);
+  EXPECT_EQ(run_lint_binary(), 0);
+  EXPECT_EQ(run_check_sh(), 0);
+}
+
+TEST_F(ScratchTree, PlantedViolationFailsBinary) {
+  write("src/model/pick.cpp", kViolatingSource);
+  EXPECT_EQ(run_lint_binary(), 1);
+}
+
+TEST_F(ScratchTree, PlantedViolationFailsCheckScript) {
+  write("src/model/pick.cpp", kViolatingSource);
+  const int rc = run_check_sh();
+  EXPECT_NE(rc, 0);
+  EXPECT_NE(rc, -1);
+}
+
+// One planted violation per rule family; each must fail both the
+// binary and the check.sh entry point (the acceptance bar for the
+// lint being a real gate, not a report generator).
+struct RuleSeed {
+  const char* name;
+  const char* rel;
+  const char* source;
+};
+
+class ScratchTreePerRule : public ScratchTree,
+                           public ::testing::WithParamInterface<RuleSeed> {};
+
+TEST_P(ScratchTreePerRule, SeededViolationFailsBinaryAndCheckScript) {
+  write(GetParam().rel, GetParam().source);
+  EXPECT_EQ(run_lint_binary(), 1) << GetParam().name;
+  EXPECT_EQ(run_check_sh(), 1) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistsketchLintGate, ScratchTreePerRule,
+    ::testing::Values(
+        RuleSeed{"charge_site", "src/protocols/cheat.cpp",
+                 "#include \"model/comm_stats.h\"\n"
+                 "namespace ds::protocols {\n"
+                 "void undercharge(model::CommStats& stats) {\n"
+                 "  stats.record(1);\n"
+                 "}\n"
+                 "}  // namespace ds::protocols\n"},
+        RuleSeed{"determinism", "src/model/clocked.cpp",
+                 "#include <ctime>\n"
+                 "namespace ds::model {\n"
+                 "long stamp() { return time(nullptr); }\n"
+                 "}  // namespace ds::model\n"},
+        RuleSeed{"unordered_iteration", "src/sketch/iterate.cpp",
+                 "#include <unordered_map>\n"
+                 "namespace ds::sketch {\n"
+                 "int sum(const std::unordered_map<int, int>& m) {\n"
+                 "  int s = 0;\n"
+                 "  for (const auto& kv : m) s += kv.second;\n"
+                 "  return s;\n"
+                 "}\n"
+                 "}  // namespace ds::sketch\n"},
+        RuleSeed{"layering", "src/model/backdoor.cpp",
+                 "#include \"service/session.h\"\n"
+                 "namespace ds::model {\n"
+                 "int through_the_wire() { return 1; }\n"
+                 "}  // namespace ds::model\n"},
+        RuleSeed{"obs_owner", "src/sketch/rogue_metric.cpp",
+                 "#include \"obs/obs.h\"\n"
+                 "namespace ds::sketch {\n"
+                 "void touch() { obs::counter(\"model.encode.rogue\"); }\n"
+                 "}  // namespace ds::sketch\n"}),
+    [](const auto& param_info) { return std::string(param_info.param.name); });
+
+TEST_F(ScratchTree, JsonReportIsWrittenOnFailure) {
+  write("src/model/pick.cpp", kViolatingSource);
+  const fs::path report = root_ / "lint_report.json";
+  const int rc = run(std::string("'") + DISTSKETCH_LINT_BIN + "' --root '" +
+                     root_.string() + "' --json '" + report.string() +
+                     "' --layers tools/lint/layers.toml"
+                     " --owners tools/lint/obs_owners.toml");
+  EXPECT_EQ(rc, 1);
+  ASSERT_TRUE(fs::exists(report));
+  std::ifstream in(report);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"determinism\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+}
+
+}  // namespace

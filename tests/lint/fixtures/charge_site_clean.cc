@@ -1,0 +1,15 @@
+// lint-fixture path=src/protocols/honest.cpp
+// Charging through the ChargeSheet seam: reading CommStats fields and
+// merging stats is fine; only `.record(...)` is the guarded entry.
+#include "engine/charge.h"
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+std::size_t read_stats(const model::CommStats& comm) {
+  model::CommStats merged;
+  merged.merge(comm);
+  return merged.max_bits + merged.total_bits;
+}
+
+}  // namespace ds::protocols

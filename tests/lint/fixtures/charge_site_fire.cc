@@ -1,0 +1,14 @@
+// lint-fixture path=src/protocols/cheat.cpp
+// lint-expect charge-site
+// A protocol runner charging sketch bits directly instead of through
+// engine::ChargeSheet::charge_round — the drift PR 5 eliminated.
+#include "model/protocol.h"
+
+namespace ds::protocols {
+
+void charge_by_hand(std::size_t bits) {
+  model::CommStats comm;
+  comm.record(bits);  // must flow through ChargeSheet
+}
+
+}  // namespace ds::protocols

@@ -1,0 +1,11 @@
+// lint-fixture path=src/service/sneaky.cpp
+// lint-expect charge-site
+// Qualified access to CommStats::record (member pointer) is the same
+// invariant violation as a direct call.
+#include "model/protocol.h"
+
+namespace ds::service {
+
+auto steal_charge_fn() { return &model::CommStats::record; }
+
+}  // namespace ds::service

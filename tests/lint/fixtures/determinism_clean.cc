@@ -1,0 +1,18 @@
+// lint-fixture path=src/model/good_seed.cpp
+// The sanctioned pattern: counter-based derive_seed per trial.  The
+// words mt19937 and random_device appearing in comments or strings
+// (like this comment, or the literal below) must NOT fire — the lint
+// tokenizes real code, not prose.
+#include <string>
+
+#include "util/rng.h"
+
+namespace ds::model {
+
+std::uint64_t good_seeds(std::uint64_t master, std::uint64_t trial) {
+  util::Rng rng(util::derive_seed(master, trial));
+  const std::string docs = "unlike std::mt19937 or std::random_device";
+  return rng.next() + docs.size();
+}
+
+}  // namespace ds::model

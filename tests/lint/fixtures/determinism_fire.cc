@@ -1,0 +1,23 @@
+// lint-fixture path=src/model/bad_seed.cpp
+// lint-expect determinism
+// lint-expect determinism
+// lint-expect determinism
+// lint-expect determinism
+// Every classic nondeterminism source the rule bans, in one file.
+#include <chrono>
+#include <ctime>
+#include <random>
+
+#include "util/rng.h"
+
+namespace ds::model {
+
+std::uint64_t bad_seeds() {
+  std::random_device rd;                    // fires: hardware entropy
+  std::mt19937 engine(rd());                // fires: raw mt19937 seeding
+  auto wall = time(nullptr);                // fires: wall-clock seed
+  util::Rng trial_rng(42 + engine());       // fires: arithmetic seed
+  return static_cast<std::uint64_t>(wall) + trial_rng.next();
+}
+
+}  // namespace ds::model

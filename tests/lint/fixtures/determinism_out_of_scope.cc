@@ -1,0 +1,14 @@
+// lint-fixture path=src/util/rng.cpp
+// The one file allowed to touch raw engines: src/util/rng.* is the
+// determinism seam itself (it documents why mt19937 is NOT used, and
+// may reference banned names freely).
+#include <random>
+
+namespace ds::util {
+
+unsigned rng_impl_notes() {
+  using engine = std::mt19937;  // exempt inside the seam
+  return engine::default_seed;
+}
+
+}  // namespace ds::util

@@ -1,0 +1,13 @@
+// lint-fixture path=src/service/uses_lower_layers.cpp
+// The service tier may depend on model, engine, and wire — all
+// downward edges of the manifest DAG.
+#include "engine/charge.h"
+#include "model/protocol.h"
+#include "service/session.h"
+#include "wire/frame.h"
+
+namespace ds::service {
+
+void fine() {}
+
+}  // namespace ds::service

@@ -1,0 +1,15 @@
+// lint-fixture path=src/model/peeks_at_referee.cpp
+// lint-expect layering
+// lint-expect layering
+// A model-layer file reaching up into the service tier: exactly the
+// back-edge through which referee-side knowledge could leak into a
+// player's encoder, breaking §2.1 locality.
+#include "model/protocol.h"
+#include "service/session.h"
+#include "wire/frame.h"
+
+namespace ds::model {
+
+void peek() {}
+
+}  // namespace ds::model

@@ -1,0 +1,13 @@
+// lint-fixture path=src/sketch/uses_model_types.cpp
+// sketch -> model is not a manifest edge, but model/coins.h and
+// model/protocol.h are declared interface headers (pure model
+// vocabulary: PublicCoins, CommStats, VertexView) — including them
+// creates no layering edge.
+#include "model/coins.h"
+#include "model/protocol.h"
+
+namespace ds::sketch {
+
+void fine() {}
+
+}  // namespace ds::sketch

@@ -1,0 +1,13 @@
+// lint-fixture path=src/engine/instrumentation.cpp
+// The owner file registering its own series: model.* belongs to
+// engine/instrumentation.cpp per tools/lint/obs_owners.toml.
+#include "obs/obs.h"
+
+namespace ds::engine::metrics {
+
+ds::obs::Counter& encode_sketches() {
+  static ds::obs::Counter& c = obs::counter("model.encode.sketches");
+  return c;
+}
+
+}  // namespace ds::engine::metrics

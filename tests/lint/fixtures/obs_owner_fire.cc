@@ -1,0 +1,16 @@
+// lint-fixture path=src/model/rogue_metrics.cpp
+// lint-expect obs-owner
+// lint-expect obs-owner
+// Registering someone else's series re-creates the PR 5
+// duplicate-registration drift; an unprefixed series has no declared
+// owner at all.
+#include "obs/obs.h"
+
+namespace ds::model {
+
+void register_elsewhere() {
+  obs::counter("service.rounds_collected").increment();  // owner: session.cpp
+  obs::histogram("rogue.unowned_series").record(1);      // no owner prefix
+}
+
+}  // namespace ds::model

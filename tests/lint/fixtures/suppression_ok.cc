@@ -1,0 +1,15 @@
+// lint-fixture path=src/model/justified.cpp
+// lint-expect-suppressed determinism
+// A justified allow() comment moves the finding to the suppressed
+// list: it appears in lint_report.json but does not fail the run.
+#include <chrono>
+
+namespace ds::model {
+
+long wall_clock_label() {
+  // distsketch-lint: allow(determinism) -- label for a log file name only; never feeds protocol execution
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace ds::model

@@ -1,0 +1,16 @@
+// lint-fixture path=src/model/unjustified.cpp
+// lint-expect determinism
+// lint-expect bad-suppression
+// An allow() without the `-- why` text does NOT suppress, and is
+// itself flagged: every suppression must argue its soundness.
+#include <chrono>
+
+namespace ds::model {
+
+long wall_clock() {
+  // distsketch-lint: allow(determinism)
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace ds::model

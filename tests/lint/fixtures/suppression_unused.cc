@@ -1,0 +1,14 @@
+// lint-fixture path=src/model/unused_allow.cpp
+// lint-expect bad-suppression
+// A suppression that matches no finding is dead weight (usually left
+// behind by a refactor) and must be removed.
+#include <cstdint>
+
+namespace ds::model {
+
+std::uint64_t nothing_to_suppress() {
+  // distsketch-lint: allow(determinism) -- stale justification
+  return 7;
+}
+
+}  // namespace ds::model

@@ -1,0 +1,23 @@
+// lint-fixture path=src/sketch/sorted_order.cpp
+// The sanctioned pattern: drain the unordered container into a sorted
+// vector, then iterate that.  Lookups (no iteration order) are fine.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ds::sketch {
+
+std::uint64_t sum_sorted(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& weights) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> sorted(
+      weights.begin(), weights.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t acc = 0;
+  for (const auto& [vertex, w] : sorted) {
+    acc = acc * 31 + vertex + w;
+  }
+  return acc + weights.count(0);
+}
+
+}  // namespace ds::sketch

@@ -1,0 +1,20 @@
+// lint-fixture path=src/sketch/bucket_order.cpp
+// lint-expect unordered-iteration
+// Range-for over an unordered container inside a sketch encoder:
+// bucket order is implementation-defined, so the emitted bits would
+// differ across standard libraries — a silent determinism break.
+#include <cstdint>
+#include <unordered_map>
+
+namespace ds::sketch {
+
+std::uint64_t sum_in_bucket_order(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& weights) {
+  std::uint64_t acc = 0;
+  for (const auto& [vertex, w] : weights) {  // nondeterministic order
+    acc = acc * 31 + vertex + w;
+  }
+  return acc;
+}
+
+}  // namespace ds::sketch

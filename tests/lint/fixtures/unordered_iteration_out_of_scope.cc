@@ -1,0 +1,18 @@
+// lint-fixture path=src/graph/components.cpp
+// Outside src/{model,engine,sketch,lowerbound} the iteration-order
+// rule does not apply: graph algorithms may iterate unordered sets
+// when their result is order-insensitive.
+#include <cstddef>
+#include <unordered_set>
+
+namespace ds::graph {
+
+std::size_t count_even(const std::unordered_set<unsigned>& vertices) {
+  std::size_t even = 0;
+  for (unsigned v : vertices) {
+    even += (v % 2 == 0) ? 1 : 0;
+  }
+  return even;
+}
+
+}  // namespace ds::graph

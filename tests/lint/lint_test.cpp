@@ -1,0 +1,277 @@
+// distsketch-lint fixture corpus + unit tests.
+//
+// Each fixture under tests/lint/fixtures/*.cc declares, in its leading
+// comment lines, the repo path it pretends to live at and the rules it
+// expects to fire:
+//
+//   // lint-fixture path=src/model/bad_seed.cpp
+//   // lint-expect determinism            (one line per expected finding)
+//   // lint-expect-suppressed charge-site (expected suppressed finding)
+//
+// No lint-expect line means the fixture must be clean.  Fixtures use
+// the .cc extension so neither the lint pass itself nor check.sh's
+// format/include checks ever scan them as first-party sources.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "driver.h"
+#include "lexer.h"
+#include "manifest.h"
+#include "rules.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ds::lint::Finding;
+using ds::lint::Report;
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// The committed manifests — fixtures are linted against the real
+/// layer DAG and ownership table, so the corpus also pins those files.
+std::string layers_toml() {
+  return slurp(fs::path(DISTSKETCH_REPO_ROOT) / "tools/lint/layers.toml");
+}
+std::string owners_toml() {
+  return slurp(fs::path(DISTSKETCH_REPO_ROOT) / "tools/lint/obs_owners.toml");
+}
+
+struct Fixture {
+  std::string name;                         // file stem
+  std::string declared_path;                // path= header
+  std::vector<std::string> expect;          // rules expected to fire
+  std::vector<std::string> expect_suppressed;
+  std::string content;
+};
+
+Fixture load_fixture(const fs::path& file) {
+  Fixture fx;
+  fx.name = file.stem().string();
+  fx.content = slurp(file);
+  std::istringstream in(fx.content);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string path_tag = "// lint-fixture path=";
+    const std::string expect_tag = "// lint-expect ";
+    const std::string sup_tag = "// lint-expect-suppressed ";
+    if (line.rfind(path_tag, 0) == 0) {
+      fx.declared_path = line.substr(path_tag.size());
+    } else if (line.rfind(sup_tag, 0) == 0) {
+      fx.expect_suppressed.push_back(line.substr(sup_tag.size()));
+    } else if (line.rfind(expect_tag, 0) == 0) {
+      fx.expect.push_back(line.substr(expect_tag.size()));
+    }
+  }
+  return fx;
+}
+
+std::vector<std::string> rule_names(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  for (const Finding& f : fs) out.push_back(f.rule);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class LintFixtureCorpus : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LintFixtureCorpus, FiresExactlyTheExpectedRules) {
+  const fs::path file = fs::path(DISTSKETCH_LINT_FIXTURES) / GetParam();
+  const Fixture fx = load_fixture(file);
+  ASSERT_FALSE(fx.declared_path.empty())
+      << GetParam() << ": missing `// lint-fixture path=...` header";
+
+  const Report report = ds::lint::analyze(
+      {{fx.declared_path, fx.content}}, layers_toml(), owners_toml());
+  EXPECT_TRUE(report.config_errors.empty());
+
+  std::vector<std::string> expected = fx.expect;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(rule_names(report.violations), expected)
+      << GetParam() << " violations mismatch";
+
+  std::vector<std::string> expected_sup = fx.expect_suppressed;
+  std::sort(expected_sup.begin(), expected_sup.end());
+  EXPECT_EQ(rule_names(report.suppressed), expected_sup)
+      << GetParam() << " suppressed mismatch";
+  for (const Finding& f : report.suppressed) {
+    EXPECT_FALSE(f.justification.empty())
+        << GetParam() << ": suppressed finding without justification";
+  }
+}
+
+std::vector<std::string> fixture_names() {
+  std::vector<std::string> names;
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(DISTSKETCH_LINT_FIXTURES))) {
+    if (entry.path().extension() == ".cc") {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(DistsketchLint, LintFixtureCorpus,
+                         ::testing::ValuesIn(fixture_names()),
+                         [](const auto& param_info) {
+                           std::string n = param_info.param;
+                           n.resize(n.size() - 3);  // drop ".cc"
+                           return n;
+                         });
+
+// ---------------------------------------------------------------------
+// The corpus covers one fixture per rule in each direction; assert the
+// corpus itself stays complete as rules are added.
+// ---------------------------------------------------------------------
+
+TEST(DistsketchLintCorpus, EveryRuleHasFiringAndNonFiringFixtures) {
+  std::map<std::string, int> firing;
+  std::map<std::string, int> clean;
+  for (const std::string& name : fixture_names()) {
+    const Fixture fx =
+        load_fixture(fs::path(DISTSKETCH_LINT_FIXTURES) / name);
+    for (const std::string& rule : fx.expect) ++firing[rule];
+    if (fx.expect.empty()) {
+      // Heuristic: clean fixtures are named after the rule they guard.
+      const std::size_t cut = fx.name.find("_clean");
+      const std::size_t scope = fx.name.find("_out_of_scope");
+      const std::size_t pos = std::min(cut, scope);
+      if (pos != std::string::npos) {
+        std::string rule = fx.name.substr(0, pos);
+        std::replace(rule.begin(), rule.end(), '_', '-');
+        ++clean[rule];
+      }
+    }
+  }
+  for (const char* rule :
+       {ds::lint::kRuleChargeSite, ds::lint::kRuleDeterminism,
+        ds::lint::kRuleUnorderedIteration, ds::lint::kRuleLayering,
+        ds::lint::kRuleObsOwner}) {
+    EXPECT_GE(firing[rule], 1) << "no firing fixture for " << rule;
+    EXPECT_GE(clean[rule], 1) << "no non-firing fixture for " << rule;
+  }
+  EXPECT_GE(firing[ds::lint::kRuleBadSuppression], 1);
+}
+
+// ---------------------------------------------------------------------
+// The committed tree itself must be lint-clean — the in-process twin of
+// the CI gate, so a violation fails fast in every ctest run.
+// ---------------------------------------------------------------------
+
+TEST(DistsketchLintTree, CommittedTreeIsClean) {
+  const std::vector<ds::lint::SourceFile> files =
+      ds::lint::collect_sources(DISTSKETCH_REPO_ROOT);
+  ASSERT_GT(files.size(), 100u) << "source collection looks broken";
+  const Report report =
+      ds::lint::analyze(files, layers_toml(), owners_toml());
+  for (const std::string& e : report.config_errors) ADD_FAILURE() << e;
+  for (const Finding& f : report.violations) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Unit tests: lexer corner cases and manifest validation.
+// ---------------------------------------------------------------------
+
+TEST(DistsketchLintLexer, StripsCommentsAndStringsButKeepsIncludes) {
+  const ds::lint::LexedFile lx = ds::lint::lex(
+      "// mt19937 in a comment\n"
+      "#include \"model/protocol.h\"\n"
+      "#include <random>\n"
+      "const char* s = \"std::random_device\"; /* rand() */\n"
+      "int x = 1'000'000;\n");
+  ASSERT_EQ(lx.includes.size(), 1u);
+  EXPECT_EQ(lx.includes[0].path, "model/protocol.h");
+  EXPECT_EQ(lx.includes[0].line, 2);
+  ASSERT_EQ(lx.comments.size(), 2u);
+  for (const ds::lint::Token& t : lx.tokens) {
+    EXPECT_NE(t.text, "mt19937");
+    EXPECT_NE(t.text, "random_device");
+  }
+  bool found_number = false;
+  for (const ds::lint::Token& t : lx.tokens) {
+    if (t.kind == ds::lint::TokKind::kNumber) {
+      EXPECT_EQ(t.text, "1'000'000");
+      found_number = true;
+    }
+  }
+  EXPECT_TRUE(found_number);
+}
+
+TEST(DistsketchLintLexer, RawStringsAndLineNumbers) {
+  const ds::lint::LexedFile lx = ds::lint::lex(
+      "auto j = R\"({\"rand\": 1,\n\"time\": 2})\";\n"
+      "int after = 3;\n");
+  for (const ds::lint::Token& t : lx.tokens) {
+    if (t.text == "after") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(DistsketchLintManifest, RejectsCyclesAndUnknownDeps) {
+  ds::lint::ManifestError err;
+  std::ignore = ds::lint::load_layer_manifest(
+      "[layers]\na = [\"b\"]\nb = [\"a\"]\n", err);
+  EXPECT_NE(err.message.find("cycle"), std::string::npos) << err.message;
+
+  err = {};
+  std::ignore =
+      ds::lint::load_layer_manifest("[layers]\na = [\"ghost\"]\n", err);
+  EXPECT_NE(err.message.find("ghost"), std::string::npos);
+
+  err = {};
+  std::ignore = ds::lint::load_layer_manifest("not toml at all\n", err);
+  EXPECT_FALSE(err.message.empty());
+}
+
+TEST(DistsketchLintManifest, LongestPrefixOwnership) {
+  ds::lint::ManifestError err;
+  const ds::lint::OwnerManifest owners = ds::lint::load_owner_manifest(
+      "[owners]\n"
+      "\"service.\" = \"src/service/session.cpp\"\n"
+      "\"service.decode_us\" = \"src/service/referee_service.h\"\n",
+      err);
+  ASSERT_TRUE(err.message.empty()) << err.message;
+  EXPECT_EQ(owners.owner_of("service.frames"), "src/service/session.cpp");
+  EXPECT_EQ(owners.owner_of("service.decode_us"),
+            "src/service/referee_service.h");
+  EXPECT_EQ(owners.owner_of("wire.tcp.bytes"), "");
+}
+
+TEST(DistsketchLintManifest, CommittedManifestsLoadClean) {
+  ds::lint::ManifestError err;
+  const ds::lint::LayerManifest layers =
+      ds::lint::load_layer_manifest(layers_toml(), err);
+  EXPECT_TRUE(err.message.empty()) << err.message;
+  EXPECT_TRUE(layers.knows("util"));
+  EXPECT_TRUE(layers.knows("engine"));
+  EXPECT_TRUE(layers.allows("model", "engine"));
+  EXPECT_FALSE(layers.allows("model", "service"));
+  EXPECT_TRUE(layers.is_interface("model/protocol.h"));
+
+  err = {};
+  const ds::lint::OwnerManifest owners =
+      ds::lint::load_owner_manifest(owners_toml(), err);
+  EXPECT_TRUE(err.message.empty()) << err.message;
+  EXPECT_EQ(owners.owner_of("model.encode.sketches"),
+            "src/engine/instrumentation.cpp");
+}
+
+}  // namespace

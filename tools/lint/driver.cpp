@@ -1,0 +1,205 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ds::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+[[nodiscard]] bool is_source_path(const std::string& rel) {
+  const bool ext = rel.size() > 4 && (rel.ends_with(".cpp") ||
+                                      rel.ends_with(".h") ||
+                                      rel.ends_with(".hpp"));
+  if (!ext) return false;
+  // Never lint build trees or hidden directories, whatever git thinks.
+  return rel.rfind("build", 0) != 0 && rel.front() != '.';
+}
+
+[[nodiscard]] std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// `git -C root ls-files -z '*.cpp' '*.h' '*.hpp'`; empty on any failure.
+[[nodiscard]] std::vector<std::string> git_ls_files(const std::string& root) {
+  std::vector<std::string> out;
+  const std::string cmd = "git -C '" + root +
+                          "' ls-files -z '*.cpp' '*.h' '*.hpp' 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return out;
+  std::string current;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (buf[i] == '\0') {
+        if (!current.empty()) out.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(buf[i]);
+      }
+    }
+  }
+  if (pclose(pipe) != 0) return {};
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof hex, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_finding_array(std::ostream& out, const std::vector<Finding>& fs,
+                         bool with_justification) {
+  out << "[";
+  for (std::size_t i = 0; i < fs.size(); ++i) {
+    const Finding& f = fs[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+        << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"message\": \"" << json_escape(f.message) << "\"";
+    if (with_justification) {
+      out << ", \"justification\": \"" << json_escape(f.justification)
+          << "\"";
+    }
+    out << "}";
+  }
+  out << (fs.empty() ? "]" : "\n  ]");
+}
+
+}  // namespace
+
+Report analyze(const std::vector<SourceFile>& files,
+               const std::string& layers_toml,
+               const std::string& owners_toml) {
+  Report report;
+  ManifestError err;
+  RuleConfig config;
+  config.layers = load_layer_manifest(layers_toml, err);
+  if (!err.message.empty()) {
+    report.config_errors.push_back(err.message);
+    return report;
+  }
+  config.owners = load_owner_manifest(owners_toml, err);
+  if (!err.message.empty()) {
+    report.config_errors.push_back(err.message);
+    return report;
+  }
+  for (const SourceFile& file : files) {
+    ++report.files_scanned;
+    for (Finding& f : run_rules(file, config)) {
+      (f.suppressed ? report.suppressed : report.violations)
+          .push_back(std::move(f));
+    }
+  }
+  auto order = [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  };
+  std::sort(report.violations.begin(), report.violations.end(), order);
+  std::sort(report.suppressed.begin(), report.suppressed.end(), order);
+  return report;
+}
+
+std::vector<SourceFile> collect_sources(const std::string& root) {
+  std::vector<std::string> rels = git_ls_files(root);
+  if (rels.empty()) {
+    // Plain directory (e.g. a test fixture tree): recursive walk.
+    const fs::path base(root);
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (name.rfind("build", 0) == 0 ||
+            (!name.empty() && name.front() == '.')) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      rels.push_back(fs::relative(it->path(), base, ec).generic_string());
+    }
+    std::sort(rels.begin(), rels.end());
+  }
+  std::vector<SourceFile> files;
+  for (const std::string& rel : rels) {
+    if (!is_source_path(rel)) continue;
+    files.push_back({rel, read_file(fs::path(root) / rel)});
+  }
+  return files;
+}
+
+void write_human_report(std::ostream& out, const Report& report) {
+  for (const std::string& e : report.config_errors) {
+    out << "distsketch-lint: config error: " << e << "\n";
+  }
+  for (const Finding& f : report.violations) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+        << "\n";
+  }
+  out << "distsketch-lint: " << report.files_scanned << " files, "
+      << report.violations.size() << " violation(s), "
+      << report.suppressed.size() << " suppressed\n";
+}
+
+void write_json_report(std::ostream& out, const Report& report,
+                       const std::string& root) {
+  std::map<std::string, std::size_t> by_rule;
+  for (const Finding& f : report.violations) ++by_rule[f.rule];
+
+  out << "{\n";
+  out << "  \"tool\": \"distsketch-lint\",\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"root\": \"" << json_escape(root) << "\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"ok\": " << (report.ok() ? "true" : "false") << ",\n";
+  out << "  \"config_errors\": [";
+  for (std::size_t i = 0; i < report.config_errors.size(); ++i) {
+    out << (i == 0 ? "\n    \"" : ",\n    \"")
+        << json_escape(report.config_errors[i]) << "\"";
+  }
+  out << (report.config_errors.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"violations_by_rule\": {";
+  std::size_t i = 0;
+  for (const auto& [rule, count] : by_rule) {
+    out << (i++ == 0 ? "\n" : ",\n") << "    \"" << json_escape(rule)
+        << "\": " << count;
+  }
+  out << (by_rule.empty() ? "}" : "\n  }") << ",\n";
+  out << "  \"violations\": ";
+  write_finding_array(out, report.violations, /*with_justification=*/false);
+  out << ",\n  \"suppressed\": ";
+  write_finding_array(out, report.suppressed, /*with_justification=*/true);
+  out << "\n}\n";
+}
+
+}  // namespace ds::lint

@@ -1,0 +1,41 @@
+// Orchestration: collect first-party sources, run the rules, render
+// the human report and lint_report.json.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules.h"
+
+namespace ds::lint {
+
+struct Report {
+  std::vector<Finding> violations;   // unsuppressed findings — failures
+  std::vector<Finding> suppressed;   // justified allow() findings
+  std::size_t files_scanned = 0;
+  std::vector<std::string> config_errors;  // manifest load/parse failures
+
+  [[nodiscard]] bool ok() const {
+    return violations.empty() && config_errors.empty();
+  }
+};
+
+/// Run every rule over `files` with the given manifests (raw TOML
+/// text).  Manifest errors land in Report::config_errors and fail the
+/// run.
+[[nodiscard]] Report analyze(const std::vector<SourceFile>& files,
+                             const std::string& layers_toml,
+                             const std::string& owners_toml);
+
+/// First-party sources under `root`: `git ls-files '*.cpp' '*.h'` when
+/// root is a git work tree, otherwise a recursive directory walk
+/// (fixture trees in tests are plain directories).  Build trees
+/// (build*/), hidden directories, and non-{cpp,h} files are skipped.
+[[nodiscard]] std::vector<SourceFile> collect_sources(const std::string& root);
+
+void write_human_report(std::ostream& out, const Report& report);
+void write_json_report(std::ostream& out, const Report& report,
+                       const std::string& root);
+
+}  // namespace ds::lint

@@ -1,0 +1,245 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace ds::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        if (!include_directive()) {
+          // Some other directive: emit the '#' and keep tokenizing the
+          // body, so macro-hidden calls stay visible to the rules.
+          push(TokKind::kPunct, "#");
+          ++pos_;
+        }
+        at_line_start_ = false;
+        continue;
+      }
+      at_line_start_ = false;
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void push(TokKind kind, std::string text) {
+    out_.tokens.push_back({kind, std::move(text), line_});
+  }
+
+  void line_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        {start_line, std::string(src_.substr(begin, pos_ - begin))});
+  }
+
+  void block_comment() {
+    const int start_line = line_;
+    pos_ += 2;
+    std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        out_.comments.push_back(
+            {start_line, std::string(src_.substr(begin, pos_ - begin))});
+        pos_ += 2;
+        return;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    // Unterminated: keep what we saw.
+    out_.comments.push_back(
+        {start_line, std::string(src_.substr(begin, pos_ - begin))});
+  }
+
+  /// Consume `#include "path"` / `#include <path>` lines whole.  Quoted
+  /// paths are recorded (layering edges); angled ones are dropped so
+  /// their contents never masquerade as code tokens.  Returns false if
+  /// this '#' starts some other directive.
+  bool include_directive() {
+    std::size_t p = pos_ + 1;
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    static constexpr std::string_view kWord = "include";
+    if (src_.substr(p, kWord.size()) != kWord) return false;
+    p += kWord.size();
+    while (p < src_.size() && (src_[p] == ' ' || src_[p] == '\t')) ++p;
+    if (p < src_.size() && src_[p] == '"') {
+      std::size_t begin = ++p;
+      while (p < src_.size() && src_[p] != '"' && src_[p] != '\n') ++p;
+      out_.includes.push_back(
+          {line_, std::string(src_.substr(begin, p - begin))});
+    }
+    // Skip to end of line either way (also for <...> includes).
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    return true;
+  }
+
+  void identifier() {
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    // Raw string literal prefixes: R"( ... )", also u8R/uR/UR/LR.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      raw_string_literal();
+      return;
+    }
+    push(TokKind::kIdentifier, std::move(text));
+  }
+
+  void number() {
+    std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+          c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, std::string(src_.substr(begin, pos_ - begin)));
+  }
+
+  void string_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    out_.tokens.push_back({TokKind::kString,
+                           std::string(src_.substr(begin, pos_ - begin)),
+                           start_line});
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+  }
+
+  void raw_string_literal() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::size_t dbegin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    std::string delim;
+    delim.push_back(')');
+    delim.append(src_.substr(dbegin, pos_ - dbegin));
+    delim.push_back('"');
+    if (pos_ < src_.size()) ++pos_;  // '('
+    std::size_t begin = pos_;
+    std::size_t end = src_.find(delim, pos_);
+    if (end == std::string_view::npos) end = src_.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    out_.tokens.push_back({TokKind::kString,
+                           std::string(src_.substr(begin, end - begin)),
+                           start_line});
+    pos_ = end == src_.size() ? end : end + delim.size();
+  }
+
+  void char_literal() {
+    ++pos_;  // opening quote
+    std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    push(TokKind::kChar, std::string(src_.substr(begin, pos_ - begin)));
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+  }
+
+  void punct() {
+    // Multi-char units the rules care about; everything else is 1 char.
+    if (peek(0) == ':' && peek(1) == ':') {
+      push(TokKind::kPunct, "::");
+      pos_ += 2;
+      return;
+    }
+    if (peek(0) == '-' && peek(1) == '>') {
+      push(TokKind::kPunct, "->");
+      pos_ += 2;
+      return;
+    }
+    push(TokKind::kPunct, std::string(1, src_[pos_]));
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace ds::lint

@@ -1,0 +1,61 @@
+// The distsketch-lint lexer: dependency-free C++ tokenization good
+// enough for the repo's own lint rules.
+//
+// This is NOT a compiler front end.  It produces a flat token stream
+// (identifiers, numbers, string/char literals, punctuation) with line
+// numbers, plus three side channels the rules need:
+//
+//   * comments       — so `// distsketch-lint: allow(...)` suppressions
+//                      can be located, and so banned identifiers that
+//                      only appear in prose never fire;
+//   * quoted includes — the edges of the layering DAG;
+//   * nothing else.  Preprocessor lines other than `#include` are
+//     tokenized normally, so a banned call hidden in a macro body is
+//     still visible to the rules.
+//
+// The deliberate scope keeps the linter runnable in the gcc-only
+// reproduction container: no libclang, no compile database, just text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ds::lint {
+
+enum class TokKind {
+  kIdentifier,
+  kNumber,
+  kString,  // string literal (text is the unquoted value)
+  kChar,    // character literal
+  kPunct,   // one operator/punctuator; "::", "->", "." kept as units
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;        // line the comment starts on
+  std::string text;    // without the // or /* */ markers
+};
+
+struct IncludeDirective {
+  int line = 0;
+  std::string path;    // the quoted path; angled includes are dropped
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenize one translation unit.  Never throws on malformed input —
+/// the worst case is a shorter token stream, which makes rules
+/// conservatively quiet rather than noisy.
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+}  // namespace ds::lint

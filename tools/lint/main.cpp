@@ -1,0 +1,105 @@
+// distsketch-lint CLI.
+//
+//   distsketch_lint [--root DIR] [--json PATH]
+//                   [--layers FILE] [--owners FILE]
+//
+// Lints the first-party sources under --root (default: the current
+// directory) against the repo's model invariants and exits nonzero on
+// any violation or config error.  --json additionally writes the
+// machine-readable report (lint_report.json in CI).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+
+namespace {
+
+[[nodiscard]] std::string slurp(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = in.good();
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void usage(std::ostream& out) {
+  out << "usage: distsketch_lint [--root DIR] [--json PATH]\n"
+         "                       [--layers FILE] [--owners FILE]\n"
+         "Enforces the distributed-sketching model invariants statically\n"
+         "(docs/STATIC_ANALYSIS.md).  Exits 1 on any violation.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  std::string layers_path;
+  std::string owners_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "distsketch_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--json") {
+      json_path = next("--json");
+    } else if (arg == "--layers") {
+      layers_path = next("--layers");
+    } else if (arg == "--owners") {
+      owners_path = next("--owners");
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "distsketch_lint: unknown argument " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  // Manifests default to <root>/tools/lint/*.toml — the committed ones.
+  if (layers_path.empty()) layers_path = root + "/tools/lint/layers.toml";
+  if (owners_path.empty()) owners_path = root + "/tools/lint/obs_owners.toml";
+
+  bool layers_ok = false;
+  bool owners_ok = false;
+  const std::string layers_toml = slurp(layers_path, layers_ok);
+  const std::string owners_toml = slurp(owners_path, owners_ok);
+  if (!layers_ok || !owners_ok) {
+    std::cerr << "distsketch_lint: cannot read manifest "
+              << (!layers_ok ? layers_path : owners_path) << "\n";
+    return 2;
+  }
+
+  const std::vector<ds::lint::SourceFile> files =
+      ds::lint::collect_sources(root);
+  if (files.empty()) {
+    std::cerr << "distsketch_lint: no sources found under " << root << "\n";
+    return 2;
+  }
+
+  const ds::lint::Report report =
+      ds::lint::analyze(files, layers_toml, owners_toml);
+  ds::lint::write_human_report(std::cout, report);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    ds::lint::write_json_report(out, report, root);
+    if (!out.good()) {
+      std::cerr << "distsketch_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+  }
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,237 @@
+#include "manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace ds::lint {
+
+namespace {
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+/// Strip a trailing # comment that is not inside a quoted string.
+[[nodiscard]] std::string strip_comment(const std::string& line) {
+  bool in_quote = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '"') in_quote = !in_quote;
+    if (line[i] == '#' && !in_quote) return line.substr(0, i);
+  }
+  return line;
+}
+
+/// Parse one value token: "quoted" or bare.  Returns false on errors.
+bool parse_string(const std::string& raw, std::string& out) {
+  std::string v = trim(raw);
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    out = v.substr(1, v.size() - 2);
+    return true;
+  }
+  if (v.empty()) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Toml parse_toml(const std::string& text, ManifestError& error) {
+  Toml out;
+  std::string section;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        error = {lineno, "unterminated section header"};
+        return {};
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      if (section.empty()) {
+        error = {lineno, "empty section name"};
+        return {};
+      }
+      out[section];  // sections may be empty
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = {lineno, "expected `key = value`: " + line};
+      return {};
+    }
+    std::string key;
+    if (!parse_string(line.substr(0, eq), key)) {
+      error = {lineno, "bad key"};
+      return {};
+    }
+    std::string value = trim(line.substr(eq + 1));
+    std::vector<std::string> items;
+    if (!value.empty() && value.front() == '[') {
+      if (value.back() != ']') {
+        error = {lineno, "unterminated array (arrays must be one line)"};
+        return {};
+      }
+      std::string body = value.substr(1, value.size() - 2);
+      std::size_t pos = 0;
+      while (pos <= body.size()) {
+        std::size_t comma = body.find(',', pos);
+        std::string item = body.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos);
+        if (!trim(item).empty()) {
+          std::string parsed;
+          if (!parse_string(item, parsed)) {
+            error = {lineno, "bad array element"};
+            return {};
+          }
+          items.push_back(parsed);
+        }
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else {
+      std::string parsed;
+      if (!parse_string(value, parsed)) {
+        error = {lineno, "bad value for key " + key};
+        return {};
+      }
+      items.push_back(parsed);
+    }
+    out[section][key] = std::move(items);
+  }
+  return out;
+}
+
+bool LayerManifest::allows(const std::string& from,
+                           const std::string& to) const {
+  auto it = allowed.find(from);
+  if (it == allowed.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), to) !=
+         it->second.end();
+}
+
+bool LayerManifest::is_interface(const std::string& include_path) const {
+  return std::find(interfaces.begin(), interfaces.end(), include_path) !=
+         interfaces.end();
+}
+
+std::string LayerManifest::find_cycle() const {
+  // Iterative DFS with colors over the allowed-edge relation.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::string cycle;
+
+  // Recursive lambda via explicit stack of (node, next-edge-index).
+  for (const auto& [start, deps_unused] : allowed) {
+    (void)deps_unused;
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> frames{{start, 0}};
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, idx] = frames.back();
+      const auto it = allowed.find(node);
+      const std::vector<std::string>& deps =
+          it == allowed.end() ? std::vector<std::string>{} : it->second;
+      if (idx >= deps.size()) {
+        color[node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string next = deps[idx++];
+      if (allowed.count(next) == 0) continue;  // unknown dep: layering rule
+      if (color[next] == 1) {
+        std::ostringstream os;
+        auto at = std::find(stack.begin(), stack.end(), next);
+        for (; at != stack.end(); ++at) os << *at << " -> ";
+        os << next;
+        return os.str();
+      }
+      if (color[next] == 0) {
+        color[next] = 1;
+        stack.push_back(next);
+        frames.emplace_back(next, 0);
+      }
+    }
+  }
+  return cycle;
+}
+
+std::string OwnerManifest::owner_of(const std::string& series) const {
+  std::string best_prefix;
+  std::string best_owner;
+  for (const auto& [prefix, owner] : owner_by_prefix) {
+    if (series.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_prefix.size()) {
+      best_prefix = prefix;
+      best_owner = owner;
+    }
+  }
+  return best_owner;
+}
+
+LayerManifest load_layer_manifest(const std::string& text,
+                                  ManifestError& error) {
+  LayerManifest m;
+  const Toml toml = parse_toml(text, error);
+  if (!error.message.empty()) return m;
+  auto layers = toml.find("layers");
+  if (layers == toml.end()) {
+    error = {0, "layers.toml: missing [layers] section"};
+    return m;
+  }
+  for (const auto& [layer, deps] : layers->second) m.allowed[layer] = deps;
+  auto interfaces = toml.find("interfaces");
+  if (interfaces != toml.end()) {
+    auto headers = interfaces->second.find("headers");
+    if (headers != interfaces->second.end()) m.interfaces = headers->second;
+  }
+  // Every dep must itself be a declared layer.
+  for (const auto& [layer, deps] : m.allowed) {
+    for (const std::string& dep : deps) {
+      if (m.allowed.count(dep) == 0) {
+        error = {0, "layers.toml: layer `" + layer + "` depends on `" + dep +
+                        "`, which is not a declared layer"};
+        return m;
+      }
+    }
+  }
+  const std::string cycle = m.find_cycle();
+  if (!cycle.empty()) {
+    error = {0, "layers.toml: allowed-edge relation has a cycle: " + cycle};
+  }
+  return m;
+}
+
+OwnerManifest load_owner_manifest(const std::string& text,
+                                  ManifestError& error) {
+  OwnerManifest m;
+  const Toml toml = parse_toml(text, error);
+  if (!error.message.empty()) return m;
+  auto owners = toml.find("owners");
+  if (owners == toml.end()) {
+    error = {0, "obs_owners.toml: missing [owners] section"};
+    return m;
+  }
+  for (const auto& [prefix, files] : owners->second) {
+    if (files.size() != 1) {
+      error = {0, "obs_owners.toml: prefix `" + prefix +
+                      "` must map to exactly one owner file"};
+      return m;
+    }
+    m.owner_by_prefix[prefix] = files.front();
+  }
+  return m;
+}
+
+}  // namespace ds::lint

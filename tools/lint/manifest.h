@@ -1,0 +1,71 @@
+// Committed manifests that drive the data-driven lint rules.
+//
+//   * layers.toml     — the allowed include DAG between src/ layers,
+//                       plus "interface" headers exempt from layering
+//                       (pure type definitions, e.g. model/protocol.h).
+//   * obs_owners.toml — the single owner file of every metric-series
+//                       name prefix (docs/OBSERVABILITY.md).
+//
+// The parser accepts the small TOML subset those files use: comments,
+// `[section]` headers, `key = "string"`, `key = ["a", "b"]`.  Keys may
+// be bare or quoted (series prefixes contain dots).  Anything else is
+// a hard error — a malformed manifest must fail the lint run, not
+// silently disable a rule.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ds::lint {
+
+struct ManifestError {
+  int line = 0;
+  std::string message;
+};
+
+/// One parsed section: key -> list of values (a plain string value is a
+/// one-element list).  Section and key order is preserved by the maps'
+/// lexicographic ordering, which is all the rules need.
+using Section = std::map<std::string, std::vector<std::string>>;
+using Toml = std::map<std::string, Section>;
+
+/// Parse the TOML subset.  On failure returns an empty map and fills
+/// `error`.
+[[nodiscard]] Toml parse_toml(const std::string& text, ManifestError& error);
+
+/// The layering manifest: for each layer (a directory under src/), the
+/// set of layers it may include, plus interface headers any layer may
+/// include.
+struct LayerManifest {
+  std::map<std::string, std::vector<std::string>> allowed;  // layer -> deps
+  std::vector<std::string> interfaces;                      // "dir/file.h"
+
+  [[nodiscard]] bool knows(const std::string& layer) const {
+    return allowed.count(layer) != 0;
+  }
+  [[nodiscard]] bool allows(const std::string& from,
+                            const std::string& to) const;
+  [[nodiscard]] bool is_interface(const std::string& include_path) const;
+
+  /// Verify the allowed-edge relation is acyclic (interface headers are
+  /// type-only and excluded).  Returns the cycle as "a -> b -> a" text,
+  /// or empty when the manifest is a DAG.
+  [[nodiscard]] std::string find_cycle() const;
+};
+
+/// The obs ownership manifest: series-name prefix -> owner file.
+/// Longest-prefix match decides the owner.
+struct OwnerManifest {
+  std::map<std::string, std::string> owner_by_prefix;
+
+  /// Owner file for `series`, or empty when no prefix matches.
+  [[nodiscard]] std::string owner_of(const std::string& series) const;
+};
+
+[[nodiscard]] LayerManifest load_layer_manifest(const std::string& text,
+                                                ManifestError& error);
+[[nodiscard]] OwnerManifest load_owner_manifest(const std::string& text,
+                                                ManifestError& error);
+
+}  // namespace ds::lint

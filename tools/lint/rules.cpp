@@ -1,0 +1,470 @@
+#include "rules.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string_view>
+
+namespace ds::lint {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+[[nodiscard]] bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+[[nodiscard]] bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+/// tokens[i - back], or a sentinel punct when out of range.
+[[nodiscard]] const Token& at(const Tokens& toks, std::size_t i,
+                              std::ptrdiff_t offset) {
+  static const Token sentinel{TokKind::kPunct, "", 0};
+  const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + offset;
+  if (j < 0 || j >= static_cast<std::ptrdiff_t>(toks.size())) return sentinel;
+  return toks[static_cast<std::size_t>(j)];
+}
+
+// -------------------------------------------------------------------
+// Scopes.  Tests are exempt from charge-site and determinism (they
+// construct CommStats and scratch series on purpose); bench is NOT
+// exempt — benchmark tables are empirical claims.
+// -------------------------------------------------------------------
+
+[[nodiscard]] bool charge_site_in_scope(const std::string& path) {
+  if (path == "src/engine/charge.h") return false;  // the one seam
+  return starts_with(path, "src/") || starts_with(path, "tools/") ||
+         starts_with(path, "bench/");
+}
+
+[[nodiscard]] bool determinism_in_scope(const std::string& path) {
+  if (path == "src/util/rng.h" || path == "src/util/rng.cpp") return false;
+  return starts_with(path, "src/") || starts_with(path, "tools/") ||
+         starts_with(path, "bench/") || starts_with(path, "examples/");
+}
+
+[[nodiscard]] bool unordered_in_scope(const std::string& path) {
+  return starts_with(path, "src/model/") || starts_with(path, "src/engine/") ||
+         starts_with(path, "src/sketch/") ||
+         starts_with(path, "src/lowerbound/");
+}
+
+[[nodiscard]] bool obs_owner_in_scope(const std::string& path) {
+  if (starts_with(path, "src/obs/")) return false;  // the registry itself
+  return starts_with(path, "src/") || starts_with(path, "tools/");
+}
+
+// -------------------------------------------------------------------
+// charge-site: CommStats::record only inside engine::ChargeSheet.
+// -------------------------------------------------------------------
+
+void rule_charge_site(const SourceFile& file, const Tokens& toks,
+                      std::vector<Finding>& out) {
+  if (!charge_site_in_scope(file.path)) return;
+
+  // Names declared in this file with type (model::)CommStats — a local
+  // type-inference good enough for the receiver of a .record() call.
+  std::set<std::string> commstats_names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_ident(toks[i], "CommStats")) continue;
+    if (is_punct(at(toks, i, 1), "::")) {
+      if (is_ident(at(toks, i, 2), "record")) {
+        out.push_back({kRuleChargeSite, file.path, toks[i].line,
+                       "direct CommStats::record — sketch bits may only be "
+                       "charged through engine::ChargeSheet "
+                       "(src/engine/charge.h)"});
+      }
+      continue;
+    }
+    // Declaration shapes: `CommStats x`, `CommStats& x`, `CommStats* x`,
+    // `const CommStats x`.  `CommStats f(` declares a function; skip.
+    std::size_t j = i + 1;
+    while (j < toks.size() &&
+           (is_punct(toks[j], "&") || is_punct(toks[j], "*") ||
+            is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdentifier &&
+        !is_punct(at(toks, j, 1), "(")) {
+      commstats_names.insert(toks[j].text);
+    }
+  }
+
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        commstats_names.count(toks[i].text) == 0) {
+      continue;
+    }
+    if ((is_punct(toks[i + 1], ".") || is_punct(toks[i + 1], "->")) &&
+        is_ident(toks[i + 2], "record") && is_punct(toks[i + 3], "(")) {
+      out.push_back({kRuleChargeSite, file.path, toks[i].line,
+                     "`" + toks[i].text +
+                         ".record(...)` charges sketch bits outside "
+                         "engine::ChargeSheet — route it through "
+                         "charge_round (src/engine/charge.h)"});
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// determinism: banned randomness/clock sources + arithmetic seeds.
+// -------------------------------------------------------------------
+
+void rule_determinism(const SourceFile& file, const Tokens& toks,
+                      std::vector<Finding>& out) {
+  if (!determinism_in_scope(file.path)) return;
+
+  static const std::set<std::string> kBannedTypes = {
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine",
+      "knuth_b",       "ranlux24",     "ranlux48",
+      "ranlux24_base", "ranlux48_base", "system_clock"};
+  static const std::set<std::string> kBannedCalls = {
+      "rand",    "srand",   "rand_r",       "drand48",
+      "lrand48", "mrand48", "gettimeofday", "clock_gettime"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier) continue;
+    const Token& prev = at(toks, i, -1);
+    const bool member = is_punct(prev, ".") || is_punct(prev, "->");
+
+    if (kBannedTypes.count(t.text) != 0 && !member) {
+      out.push_back({kRuleDeterminism, file.path, t.line,
+                     "`" + t.text +
+                         "` is a nondeterministic source — all randomness "
+                         "flows through util::Rng / util::derive_seed "
+                         "(src/util/rng.h)"});
+      continue;
+    }
+
+    if (kBannedCalls.count(t.text) != 0 && !member &&
+        is_punct(at(toks, i, 1), "(")) {
+      // Allow Foo::rand(...) for non-std Foo; ban std::rand and ::rand.
+      if (is_punct(prev, "::") && !is_ident(at(toks, i, -2), "std") &&
+          at(toks, i, -2).kind == TokKind::kIdentifier) {
+        continue;
+      }
+      out.push_back({kRuleDeterminism, file.path, t.line,
+                     "`" + t.text +
+                         "(...)` is a nondeterministic source — use "
+                         "util::Rng seeded via util::derive_seed"});
+      continue;
+    }
+
+    // time(nullptr) / time(NULL) / time(0): the classic seed cheat.
+    if (t.text == "time" && !member && is_punct(at(toks, i, 1), "(")) {
+      if (is_punct(prev, "::") && !is_ident(at(toks, i, -2), "std") &&
+          at(toks, i, -2).kind == TokKind::kIdentifier) {
+        continue;
+      }
+      const Token& arg = at(toks, i, 2);
+      const bool null_arg = is_ident(arg, "nullptr") ||
+                            is_ident(arg, "NULL") ||
+                            (arg.kind == TokKind::kNumber && arg.text == "0");
+      if (null_arg && is_punct(at(toks, i, 3), ")")) {
+        out.push_back({kRuleDeterminism, file.path, t.line,
+                       "`time(" + arg.text +
+                           ")` seeds from the wall clock — seeds are "
+                           "experiment parameters (util::derive_seed)"});
+      }
+      continue;
+    }
+
+    // Rng(seed + i) / Rng rng(seed ^ i): arithmetic seed derivation
+    // collides across trials; util::derive_seed is the one mapping from
+    // (master, index) to independent seeds (docs/PARALLELISM.md).
+    if (t.text == "Rng" && !member) {
+      std::size_t open = 0;
+      if (is_punct(at(toks, i, 1), "(")) {
+        open = i + 1;
+      } else if (at(toks, i, 1).kind == TokKind::kIdentifier &&
+                 is_punct(at(toks, i, 2), "(")) {
+        open = i + 2;
+      } else {
+        continue;
+      }
+      int depth = 0;
+      for (std::size_t j = open; j < toks.size(); ++j) {
+        if (is_punct(toks[j], "(")) ++depth;
+        if (is_punct(toks[j], ")") && --depth == 0) break;
+        if (depth == 1 &&
+            (is_punct(toks[j], "+") || is_punct(toks[j], "^") ||
+             is_punct(toks[j], "%"))) {
+          out.push_back(
+              {kRuleDeterminism, file.path, toks[j].line,
+               "arithmetic seed derivation in Rng(...) — two trials can "
+               "collide or correlate; use util::derive_seed(master, index)"});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// unordered-iteration: range-for over unordered containers in the
+// layers whose iteration order reaches sketch bits.
+// -------------------------------------------------------------------
+
+void rule_unordered_iteration(const SourceFile& file, const Tokens& toks,
+                              std::vector<Finding>& out) {
+  if (!unordered_in_scope(file.path)) return;
+
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+
+  // Pass 1: names declared with an unordered container type.
+  std::set<std::string> unordered_names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        kUnordered.count(toks[i].text) == 0 ||
+        !is_punct(toks[i + 1], "<")) {
+      continue;
+    }
+    int angle = 0;
+    int paren = 0;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(")) ++paren;
+      if (is_punct(toks[j], ")")) --paren;
+      if (paren != 0) continue;
+      if (is_punct(toks[j], "<")) ++angle;
+      if (is_punct(toks[j], ">") && --angle == 0) break;
+    }
+    if (j >= toks.size()) continue;
+    std::size_t k = j + 1;
+    while (k < toks.size() &&
+           (is_punct(toks[k], "&") || is_ident(toks[k], "const"))) {
+      ++k;
+    }
+    if (k < toks.size() && toks[k].kind == TokKind::kIdentifier &&
+        !is_punct(at(toks, k, 1), "(")) {
+      unordered_names.insert(toks[k].text);
+    }
+  }
+  if (unordered_names.empty()) return;
+
+  // Pass 2: range-for whose range expression names one of them.
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (is_punct(toks[j], "(")) ++depth;
+      if (is_punct(toks[j], ")") && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && colon == 0 && is_punct(toks[j], ":")) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;  // not a range-for
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == TokKind::kIdentifier &&
+          unordered_names.count(toks[j].text) != 0) {
+        out.push_back(
+            {kRuleUnorderedIteration, file.path, toks[j].line,
+             "range-for over unordered container `" + toks[j].text +
+                 "` — bucket order is implementation-defined and leaks "
+                 "into sketch bits; iterate a sorted copy or use std::map"});
+        break;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// layering: quoted cross-layer includes must be manifest edges.
+// -------------------------------------------------------------------
+
+void rule_layering(const SourceFile& file, const LexedFile& lx,
+                   const LayerManifest& layers,
+                   std::vector<Finding>& out) {
+  if (!starts_with(file.path, "src/")) return;
+  const std::size_t slash = file.path.find('/', 4);
+  if (slash == std::string::npos) return;  // src/file.h — layerless
+  const std::string layer = file.path.substr(4, slash - 4);
+  if (!layers.knows(layer)) {
+    out.push_back({kRuleLayering, file.path, 1,
+                   "directory src/" + layer +
+                       "/ is not a declared layer in tools/lint/layers.toml "
+                       "— add it with its allowed dependencies"});
+    return;
+  }
+  for (const IncludeDirective& inc : lx.includes) {
+    const std::size_t d = inc.path.find('/');
+    if (d == std::string::npos) continue;  // same-directory include
+    const std::string target = inc.path.substr(0, d);
+    if (target == layer) continue;
+    if (layers.is_interface(inc.path)) continue;
+    if (!layers.knows(target)) {
+      out.push_back({kRuleLayering, file.path, inc.line,
+                     "#include \"" + inc.path + "\": `" + target +
+                         "` is not a declared layer in layers.toml"});
+      continue;
+    }
+    if (!layers.allows(layer, target)) {
+      out.push_back({kRuleLayering, file.path, inc.line,
+                     "#include \"" + inc.path + "\": layering back-edge " +
+                         layer + " -> " + target +
+                         " (not an allowed dependency in layers.toml)"});
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// obs-owner: series registration only in the owner file.
+// -------------------------------------------------------------------
+
+void rule_obs_owner(const SourceFile& file, const Tokens& toks,
+                    const OwnerManifest& owners, std::vector<Finding>& out) {
+  if (!obs_owner_in_scope(file.path)) return;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdentifier ||
+        (toks[i].text != "counter" && toks[i].text != "histogram")) {
+      continue;
+    }
+    if (!is_punct(at(toks, i, -1), "::") || !is_ident(at(toks, i, -2), "obs")) {
+      continue;
+    }
+    if (!is_punct(toks[i + 1], "(")) continue;
+    const Token& arg = toks[i + 2];
+    if (arg.kind != TokKind::kString) {
+      out.push_back({kRuleObsOwner, file.path, toks[i].line,
+                     "obs::" + toks[i].text +
+                         "(...) with a non-literal series name — ownership "
+                         "cannot be verified statically; register with a "
+                         "string literal"});
+      continue;
+    }
+    const std::string owner = owners.owner_of(arg.text);
+    if (owner.empty()) {
+      out.push_back({kRuleObsOwner, file.path, arg.line,
+                     "series \"" + arg.text +
+                         "\" matches no owner prefix in "
+                         "tools/lint/obs_owners.toml — declare its owner"});
+    } else if (owner != file.path) {
+      out.push_back({kRuleObsOwner, file.path, arg.line,
+                     "series \"" + arg.text + "\" is owned by " + owner +
+                         " (tools/lint/obs_owners.toml); registering it "
+                         "here re-creates PR 5's duplicate-registration "
+                         "drift"});
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// Suppressions: `// distsketch-lint: allow(<rule>) -- <why>`.
+// -------------------------------------------------------------------
+
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  std::string justification;
+  bool used = false;
+};
+
+void parse_suppressions(const SourceFile& file,
+                        const std::vector<Comment>& comments,
+                        std::vector<Suppression>& sups,
+                        std::vector<Finding>& bad) {
+  static const std::set<std::string> kKnownRules = {
+      kRuleChargeSite, kRuleDeterminism, kRuleUnorderedIteration,
+      kRuleLayering, kRuleObsOwner};
+  static constexpr std::string_view kMarker = "distsketch-lint:";
+  for (const Comment& c : comments) {
+    // The marker must open the comment (modulo whitespace): prose or doc
+    // examples that merely mention the syntax are not suppressions.
+    std::size_t m = 0;
+    while (m < c.text.size() && (c.text[m] == ' ' || c.text[m] == '\t')) ++m;
+    if (c.text.compare(m, kMarker.size(), kMarker) != 0) continue;
+    std::string rest = c.text.substr(m + kMarker.size());
+    const std::size_t open = rest.find("allow(");
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos : rest.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      bad.push_back({kRuleBadSuppression, file.path, c.line,
+                     "malformed suppression — expected `distsketch-lint: "
+                     "allow(<rule>) -- <why>`"});
+      continue;
+    }
+    const std::string rule = rest.substr(open + 6, close - open - 6);
+    if (kKnownRules.count(rule) == 0) {
+      bad.push_back({kRuleBadSuppression, file.path, c.line,
+                     "suppression names unknown rule `" + rule + "`"});
+      continue;
+    }
+    std::string why;
+    const std::size_t dash = rest.find("--", close);
+    if (dash != std::string::npos) {
+      std::size_t b = dash + 2;
+      while (b < rest.size() && (rest[b] == ' ' || rest[b] == '\t')) ++b;
+      why = rest.substr(b);
+      while (!why.empty() && (why.back() == ' ' || why.back() == '\t')) {
+        why.pop_back();
+      }
+    }
+    if (why.empty()) {
+      bad.push_back({kRuleBadSuppression, file.path, c.line,
+                     "suppression for `" + rule +
+                         "` lacks a justification — write `allow(" + rule +
+                         ") -- <why this is sound>`"});
+      continue;  // an unjustified allow() does not suppress
+    }
+    sups.push_back({c.line, rule, why, false});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(const SourceFile& file,
+                               const RuleConfig& config) {
+  const LexedFile lx = lex(file.content);
+
+  std::vector<Finding> findings;
+  rule_charge_site(file, lx.tokens, findings);
+  rule_determinism(file, lx.tokens, findings);
+  rule_unordered_iteration(file, lx.tokens, findings);
+  rule_layering(file, lx, config.layers, findings);
+  rule_obs_owner(file, lx.tokens, config.owners, findings);
+
+  std::vector<Suppression> sups;
+  std::vector<Finding> bad;
+  parse_suppressions(file, lx.comments, sups, bad);
+
+  for (Finding& f : findings) {
+    for (Suppression& s : sups) {
+      if (s.rule == f.rule && (s.line == f.line || s.line == f.line - 1)) {
+        f.suppressed = true;
+        f.justification = s.justification;
+        s.used = true;
+        break;
+      }
+    }
+  }
+  for (const Suppression& s : sups) {
+    if (!s.used) {
+      bad.push_back({kRuleBadSuppression, file.path, s.line,
+                     "suppression for `" + s.rule +
+                         "` matches no finding on this or the next line — "
+                         "remove it"});
+    }
+  }
+  findings.insert(findings.end(), bad.begin(), bad.end());
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+}  // namespace ds::lint

@@ -1,0 +1,75 @@
+// The four distsketch-lint rule families (docs/STATIC_ANALYSIS.md):
+//
+//   charge-site          CommStats::record for sketch bits may appear
+//                        only inside engine::ChargeSheet
+//                        (src/engine/charge.h) — PR 5's single-seam
+//                        invariant, now enforced for all code paths.
+//   determinism          no std::random_device / std::rand / time(...)
+//                        / system_clock / mt19937-family engines
+//                        outside src/util/rng.*, and no arithmetic
+//                        seed derivation (`Rng(seed + i)`) — seeds
+//                        flow through util::derive_seed.
+//   unordered-iteration  no range-for over unordered_{map,set} in
+//                        src/{model,engine,sketch,lowerbound}: bucket
+//                        order is implementation-defined and would
+//                        leak into sketch bits.
+//   layering             quoted includes between src/ layers must be
+//                        edges of the DAG committed in
+//                        tools/lint/layers.toml.
+//   obs-owner            obs::counter("x")/obs::histogram("x")
+//                        registration only in the series' owner file
+//                        per tools/lint/obs_owners.toml.
+//
+// Findings can be suppressed with a justification-required comment on
+// the same line or the line above:
+//
+//   // distsketch-lint: allow(<rule>) -- <why this is sound>
+//
+// A suppression without the `-- why` text is itself a finding
+// (bad-suppression) and does not suppress.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "manifest.h"
+
+namespace ds::lint {
+
+inline constexpr const char* kRuleChargeSite = "charge-site";
+inline constexpr const char* kRuleDeterminism = "determinism";
+inline constexpr const char* kRuleUnorderedIteration = "unordered-iteration";
+inline constexpr const char* kRuleLayering = "layering";
+inline constexpr const char* kRuleObsOwner = "obs-owner";
+inline constexpr const char* kRuleBadSuppression = "bad-suppression";
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string message;
+  bool suppressed = false;        // justified allow() comment found
+  std::string justification{};    // the `-- why` text when suppressed
+};
+
+/// A source file fed to the analysis: repo-relative path + content.
+/// Virtual (path, content) pairs let the fixture tests run without
+/// touching the real tree.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct RuleConfig {
+  LayerManifest layers;
+  OwnerManifest owners;
+};
+
+/// Run every rule over one file and apply suppression comments.
+/// Returned findings include suppressed ones (flagged), so the report
+/// can show both.
+[[nodiscard]] std::vector<Finding> run_rules(const SourceFile& file,
+                                             const RuleConfig& config);
+
+}  // namespace ds::lint
