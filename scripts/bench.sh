@@ -21,11 +21,17 @@
 # without a SketchArena. Exits nonzero if the pooled steady state still
 # allocates per vertex or its sketches diverge from the unpooled run.
 #
+# Also emits BENCH_shard.json (schema in docs/WIRE.md): the blocking
+# single-referee session baseline vs the epoll referee's absorb rate at
+# 1/2/4 shards, with the same payload_matches_sim certification. Exits
+# nonzero only on a correctness divergence, never on a slow run.
+#
 # Usage:
 #   scripts/bench.sh                 # writes ./BENCH_parallel.json +
 #                                    #   ./BENCH_wire.json + ./BENCH_engine.json
+#                                    #   + ./BENCH_shard.json
 #   scripts/bench.sh out.json        # custom BENCH_parallel.json path
-#   scripts/bench.sh out.json wire.json engine.json   # custom paths
+#   scripts/bench.sh out.json wire.json engine.json shard.json  # custom paths
 #   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +39,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_parallel.json}"
 WIRE_OUT="${2:-BENCH_wire.json}"
 ENGINE_OUT="${3:-BENCH_engine.json}"
+SHARD_OUT="${4:-BENCH_shard.json}"
 BUILD_DIR=build-release
 
 # Never pass -G at a configured cache: CMake refuses to switch generators
@@ -46,8 +53,9 @@ elif command -v ninja > /dev/null 2>&1; then
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine bench_shard
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
 "$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"
 "$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT"
+"$BUILD_DIR"/bench/bench_shard "$SHARD_OUT"

@@ -164,14 +164,10 @@ template <typename Output>
 /// identical shards — the referee does not need to be told the layout.
 [[nodiscard]] inline std::vector<graph::Vertex> shard_vertices(
     graph::Vertex n, std::size_t players, std::size_t index) {
-  const std::size_t base = n / players;
-  const std::size_t extra = n % players;
-  const std::size_t begin =
-      index * base + std::min<std::size_t>(index, extra);
-  const std::size_t size = base + (index < extra ? 1 : 0);
-  std::vector<graph::Vertex> owned(size);
-  for (std::size_t i = 0; i < size; ++i) {
-    owned[i] = static_cast<graph::Vertex>(begin + i);
+  const auto [lo, hi] = shard_range(n, players, index);
+  std::vector<graph::Vertex> owned(hi - lo);
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    owned[i] = static_cast<graph::Vertex>(lo + i);
   }
   return owned;
 }

@@ -13,16 +13,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Per-link poll slice while a round is collecting: long enough to avoid
-/// busy-spinning, short enough that a referee multiplexing many links
-/// stays responsive on all of them.
+/// Upper bound on one link's poll slice while a round is collecting:
+/// long enough to avoid busy-spinning, short enough that a referee
+/// multiplexing many links stays responsive on all of them.  Near the
+/// deadline the slice shrinks further — see fair_poll_slice.
 constexpr std::chrono::milliseconds kPollSlice{20};
 
-std::chrono::milliseconds slice_until(Clock::time_point deadline) {
+std::chrono::milliseconds slice_until(Clock::time_point deadline,
+                                      std::size_t live_links) {
   const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
       deadline - Clock::now());
-  if (left.count() <= 0) return std::chrono::milliseconds(0);
-  return std::min(left, kPollSlice);
+  return fair_poll_slice(left, live_links);
 }
 
 /// Session-phase counters and timings.  The per-sketch `sketch_bits`
@@ -61,6 +62,42 @@ ServiceMetrics& metrics() {
 
 }  // namespace
 
+std::pair<graph::Vertex, graph::Vertex> shard_range(
+    graph::Vertex n, std::size_t parts, std::size_t index) noexcept {
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin =
+      index * base + std::min<std::size_t>(index, extra);
+  const std::size_t size = base + (index < extra ? 1 : 0);
+  return {static_cast<graph::Vertex>(begin),
+          static_cast<graph::Vertex>(begin + size)};
+}
+
+FrameVerdict classify_sketch_frame(const wire::FrameHeader& h,
+                                   std::uint32_t protocol_id,
+                                   std::uint32_t round,
+                                   graph::Vertex n) noexcept {
+  if (h.type != wire::FrameType::kSketch) return FrameVerdict::kBadType;
+  if (h.protocol_id != protocol_id) return FrameVerdict::kBadProtocol;
+  if (h.round != round) return FrameVerdict::kBadRound;
+  if (h.vertex >= n) return FrameVerdict::kBadVertex;
+  return FrameVerdict::kAccept;
+}
+
+std::chrono::milliseconds fair_poll_slice(std::chrono::milliseconds left,
+                                          std::size_t live_links) noexcept {
+  if (left.count() <= 0) return std::chrono::milliseconds(0);
+  // The pre-fix bug: a fixed min(left, 20ms) slice let one slow link eat
+  // the whole remainder near the deadline while another link's frames
+  // sat ready.  Dividing by the live-link count makes a full pass over
+  // the links consume at most the remainder it started with, so every
+  // link is polled at least once more before the deadline.
+  const auto share = std::chrono::milliseconds(
+      left.count() / static_cast<std::int64_t>(std::max<std::size_t>(
+                         live_links, 1)));
+  return std::clamp(share, std::chrono::milliseconds(1), kPollSlice);
+}
+
 CollectedRound collect_sketch_round(
     std::span<const std::unique_ptr<wire::Link>> links, graph::Vertex n,
     std::uint32_t protocol_id, std::uint32_t round,
@@ -81,11 +118,14 @@ CollectedRound collect_sketch_round(
 
   const Clock::time_point deadline = Clock::now() + timeout;
   while (missing > 0) {
+    const auto live = static_cast<std::size_t>(
+        std::count(link_live.begin(), link_live.end(), true));
     bool any_live = false;
     for (std::size_t li = 0; li < links.size() && missing > 0; ++li) {
       if (!link_live[li]) continue;
       any_live = true;
-      const wire::RecvResult msg = links[li]->recv(slice_until(deadline));
+      const wire::RecvResult msg =
+          links[li]->recv(slice_until(deadline, live));
       if (msg.status == wire::RecvStatus::kTimeout) continue;
       if (msg.status != wire::RecvStatus::kOk) {
         // Links are fixed for the session, so a closed or broken one
@@ -109,25 +149,27 @@ CollectedRound collect_sketch_round(
       }
       for (wire::Frame& frame : batch.frames) {
         const wire::FrameHeader& h = frame.header;
-        if (h.type != wire::FrameType::kSketch) {
+        const FrameVerdict verdict =
+            classify_sketch_frame(h, protocol_id, round, n);
+        if (verdict == FrameVerdict::kBadType) {
           reject(metrics().reject_bad_type,
                  "unexpected frame type from a player");
           continue;
         }
-        if (h.protocol_id != protocol_id) {
+        if (verdict == FrameVerdict::kBadProtocol) {
           reject(metrics().reject_bad_protocol,
                  "protocol id mismatch from vertex " +
                      std::to_string(h.vertex));
           continue;
         }
-        if (h.round != round) {
+        if (verdict == FrameVerdict::kBadRound) {
           reject(metrics().reject_bad_round,
                  "round " + std::to_string(h.round) + " frame from vertex " +
                      std::to_string(h.vertex) + " during round " +
                      std::to_string(round));
           continue;
         }
-        if (h.vertex >= n) {
+        if (verdict == FrameVerdict::kBadVertex) {
           reject(metrics().reject_bad_vertex,
                  "vertex " + std::to_string(h.vertex) + " out of range");
           continue;

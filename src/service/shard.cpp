@@ -1,0 +1,456 @@
+#include "service/shard.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "obs/obs.h"
+
+namespace ds::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Upper bound on one shard's epoll wait while a round is open: short
+/// enough that a shard whose own links are quiet notices the shared
+/// accepted-count reaching n (set by its siblings) promptly.  This is
+/// the whole round's completion lag for a shard that finished early —
+/// 1ms (the epoll_wait floor) keeps the multi-shard tail under a
+/// millisecond without busy-spinning a core away from the siblings.
+constexpr std::chrono::milliseconds kShardPollSlice{1};
+
+/// Sharded-referee counters (docs/OBSERVABILITY.md).  The reject family
+/// mirrors session.cpp's service.reject.* taxonomy one for one; the two
+/// names with no blocking-path sibling are out_of_range (a frame landing
+/// on a shard that does not nominally own its vertex — legal, but worth
+/// watching) and cross_shard_duplicates (the combiner-divergence failure
+/// mode in docs/WIRE.md).
+struct ShardMetrics {
+  obs::Counter& rounds_combined =
+      obs::counter("service.shard.rounds_combined");
+  obs::Counter& messages = obs::counter("service.shard.messages");
+  obs::Counter& frames_accepted =
+      obs::counter("service.shard.frames_accepted");
+  obs::Counter& payload_bits = obs::counter("service.shard.payload_bits");
+  obs::Counter& out_of_range = obs::counter("service.shard.out_of_range");
+  obs::Counter& cross_shard_duplicates =
+      obs::counter("service.shard.cross_shard_duplicates");
+  obs::Counter& dead_connections =
+      obs::counter("service.shard.dead_connections");
+  obs::Counter& broadcasts = obs::counter("service.shard.broadcasts");
+  obs::Histogram& collect_us = obs::histogram("service.shard.collect_us");
+  obs::Counter& reject_corrupt =
+      obs::counter("service.shard.reject.corrupt");
+  obs::Counter& reject_bad_type =
+      obs::counter("service.shard.reject.bad_type");
+  obs::Counter& reject_bad_protocol =
+      obs::counter("service.shard.reject.bad_protocol");
+  obs::Counter& reject_bad_round =
+      obs::counter("service.shard.reject.bad_round");
+  obs::Counter& reject_bad_vertex =
+      obs::counter("service.shard.reject.bad_vertex");
+  obs::Counter& reject_duplicate =
+      obs::counter("service.shard.reject.duplicate");
+};
+
+ShardMetrics& metrics() {
+  static ShardMetrics m;
+  return m;
+}
+
+}  // namespace
+
+RefereeShard::RefereeShard(std::size_t index, std::size_t parts)
+    : index_(index), parts_(std::max<std::size_t>(parts, 1)) {
+  // Bound once so poll_round costs no std::function churn per pass.
+  on_message_ = [this](std::size_t conn, std::vector<std::uint8_t> message) {
+    ShardRound& r = open_.round;
+    const ShardRoundSpec& spec = open_.spec;
+    const auto reject = [&r](obs::Counter& reason_counter,
+                             std::string reason) {
+      reason_counter.increment();
+      ++r.wire.rejected_frames;
+      r.rejects.push_back(std::move(reason));
+    };
+
+    ++r.wire.messages;
+    metrics().messages.increment();
+    wire::BatchDecode batch = wire::decode_frames(message);
+    if (batch.status != wire::DecodeStatus::kOk) {
+      std::ostringstream os;
+      os << "shard " << index_ << " conn " << conn << ": "
+         << wire::decode_status_name(batch.status) << " at byte "
+         << batch.rest_offset << " of a " << message.size()
+         << "-byte message; dropped the rest of the message";
+      reject(metrics().reject_corrupt, os.str());
+    }
+    for (wire::Frame& frame : batch.frames) {
+      const wire::FrameHeader& h = frame.header;
+      switch (classify_sketch_frame(h, spec.protocol_id, spec.round,
+                                    spec.n)) {
+        case FrameVerdict::kBadType:
+          reject(metrics().reject_bad_type,
+                 "unexpected frame type from a player");
+          continue;
+        case FrameVerdict::kBadProtocol:
+          reject(metrics().reject_bad_protocol,
+                 "protocol id mismatch from vertex " +
+                     std::to_string(h.vertex));
+          continue;
+        case FrameVerdict::kBadRound:
+          reject(metrics().reject_bad_round,
+                 "round " + std::to_string(h.round) + " frame from vertex " +
+                     std::to_string(h.vertex) + " during round " +
+                     std::to_string(spec.round));
+          continue;
+        case FrameVerdict::kBadVertex:
+          reject(metrics().reject_bad_vertex,
+                 "vertex " + std::to_string(h.vertex) + " out of range");
+          continue;
+        case FrameVerdict::kAccept:
+          break;
+      }
+      if (r.have[h.vertex]) {
+        reject(metrics().reject_duplicate,
+               "duplicate sketch for vertex " + std::to_string(h.vertex));
+        continue;
+      }
+      r.have[h.vertex] = true;
+      ++r.wire.frames;
+      r.wire.payload_bits += frame.payload.bit_count();
+      r.wire.framing_bits +=
+          wire::encoded_frame_size(h, frame.payload.bit_count()) * 8 -
+          frame.payload.bit_count();
+      if (h.vertex < open_.lo || h.vertex >= open_.hi) {
+        ++r.out_of_range;
+        metrics().out_of_range.increment();
+      }
+      metrics().frames_accepted.increment();
+      metrics().payload_bits.add(frame.payload.bit_count());
+      r.sketches[h.vertex] = std::move(frame.payload);
+      const graph::Vertex accepted =
+          open_.accepted->fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (accepted == spec.n && wake_fd_ >= 0) {
+        // Round complete: post one semaphore unit per shard so every
+        // sibling's poll slice ends now, not at slice granularity.
+        const std::uint64_t units = parts_;
+        (void)!::write(wake_fd_, &units, sizeof(units));
+      }
+    }
+  };
+  on_close_ = [](std::size_t, wire::RecvStatus) {
+    metrics().dead_connections.increment();
+  };
+}
+
+std::size_t RefereeShard::adopt_fd(int fd) {
+  const std::size_t id = loop_.add(fd);
+  conns_.push_back(id);
+  return id;
+}
+
+void RefereeShard::attach_wake(int fd) {
+  loop_.add_wake_fd(fd);
+  wake_fd_ = fd;
+}
+
+std::size_t RefereeShard::open_connections() const noexcept {
+  return loop_.open_connections();
+}
+std::size_t RefereeShard::bytes_sent() const noexcept {
+  return loop_.bytes_sent();
+}
+std::size_t RefereeShard::bytes_received() const noexcept {
+  return loop_.bytes_received();
+}
+
+void RefereeShard::begin_round(const ShardRoundSpec& spec,
+                               std::atomic<graph::Vertex>& accepted_global) {
+  open_.spec = spec;
+  open_.round = ShardRound{};
+  open_.round.sketches.resize(spec.n);
+  open_.round.have.assign(spec.n, false);
+  const auto [lo, hi] = shard_range(spec.n, parts_, index_);
+  open_.lo = lo;
+  open_.hi = hi;
+  open_.accepted = &accepted_global;
+}
+
+std::size_t RefereeShard::poll_round(std::chrono::milliseconds timeout) {
+  return loop_.poll_once(timeout, on_message_, on_close_);
+}
+
+ShardRound RefereeShard::end_round() {
+  open_.accepted = nullptr;
+  return std::move(open_.round);
+}
+
+ShardRound RefereeShard::collect_round(
+    const ShardRoundSpec& spec, Clock::time_point deadline,
+    std::atomic<graph::Vertex>& accepted_global) {
+  begin_round(spec, accepted_global);
+  const obs::ScopedSpan span("service.shard.collect",
+                             &metrics().collect_us);
+  while (accepted_global.load(std::memory_order_acquire) < spec.n) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) break;
+    // A shard with no live connections cannot make progress itself, but
+    // still keeps its thread alive (cheaply) so siblings own the round's
+    // fate; an early return here would be indistinguishable from one.
+    (void)poll_round(
+        std::clamp(left, std::chrono::milliseconds(1), kShardPollSlice));
+  }
+  return end_round();
+}
+
+void RefereeShard::broadcast(std::span<const std::uint8_t> message,
+                             Clock::time_point deadline) {
+  for (const std::size_t id : conns_) {
+    if (!loop_.is_open(id)) continue;
+    if (!loop_.send(id, message)) {
+      throw ServiceError("broadcast failed: a player connection is gone");
+    }
+    metrics().broadcasts.increment();
+  }
+  // Frames arriving mid-flush would belong to the next round; the next
+  // collect_round's callbacks will see them, so drop none here but also
+  // accept none (messages surfacing now are a protocol violation either
+  // way — the per-round decode rejects them by round id later).
+  const wire::EventLoop::MessageFn drop = [](std::size_t,
+                                             std::vector<std::uint8_t>) {};
+  const wire::EventLoop::CloseFn on_close = [](std::size_t,
+                                               wire::RecvStatus) {
+    metrics().dead_connections.increment();
+  };
+  if (!loop_.flush_all(deadline, drop, on_close)) {
+    throw ServiceError("broadcast failed: write backlog missed the deadline");
+  }
+}
+
+CollectedRound combine_shard_rounds(const ShardRoundSpec& spec,
+                                    std::span<ShardRound> rounds) {
+  CollectedRound out;
+  out.sketches.resize(spec.n);
+  std::vector<bool> have(spec.n, false);
+  for (std::size_t s = 0; s < rounds.size(); ++s) {
+    ShardRound& r = rounds[s];
+    out.wire.merge(r.wire);
+    for (std::string& reason : r.rejects) {
+      out.rejects.push_back(std::move(reason));
+    }
+    for (graph::Vertex v = 0; v < spec.n; ++v) {
+      if (!r.have[v]) continue;
+      if (!have[v]) {
+        have[v] = true;
+        out.sketches[v] = std::move(r.sketches[v]);
+        continue;
+      }
+      // Combiner divergence: a second shard also accepted vertex v.  The
+      // lowest shard index won above; un-account the loser's frame and
+      // record it as the duplicate rejection the blocking loop would
+      // have issued on arrival (docs/WIRE.md, failure-mode table).
+      const std::size_t bits = r.sketches[v].bit_count();
+      const wire::FrameHeader h{wire::FrameType::kSketch, spec.protocol_id,
+                                v, spec.round};
+      --out.wire.frames;
+      out.wire.payload_bits -= bits;
+      out.wire.framing_bits -= wire::encoded_frame_size(h, bits) * 8 - bits;
+      ++out.wire.rejected_frames;
+      metrics().cross_shard_duplicates.increment();
+      out.rejects.push_back("cross-shard duplicate sketch for vertex " +
+                            std::to_string(v) + " (shard " +
+                            std::to_string(s) + " lost the merge)");
+    }
+  }
+
+  graph::Vertex missing = 0;
+  for (graph::Vertex v = 0; v < spec.n; ++v) {
+    if (!have[v]) ++missing;
+  }
+  if (missing > 0) {
+    std::ostringstream os;
+    os << "round " << spec.round << ": " << missing
+       << " sketch(es) missing at the deadline (first absent vertex ";
+    for (graph::Vertex v = 0; v < spec.n; ++v) {
+      if (!have[v]) {
+        os << v;
+        break;
+      }
+    }
+    os << "); " << out.wire.rejected_frames << " frame(s) rejected";
+    throw ServiceError(os.str());
+  }
+  metrics().rounds_combined.increment();
+  return out;
+}
+
+ShardedWireSource::ShardedWireSource(
+    std::span<const std::unique_ptr<RefereeShard>> shards, graph::Vertex n,
+    std::uint32_t protocol_id, std::chrono::milliseconds timeout,
+    ShardDrive drive) noexcept
+    : shards_(shards), n_(n), protocol_id_(protocol_id), timeout_(timeout) {
+  drive_ = drive != ShardDrive::kAuto ? drive
+           : std::thread::hardware_concurrency() > 1 ? ShardDrive::kThreads
+                                                     : ShardDrive::kInline;
+  // The round-completion wake only matters when shards sleep in their
+  // own threads; the inline rotation notices completion by itself.
+  if (shards_.size() < 2 || drive_ != ShardDrive::kThreads) return;
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_SEMAPHORE | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return;  // poll-slice fallback still completes rounds
+  for (const std::unique_ptr<RefereeShard>& shard : shards_) {
+    shard->attach_wake(wake_fd_);
+  }
+}
+
+ShardedWireSource::~ShardedWireSource() {
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    round_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+  if (wake_fd_ < 0) return;
+  for (const std::unique_ptr<RefereeShard>& shard : shards_) {
+    shard->detach_wake();
+  }
+  // Closing the eventfd deregisters it from every shard's epoll set.
+  ::close(wake_fd_);
+}
+
+void ShardedWireSource::ensure_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    workers_.emplace_back([this, s] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        RoundTask task;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          round_cv_.wait(
+              lock, [&] { return stopping_ || generation_ != seen; });
+          if (stopping_) return;
+          seen = generation_;
+          task = task_;
+        }
+        (*task.rounds)[s] =
+            shards_[s]->collect_round(task.spec, task.deadline,
+                                      *task.accepted);
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++done_count_;
+        }
+        done_cv_.notify_all();
+      }
+    });
+  }
+}
+
+void ShardedWireSource::collect_threaded(
+    const ShardRoundSpec& spec, Clock::time_point deadline,
+    std::atomic<graph::Vertex>& accepted, std::vector<ShardRound>& rounds) {
+  ensure_workers();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    task_ = RoundTask{spec, deadline, &accepted, &rounds};
+    done_count_ = 0;
+    ++generation_;
+  }
+  round_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_count_ == workers_.size(); });
+}
+
+void ShardedWireSource::collect_inline(
+    const ShardRoundSpec& spec, Clock::time_point deadline,
+    std::atomic<graph::Vertex>& accepted, std::vector<ShardRound>& rounds) {
+  // Consecutive empty rotations tolerated before parking in epoll_wait:
+  // while senders (usually threads sharing this core) are producing,
+  // yielding between rotations hands them the core with no sleep/wake
+  // churn; the epoll park is the backstop for genuinely quiet links.
+  constexpr std::size_t kIdleRotationsBeforePark = 256;
+
+  for (const std::unique_ptr<RefereeShard>& shard : shards_) {
+    shard->begin_round(spec, accepted);
+  }
+  const obs::ScopedSpan span("service.shard.collect",
+                             &metrics().collect_us);
+  std::size_t idle_rotations = 0;
+  std::size_t park_target = 0;
+  while (accepted.load(std::memory_order_acquire) < spec.n &&
+         Clock::now() < deadline) {
+    std::size_t events = 0;
+    for (const std::unique_ptr<RefereeShard>& shard : shards_) {
+      events += shard->poll_round(std::chrono::milliseconds(0));
+      if (accepted.load(std::memory_order_acquire) >= spec.n) break;
+    }
+    if (events > 0) {
+      idle_rotations = 0;
+      continue;
+    }
+    if (++idle_rotations < kIdleRotationsBeforePark) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park in one shard's epoll for a slice, rotating the parked shard
+    // so no connection waits more than shards × slice for attention.
+    (void)shards_[park_target]->poll_round(kShardPollSlice);
+    park_target = (park_target + 1) % shards_.size();
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    rounds[s] = shards_[s]->end_round();
+  }
+}
+
+std::vector<util::BitString> ShardedWireSource::collect(
+    unsigned round, std::span<const util::BitString> /*broadcasts*/) {
+  const ShardRoundSpec spec{n_, protocol_id_, round};
+  const Clock::time_point deadline = Clock::now() + timeout_;
+  std::atomic<graph::Vertex> accepted{0};
+  std::vector<ShardRound> rounds(shards_.size());
+
+  if (shards_.size() == 1) {
+    rounds[0] = shards_[0]->collect_round(spec, deadline, accepted);
+  } else if (drive_ == ShardDrive::kThreads) {
+    collect_threaded(spec, deadline, accepted, rounds);
+  } else {
+    collect_inline(spec, deadline, accepted, rounds);
+  }
+
+  CollectedRound combined = combine_shard_rounds(spec, rounds);
+  uplink_.merge(combined.wire);
+  return std::move(combined.sketches);
+}
+
+void ShardedWireSource::deliver_broadcast(unsigned round,
+                                          const util::BitString& b) {
+  (void)broadcast_frame(
+      {wire::FrameType::kBroadcast, protocol_id_, 0, round}, b);
+}
+
+WireStats ShardedWireSource::broadcast_frame(const wire::FrameHeader& header,
+                                             const util::BitString& payload) {
+  std::vector<std::uint8_t> bytes;
+  const std::size_t framing = wire::encode_frame(header, payload, bytes);
+  const Clock::time_point deadline = Clock::now() + timeout_;
+  WireStats stats;
+  for (const std::unique_ptr<RefereeShard>& shard : shards_) {
+    const std::size_t conns = shard->open_connections();
+    shard->broadcast(bytes, deadline);
+    stats.frames += conns;
+    stats.messages += conns;
+    stats.payload_bits += payload.bit_count() * conns;
+    stats.framing_bits += framing * conns;
+  }
+  downlink_.merge(stats);
+  return stats;
+}
+
+}  // namespace ds::service

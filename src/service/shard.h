@@ -1,0 +1,255 @@
+// The sharded referee: N RefereeShards, each owning an epoll event loop
+// over its block of player connections, feeding one combiner.
+//
+// Sharding splits the referee's ingestion, not the model.  Each shard
+// accumulates the sketch frames its connections deliver for the current
+// round; combine_shard_rounds then merges the shard states into the one
+// CollectedRound the engine decodes — the merge is associative and the
+// engine charges sketches in vertex order, so the sharded service and the
+// single-referee service produce bit-identical CommStats by construction
+// (ShardedWireSource is just the third implementation of the engine's
+// SketchSource seam, after LocalSource and WireSource).
+//
+// Vertex ownership is nominal: shard i of k nominally owns the
+// contiguous range shard_range(n, k, i), and frames landing outside it
+// are still accepted (players may connect to any shard; the layout is
+// advisory) but counted in service.shard.out_of_range.  The one failure
+// mode sharding adds is combiner divergence: the same vertex accepted by
+// two different shards.  The combiner resolves it deterministically —
+// the lowest shard index wins, the loser's frame is converted to a
+// duplicate rejection — so the decode never depends on thread timing
+// (docs/WIRE.md, failure-mode table).
+//
+// Round completion is coordinated through one shared atomic: every shard
+// bumps it per accepted frame and every shard's poll loop exits once it
+// reaches n, so no shard waits out the deadline after the round is
+// already complete elsewhere.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "evloop/event_loop.h"
+#include "service/session.h"
+#include "wire/frame.h"
+
+namespace ds::service {
+
+/// What the current round accepts: the frame-validation inputs shared
+/// with the blocking collection loop (classify_sketch_frame).
+struct ShardRoundSpec {
+  graph::Vertex n = 0;
+  std::uint32_t protocol_id = 0;
+  std::uint32_t round = 0;
+};
+
+/// One shard's view of one round: dense sketch slots (indexed by vertex,
+/// only this shard's accepted subset present) plus the same accounting
+/// the blocking loop keeps, ready for the associative combiner merge.
+struct ShardRound {
+  std::vector<util::BitString> sketches;
+  std::vector<bool> have;
+  WireStats wire;
+  std::vector<std::string> rejects;
+  std::size_t out_of_range = 0;  // accepted, but outside the nominal range
+};
+
+/// One referee shard: an event loop over this shard's connections and
+/// the per-round accumulation driven by it.  Single-threaded — the
+/// owning ShardedWireSource gives each shard its own collection thread.
+class RefereeShard {
+ public:
+  /// `index` of `parts` shards; the nominal vertex range is
+  /// shard_range(n, parts, index), recomputed per round from the spec.
+  RefereeShard(std::size_t index, std::size_t parts);
+  RefereeShard(const RefereeShard&) = delete;
+  RefereeShard& operator=(const RefereeShard&) = delete;
+
+  /// Adopt a connected socket into this shard's event loop (ownership
+  /// passes; see wire::EventLoop::add).  Returns the connection id.
+  std::size_t adopt_fd(int fd);
+
+  /// Register the round-completion wake fd (a semaphore eventfd shared
+  /// by every sibling shard, owned by the ShardedWireSource): the shard
+  /// accepting a round's final frame posts one unit per shard, ending
+  /// every sibling's poll slice immediately instead of letting them
+  /// sleep it out.  Without one, completion is still noticed — at
+  /// kShardPollSlice granularity.
+  void attach_wake(int fd);
+
+  /// Forget the wake fd (the owner is about to close it; closing also
+  /// deregisters it from the loop's epoll set).
+  void detach_wake() noexcept { wake_fd_ = -1; }
+
+  /// Drive the event loop until every vertex is globally accounted for
+  /// (`accepted_global` reaches spec.n, counting acceptances across all
+  /// shards) or `deadline` passes, accumulating this shard's frames.
+  /// Never throws on peer misbehaviour — bad frames are rejected and
+  /// recorded, dead connections are dropped, and missing vertices are
+  /// the combiner's diagnosis, not the shard's.  Equivalent to
+  /// begin_round + poll_round until done + end_round.
+  [[nodiscard]] ShardRound collect_round(
+      const ShardRoundSpec& spec,
+      std::chrono::steady_clock::time_point deadline,
+      std::atomic<graph::Vertex>& accepted_global);
+
+  /// Incremental round API, for a driver multiplexing several shards on
+  /// one thread (ShardDrive::kInline).  begin_round opens the round's
+  /// accumulation state; each poll_round runs one event-loop pass (at
+  /// most `timeout` parked in epoll_wait) and returns the number of
+  /// connections that had events; end_round closes the round and yields
+  /// the accumulated state.  begin_round while a round is open resets it.
+  void begin_round(const ShardRoundSpec& spec,
+                   std::atomic<graph::Vertex>& accepted_global);
+  std::size_t poll_round(std::chrono::milliseconds timeout);
+  [[nodiscard]] ShardRound end_round();
+
+  /// Queue `message` on every live connection and flush until all
+  /// backlogs reach the kernel or `deadline` passes.  Throws
+  /// ServiceError if a connection dies or the deadline cuts the flush
+  /// short — same contract as broadcast_to_links.
+  void broadcast(std::span<const std::uint8_t> message,
+                 std::chrono::steady_clock::time_point deadline);
+
+  [[nodiscard]] std::size_t index() const noexcept { return index_; }
+  [[nodiscard]] std::size_t parts() const noexcept { return parts_; }
+  [[nodiscard]] std::size_t open_connections() const noexcept;
+  [[nodiscard]] std::size_t bytes_sent() const noexcept;
+  [[nodiscard]] std::size_t bytes_received() const noexcept;
+
+ private:
+  /// State of the round currently open between begin_round/end_round.
+  struct OpenRound {
+    ShardRoundSpec spec;
+    ShardRound round;
+    graph::Vertex lo = 0;  // nominal range [lo, hi)
+    graph::Vertex hi = 0;
+    std::atomic<graph::Vertex>* accepted = nullptr;
+  };
+
+  std::size_t index_;
+  std::size_t parts_;
+  int wake_fd_ = -1;  // not owned; -1 until attach_wake
+  wire::EventLoop loop_;
+  std::vector<std::size_t> conns_;  // every id ever adopted
+  OpenRound open_;
+  wire::EventLoop::MessageFn on_message_;  // bound to open_, built once
+  wire::EventLoop::CloseFn on_close_;
+};
+
+/// Merge per-shard round states into the one CollectedRound the engine
+/// decodes.  Cross-shard duplicates resolve to the lowest shard index
+/// (deterministic: independent of collection timing); the loser's frame
+/// is re-accounted as a rejected duplicate, exactly as the blocking loop
+/// would have rejected it on arrival.  Throws ServiceError with the
+/// blocking loop's diagnostic shape if any vertex is missing.
+[[nodiscard]] CollectedRound combine_shard_rounds(
+    const ShardRoundSpec& spec, std::span<ShardRound> rounds);
+
+/// How ShardedWireSource drives a multi-shard round.
+enum class ShardDrive {
+  /// kThreads when the host reports more than one hardware thread,
+  /// kInline otherwise: threads only buy anything when shards can
+  /// actually run in parallel — on a single core they add nothing but
+  /// context-switch and wakeup churn to every round.
+  kAuto,
+  /// One persistent worker thread per shard, parked on a condition
+  /// variable between rounds.
+  kThreads,
+  /// All shard loops multiplexed on the collecting thread: rotate
+  /// non-blocking polls while data flows, yield briefly when dry, and
+  /// only park in (a rotating) shard's epoll_wait after a sustained
+  /// idle stretch.
+  kInline,
+};
+
+/// The sharded SketchSource: collect() fans the round out across shards
+/// (one persistent parked worker thread per shard, or an inline
+/// single-thread rotation — see ShardDrive) and combines;
+/// deliver_broadcast() pushes the inter-round frame down every shard's
+/// connections.  Plugs into engine::run_rounds exactly where WireSource
+/// does.
+class ShardedWireSource {
+ public:
+  /// Under ShardDrive::kThreads with more than one shard this also
+  /// creates the shared round-completion eventfd and attaches it to
+  /// every shard's loop (see RefereeShard::attach_wake); if the eventfd
+  /// cannot be created, collection silently falls back to
+  /// poll-slice-granularity wakeups.  (The inline drive needs no wake:
+  /// the one driving thread notices completion on its next rotation.)
+  ShardedWireSource(std::span<const std::unique_ptr<RefereeShard>> shards,
+                    graph::Vertex n, std::uint32_t protocol_id,
+                    std::chrono::milliseconds timeout,
+                    ShardDrive drive = ShardDrive::kAuto) noexcept;
+  ~ShardedWireSource();
+  ShardedWireSource(const ShardedWireSource&) = delete;
+  ShardedWireSource& operator=(const ShardedWireSource&) = delete;
+
+  /// One engine round across all shards.  Throws ServiceError (from the
+  /// combiner) if any vertex is missing at the deadline.
+  [[nodiscard]] std::vector<util::BitString> collect(
+      unsigned round, std::span<const util::BitString> /*broadcasts*/);
+
+  /// Push the referee's inter-round broadcast to every connection of
+  /// every shard.
+  void deliver_broadcast(unsigned round, const util::BitString& b);
+
+  /// Encode and broadcast an arbitrary referee frame (the kResult reply
+  /// path shares this with deliver_broadcast).  Returns the per-frame
+  /// stats, payload counted once per connection, merged into downlink().
+  WireStats broadcast_frame(const wire::FrameHeader& header,
+                            const util::BitString& payload);
+
+  [[nodiscard]] const WireStats& uplink() const noexcept { return uplink_; }
+  [[nodiscard]] const WireStats& downlink() const noexcept {
+    return downlink_;
+  }
+
+ private:
+  /// One round's work order, shared with every parked worker.
+  struct RoundTask {
+    ShardRoundSpec spec;
+    std::chrono::steady_clock::time_point deadline;
+    std::atomic<graph::Vertex>* accepted = nullptr;
+    std::vector<ShardRound>* rounds = nullptr;
+  };
+
+  void ensure_workers();
+  void collect_threaded(const ShardRoundSpec& spec,
+                        std::chrono::steady_clock::time_point deadline,
+                        std::atomic<graph::Vertex>& accepted,
+                        std::vector<ShardRound>& rounds);
+  void collect_inline(const ShardRoundSpec& spec,
+                      std::chrono::steady_clock::time_point deadline,
+                      std::atomic<graph::Vertex>& accepted,
+                      std::vector<ShardRound>& rounds);
+
+  std::span<const std::unique_ptr<RefereeShard>> shards_;
+  graph::Vertex n_;
+  std::uint32_t protocol_id_;
+  std::chrono::milliseconds timeout_;
+  ShardDrive drive_ = ShardDrive::kThreads;  // kAuto resolved in the ctor
+  int wake_fd_ = -1;  // owned; shared with every shard's loop
+  WireStats uplink_;
+  WireStats downlink_;
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable round_cv_;  // workers: a new generation posted
+  std::condition_variable done_cv_;   // collect(): all shards reported in
+  std::uint64_t generation_ = 0;
+  std::size_t done_count_ = 0;
+  RoundTask task_;
+  bool stopping_ = false;
+};
+
+}  // namespace ds::service

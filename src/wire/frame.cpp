@@ -66,7 +66,19 @@ std::size_t encode_frame(const FrameHeader& header,
   w.put_varint(header.round);
   w.put_varint(payload_bits);
   const std::size_t payload_bytes = payload_byte_count(payload_bits);
-  for (std::size_t i = 0; i < payload_bytes; ++i) {
+  // Whole words serialize as 8 little-endian bytes at a time (byte i is
+  // bits [8i, 8i+8) LSB first, so word w is bytes [8w, 8w+8) in order);
+  // the tail falls back to the per-byte extractor.
+  std::size_t i = 0;
+  for (; i + 8 <= payload_bytes; i += 8) {
+    const std::uint64_t word = payload.words()[i / 8];
+    std::uint8_t chunk[8];
+    for (unsigned b = 0; b < 8; ++b) {
+      chunk[b] = static_cast<std::uint8_t>(word >> (8 * b));
+    }
+    w.put_bytes(chunk);
+  }
+  for (; i < payload_bytes; ++i) {
     w.put_u8(payload_byte(payload, i));
   }
   w.put_u32_le(crc32(w.bytes()));
@@ -155,12 +167,23 @@ DecodeStatus decode_frame(std::span<const std::uint8_t> bytes, Frame& frame,
   }
 
   // Reassemble the BitString through the public BitWriter API so the
-  // result is bit-for-bit what the encoder charged.
+  // result is bit-for-bit what the encoder charged.  Eight wire bytes
+  // form one LSB-first 64-bit word (the inverse of the encoder's word
+  // serialization), so full words go through put_bits(word, 64) — a
+  // word-aligned append — and only the tail pays per-byte costs.
   util::BitWriter w;
-  for (std::size_t i = 0; i < payload_bytes; ++i) {
+  std::size_t pi = 0;
+  for (; (pi + 8) * 8 <= payload_bits; pi += 8) {
+    std::uint64_t word = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>((*payload)[pi + b]) << (8 * b);
+    }
+    w.put_bits(word, 64);
+  }
+  for (; pi < payload_bytes; ++pi) {
     const unsigned width = static_cast<unsigned>(
-        payload_bits - 8 * i >= 8 ? 8 : payload_bits - 8 * i);
-    w.put_bits((*payload)[i], width);
+        payload_bits - 8 * pi >= 8 ? 8 : payload_bits - 8 * pi);
+    w.put_bits((*payload)[pi], width);
   }
   frame.header.type = static_cast<FrameType>(type_raw);
   frame.header.protocol_id = static_cast<std::uint32_t>(proto);

@@ -150,7 +150,9 @@ class TcpLink final : public Link {
     prefix[1] = static_cast<std::uint8_t>(len >> 8);
     prefix[2] = static_cast<std::uint8_t>(len >> 16);
     prefix[3] = static_cast<std::uint8_t>(len >> 24);
-    if (!send_all(prefix, sizeof(prefix)) ||
+    // MSG_MORE corks the 4-byte prefix with the body: one wire segment
+    // per message instead of a tiny prefix packet followed by the batch.
+    if (!send_all(prefix, sizeof(prefix), MSG_MORE) ||
         !send_all(message.data(), message.size())) {
       broken_ = true;
       metrics().send_failures.increment();
@@ -245,11 +247,11 @@ class TcpLink final : public Link {
  private:
   enum class ReadOutcome : std::uint8_t { kDone, kTimeout, kEof, kError };
 
-  bool send_all(const std::uint8_t* data, std::size_t size) {
+  bool send_all(const std::uint8_t* data, std::size_t size, int flags = 0) {
     std::size_t done = 0;
     while (done < size) {
       const ssize_t n =
-          sys_send(fd_, data + done, size - done, MSG_NOSIGNAL);
+          sys_send(fd_, data + done, size - done, MSG_NOSIGNAL | flags);
       if (n < 0) {
         if (errno == EINTR) {
           metrics().eintr_retries.increment();
@@ -316,6 +318,16 @@ void set_recv(RecvFn fn) noexcept {
 void set_send(SendFn fn) noexcept {
   g_send_hook.store(fn, std::memory_order_relaxed);
 }
+PollFn poll_hook() noexcept {
+  return g_poll_hook.load(std::memory_order_relaxed);
+}
+RecvFn recv_hook() noexcept {
+  return g_recv_hook.load(std::memory_order_relaxed);
+}
+SendFn send_hook() noexcept {
+  return g_send_hook.load(std::memory_order_relaxed);
+}
+
 void reset() noexcept {
   set_poll(nullptr);
   set_recv(nullptr);
@@ -361,12 +373,18 @@ TcpListener::~TcpListener() {
 }
 
 std::unique_ptr<Link> TcpListener::accept(std::chrono::milliseconds timeout) {
-  const Clock::time_point deadline = Clock::now() + timeout;
-  if (poll_readable(fd_, deadline) != PollOutcome::kReady) return nullptr;
-  const int client = ::accept(fd_, nullptr, nullptr);
+  const int client = accept_fd(timeout);
   if (client < 0) return nullptr;
-  metrics().accepts.increment();
   return std::make_unique<TcpLink>(client);
+}
+
+int TcpListener::accept_fd(std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  if (poll_readable(fd_, deadline) != PollOutcome::kReady) return -1;
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return -1;
+  metrics().accepts.increment();
+  return client;
 }
 
 std::unique_ptr<Link> tcp_adopt_fd(int fd) {

@@ -9,6 +9,7 @@
 
 #include "graph/generators.h"
 #include "model/runner.h"
+#include "obs/obs.h"
 #include "protocols/spanning_forest.h"
 #include "protocols/two_round_matching.h"
 #include "protocols/zoo.h"
@@ -111,11 +112,22 @@ TEST(RefereeService, PlayerThreadsOverLoopback) {
 
 TEST(RefereeService, AdaptiveTwoRoundCompletesOverTcp) {
   // The acceptance-criteria case: a multi-round adaptive protocol over
-  // the TCP transport, players in their own threads.
+  // the TCP transport, players in their own threads.  Metrics are
+  // snapshotted around the session to pin the connection-reuse
+  // contract: one connect per player for the WHOLE adaptive run, every
+  // round riding the same link (a client reconnecting per round would
+  // double the count and fail below).
   const graph::Graph g = test_graph(36, 3, 0.2);
   const protocols::TwoRoundMatching protocol{4, 8};
   const model::PublicCoins coins(kCoinSeed);
   constexpr std::size_t kPlayers = 3;
+
+  const bool metrics_were_enabled = obs::metrics_enabled();
+  obs::set_metrics_enabled(true);
+  const std::size_t connects_before =
+      obs::counter("wire.tcp.connects").value();
+  const std::size_t accepts_before =
+      obs::counter("wire.tcp.accepts").value();
 
   wire::TcpListener listener;
   std::vector<model::MatchingOutput> player_results(kPlayers);
@@ -155,6 +167,17 @@ TEST(RefereeService, AdaptiveTwoRoundCompletesOverTcp) {
   for (const model::MatchingOutput& result : player_results) {
     EXPECT_EQ(result, simulated.output);
   }
+
+  // Connection reuse across adaptive rounds: the protocol ran multiple
+  // rounds, yet each player dialed exactly once (and the listener
+  // accepted exactly once per player).
+  if (obs::metrics_enabled()) {
+    EXPECT_EQ(obs::counter("wire.tcp.connects").value() - connects_before,
+              kPlayers);
+    EXPECT_EQ(obs::counter("wire.tcp.accepts").value() - accepts_before,
+              kPlayers);
+  }
+  obs::set_metrics_enabled(metrics_were_enabled);
 }
 
 TEST(RefereeService, RejectsCorruptFramesAndFinishesFromRetransmission) {

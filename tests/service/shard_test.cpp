@@ -1,0 +1,424 @@
+// The sharded referee and the collection-loop fairness fix.
+//
+// Three layers under test: (1) fair_poll_slice / the blocking collect
+// loop — the regression where a slow link could starve another link's
+// ready frames out of the round (SlowReaderCannotStarveOtherLinks);
+// (2) the shard vocabulary — shard_range tiling and the combiner's
+// deterministic cross-shard duplicate resolution; (3) the sharded
+// service end to end over socketpair connections, bit-identical to the
+// in-process runner.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "model/runner.h"
+#include "protocols/spanning_forest.h"
+#include "protocols/two_round_matching.h"
+#include "protocols/zoo.h"
+#include "service/player_client.h"
+#include "service/shard.h"
+#include "service/sharded_referee.h"
+#include "wire/tcp.h"
+
+namespace ds {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint64_t kCoinSeed = 2020;
+
+graph::Graph test_graph(graph::Vertex n, std::uint64_t seed,
+                        double p = 0.15) {
+  util::Rng rng(seed);
+  return graph::gnp(n, p, rng);
+}
+
+// ---------------------------------------------------------------------
+// fair_poll_slice: the pure function.
+// ---------------------------------------------------------------------
+
+TEST(FairPollSlice, DividesTheRemainderAcrossLiveLinks) {
+  EXPECT_EQ(service::fair_poll_slice(80ms, 8), 10ms);
+  EXPECT_EQ(service::fair_poll_slice(100ms, 4), 20ms);  // hits the cap
+  EXPECT_EQ(service::fair_poll_slice(1000ms, 2), 20ms);
+}
+
+TEST(FairPollSlice, ClampsToTheCapAndToOneMillisecond) {
+  EXPECT_EQ(service::fair_poll_slice(500ms, 1), 20ms);
+  EXPECT_EQ(service::fair_poll_slice(3ms, 8), 1ms);  // never a 0 busy-spin
+  EXPECT_EQ(service::fair_poll_slice(0ms, 8), 0ms);
+  EXPECT_EQ(service::fair_poll_slice(-5ms, 3), 0ms);
+  EXPECT_EQ(service::fair_poll_slice(40ms, 0), 20ms);  // 0 links: as 1
+}
+
+// ---------------------------------------------------------------------
+// The starvation regression.
+// ---------------------------------------------------------------------
+
+/// A link whose reader never produces anything and blocks for the whole
+/// slice it is given — the "slow reader" of the regression.
+class SlowLink final : public wire::Link {
+ public:
+  bool send(std::span<const std::uint8_t>) override { return true; }
+  wire::RecvResult recv(std::chrono::milliseconds timeout) override {
+    std::this_thread::sleep_for(timeout);
+    return {};
+  }
+  std::size_t bytes_sent() const noexcept override { return 0; }
+  std::size_t bytes_received() const noexcept override { return 0; }
+};
+
+/// A link whose message "arrives" at a fixed instant: a recv whose
+/// window covers that instant delivers; earlier windows sleep out their
+/// slice and time out.  recv(0) only sees it if it has already arrived
+/// — exactly how poll(timeout=0) treats socket data.
+class TimedDeliveryLink final : public wire::Link {
+ public:
+  TimedDeliveryLink(Clock::time_point available_at,
+                    std::vector<std::uint8_t> message)
+      : available_at_(available_at), message_(std::move(message)) {}
+
+  bool send(std::span<const std::uint8_t>) override { return true; }
+
+  wire::RecvResult recv(std::chrono::milliseconds timeout) override {
+    ++polls_;
+    if (delivered_) {
+      std::this_thread::sleep_for(timeout);
+      return {};
+    }
+    const Clock::time_point window_end = Clock::now() + timeout;
+    if (window_end < available_at_) {
+      std::this_thread::sleep_for(timeout);
+      return {};
+    }
+    std::this_thread::sleep_until(available_at_);
+    delivered_ = true;
+    return {wire::RecvStatus::kOk, message_};
+  }
+
+  std::size_t bytes_sent() const noexcept override { return 0; }
+  std::size_t bytes_received() const noexcept override {
+    return delivered_ ? message_.size() : 0;
+  }
+  [[nodiscard]] int polls() const noexcept { return polls_; }
+
+ private:
+  Clock::time_point available_at_;
+  std::vector<std::uint8_t> message_;
+  bool delivered_ = false;
+  int polls_ = 0;
+};
+
+TEST(CollectFairness, SlowReaderCannotStarveOtherLinks) {
+  // The pre-fix loop gave every link min(remaining, 20ms): with the
+  // delivering link polled FIRST in the pass and seven slow readers
+  // behind it, the slow readers consumed the entire remainder (7 x 20ms
+  // per pass against a short deadline), so the deliverer — whose batch
+  // arrives mid-round — was polled once at t~0 and never again before
+  // the deadline error.  fair_poll_slice divides the remainder by the
+  // live-link count, so every pass ends with budget still on the clock
+  // and the deliverer's mid-round arrival is always seen.
+  const graph::Vertex n = 6;
+  const protocols::AgmConnectivity protocol;
+  const model::PublicCoins coins(kCoinSeed);
+  const graph::Graph g = test_graph(n, 11, 0.4);
+  const std::uint32_t proto = wire::protocol_id(protocol.name());
+
+  std::vector<std::uint8_t> batch;
+  for (graph::Vertex v = 0; v < n; ++v) {
+    const model::VertexView view{n, v, g.neighbors(v), &coins};
+    util::BitWriter w;
+    protocol.encode(view, w);
+    (void)service::append_sketch_frame(batch, proto, v, 0,
+                                       util::BitString(w));
+  }
+
+  // 16 slow readers at the old fixed 20ms slice cost 340ms per pass —
+  // past this 300ms deadline — so the pre-fix loop polled the deliverer
+  // exactly once (its t~0 window, before the batch exists) and then
+  // burned the whole round sleeping on the slow links: a guaranteed
+  // deadline error.  With fair slices a pass costs a fraction of the
+  // remainder, so pass 2 reaches the deliverer around t=200 with budget
+  // to spare.  The 80ms arrival sits far from both edges (first-window
+  // end ~20ms, deadline 300ms), so scheduler jitter cannot flip the
+  // outcome.
+  constexpr auto kTimeout = 300ms;
+  const Clock::time_point available_at = Clock::now() + 80ms;
+
+  std::vector<std::unique_ptr<wire::Link>> links;
+  auto deliverer =
+      std::make_unique<TimedDeliveryLink>(available_at, batch);
+  TimedDeliveryLink* deliverer_view = deliverer.get();
+  links.push_back(std::move(deliverer));  // polled first in every pass
+  for (int i = 0; i < 16; ++i) links.push_back(std::make_unique<SlowLink>());
+
+  const service::CollectedRound round =
+      service::collect_sketch_round(links, n, proto, 0, kTimeout);
+
+  EXPECT_EQ(round.sketches.size(), n);
+  EXPECT_EQ(round.wire.frames, n);
+  // The fix is visible in the poll count: the deliverer was revisited
+  // after its first empty window instead of starving behind the slow
+  // readers.
+  EXPECT_GE(deliverer_view->polls(), 2);
+}
+
+// ---------------------------------------------------------------------
+// shard_range and the combiner.
+// ---------------------------------------------------------------------
+
+TEST(ShardRange, TilesTheVertexSpaceContiguously) {
+  for (const graph::Vertex n : {1u, 7u, 16u, 97u}) {
+    for (const std::size_t parts : {1u, 2u, 3u, 8u}) {
+      graph::Vertex expect_lo = 0;
+      for (std::size_t i = 0; i < parts; ++i) {
+        const auto [lo, hi] = service::shard_range(n, parts, i);
+        EXPECT_EQ(lo, expect_lo);
+        EXPECT_GE(hi, lo);
+        // Sizes differ by at most one across shards.
+        EXPECT_LE(hi - lo, n / parts + 1);
+        expect_lo = hi;
+      }
+      EXPECT_EQ(expect_lo, n);
+    }
+  }
+}
+
+TEST(ShardRange, AgreesWithPlayerShardVertices) {
+  const graph::Vertex n = 23;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto [lo, hi] = service::shard_range(n, 4, i);
+    const std::vector<graph::Vertex> owned =
+        service::shard_vertices(n, 4, i);
+    ASSERT_EQ(owned.size(), static_cast<std::size_t>(hi - lo));
+    if (!owned.empty()) {
+      EXPECT_EQ(owned.front(), lo);
+      EXPECT_EQ(owned.back(), hi - 1);
+    }
+  }
+}
+
+util::BitString bits_of(std::uint64_t value, unsigned width) {
+  util::BitWriter w;
+  w.put_bits(value, width);
+  return util::BitString(std::move(w));
+}
+
+/// A ShardRound holding `verts` with small distinct payloads, accounted
+/// the way RefereeShard::collect_round accounts accepted frames.
+service::ShardRound make_shard_round(const service::ShardRoundSpec& spec,
+                                     std::vector<graph::Vertex> verts) {
+  service::ShardRound r;
+  r.sketches.resize(spec.n);
+  r.have.assign(spec.n, false);
+  for (const graph::Vertex v : verts) {
+    util::BitString payload = bits_of(v + 1, 8);
+    const wire::FrameHeader h{wire::FrameType::kSketch, spec.protocol_id, v,
+                              spec.round};
+    r.have[v] = true;
+    ++r.wire.frames;
+    r.wire.payload_bits += payload.bit_count();
+    r.wire.framing_bits +=
+        wire::encoded_frame_size(h, payload.bit_count()) * 8 -
+        payload.bit_count();
+    r.sketches[v] = std::move(payload);
+  }
+  ++r.wire.messages;
+  return r;
+}
+
+TEST(CombineShardRounds, MergesDisjointShardsCompletely) {
+  const service::ShardRoundSpec spec{6, 42, 0};
+  std::vector<service::ShardRound> rounds;
+  rounds.push_back(make_shard_round(spec, {0, 1, 2}));
+  rounds.push_back(make_shard_round(spec, {3, 4, 5}));
+
+  const service::CollectedRound out =
+      service::combine_shard_rounds(spec, rounds);
+  ASSERT_EQ(out.sketches.size(), 6u);
+  EXPECT_EQ(out.wire.frames, 6u);
+  EXPECT_EQ(out.wire.rejected_frames, 0u);
+  for (graph::Vertex v = 0; v < 6; ++v) {
+    EXPECT_EQ(out.sketches[v].bit_count(), 8u) << "vertex " << v;
+  }
+}
+
+TEST(CombineShardRounds, CrossShardDuplicateResolvesToLowestShard) {
+  // Vertex 2 accepted by both shards with different payloads: the
+  // combiner must keep shard 0's copy (deterministic, independent of
+  // collection timing) and re-account shard 1's as a rejection, leaving
+  // the totals exactly what a single referee would have recorded.
+  const service::ShardRoundSpec spec{4, 42, 0};
+  std::vector<service::ShardRound> rounds;
+  rounds.push_back(make_shard_round(spec, {0, 1, 2}));
+  rounds.push_back(make_shard_round(spec, {2, 3}));
+  // Overwrite shard 1's copy of vertex 2 so the winner is observable.
+  rounds[1].sketches[2] = bits_of(0xEE, 8);
+
+  const service::CollectedRound out =
+      service::combine_shard_rounds(spec, rounds);
+  EXPECT_EQ(out.wire.frames, 4u);  // the duplicate is not double-counted
+  EXPECT_EQ(out.wire.rejected_frames, 1u);
+  EXPECT_EQ(out.wire.payload_bits, 4u * 8u);
+  ASSERT_EQ(out.rejects.size(), 1u);
+  EXPECT_NE(out.rejects[0].find("cross-shard"), std::string::npos);
+  // Shard 0 wrote v+1 = 3; shard 1's 0xEE lost.
+  EXPECT_EQ(out.sketches[2].words()[0], 3u);
+}
+
+TEST(CombineShardRounds, MissingVertexIsACleanDeadlineError) {
+  const service::ShardRoundSpec spec{5, 42, 0};
+  std::vector<service::ShardRound> rounds;
+  rounds.push_back(make_shard_round(spec, {0, 1}));
+  rounds.push_back(make_shard_round(spec, {3, 4}));  // vertex 2 missing
+  EXPECT_THROW((void)service::combine_shard_rounds(spec, rounds),
+               service::ServiceError);
+}
+
+// ---------------------------------------------------------------------
+// The sharded service end to end (socketpair connections: the referee
+// side adopted into shard event loops, the player side a blocking
+// TcpLink — exactly the mixed deployment docs/WIRE.md promises works).
+// ---------------------------------------------------------------------
+
+struct ShardedCluster {
+  service::ShardedRefereeService referee;
+  std::vector<std::unique_ptr<wire::Link>> players;
+
+  ShardedCluster(std::size_t shards, std::size_t num_players,
+                 std::uint64_t coin_seed,
+                 std::chrono::milliseconds timeout)
+      : referee(shards, coin_seed, timeout) {
+    for (std::size_t i = 0; i < num_players; ++i) {
+      int fds[2] = {-1, -1};
+      if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+        throw std::runtime_error("socketpair failed");
+      }
+      (void)referee.adopt_fd(fds[0]);
+      players.push_back(wire::tcp_adopt_fd(fds[1]));
+    }
+  }
+};
+
+TEST(ShardedReferee, TwoShardsMatchInProcessRunnerExactly) {
+  const graph::Graph g = test_graph(40, 1);
+  const protocols::AgmSpanningForest protocol;
+  const model::PublicCoins coins(kCoinSeed);
+  constexpr std::size_t kPlayers = 4;
+
+  ShardedCluster cluster(2, kPlayers, kCoinSeed, 5000ms);
+  std::vector<std::thread> threads;
+  std::vector<model::ForestOutput> player_results(kPlayers);
+  threads.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    threads.emplace_back([&, i] {
+      const std::vector<graph::Vertex> owned =
+          service::shard_vertices(g.num_vertices(), kPlayers, i);
+      player_results[i] = service::play_protocol(
+          *cluster.players[i], g, owned, protocol, coins, 5000ms);
+    });
+  }
+  const service::ServeResult<model::ForestOutput> served =
+      cluster.referee.run(protocol, g.num_vertices());
+  for (std::thread& t : threads) t.join();
+
+  const auto simulated = model::run_protocol(g, protocol, coins);
+  EXPECT_EQ(served.output, simulated.output);
+  EXPECT_EQ(served.comm.max_bits, simulated.comm.max_bits);
+  EXPECT_EQ(served.comm.total_bits, simulated.comm.total_bits);
+  EXPECT_EQ(served.comm.num_players, simulated.comm.num_players);
+  EXPECT_EQ(served.uplink.payload_bits, simulated.comm.total_bits);
+  EXPECT_EQ(served.uplink.frames, g.num_vertices());
+  EXPECT_EQ(served.uplink.rejected_frames, 0u);
+  for (const model::ForestOutput& result : player_results) {
+    EXPECT_EQ(result, simulated.output);
+  }
+}
+
+TEST(ShardedReferee, AdaptiveTwoRoundOverFourShards) {
+  const graph::Graph g = test_graph(36, 3, 0.2);
+  const protocols::TwoRoundMatching protocol{4, 8};
+  const model::PublicCoins coins(kCoinSeed);
+  constexpr std::size_t kPlayers = 4;
+
+  ShardedCluster cluster(4, kPlayers, kCoinSeed, 5000ms);
+  std::vector<std::thread> threads;
+  std::vector<model::MatchingOutput> player_results(kPlayers);
+  threads.reserve(kPlayers);
+  for (std::size_t i = 0; i < kPlayers; ++i) {
+    threads.emplace_back([&, i] {
+      const std::vector<graph::Vertex> owned =
+          service::shard_vertices(g.num_vertices(), kPlayers, i);
+      player_results[i] = service::play_adaptive(
+          *cluster.players[i], g, owned, protocol, coins, 5000ms);
+    });
+  }
+  const service::AdaptiveServeResult<model::MatchingOutput> served =
+      cluster.referee.run_adaptive(protocol, g.num_vertices());
+  for (std::thread& t : threads) t.join();
+
+  const auto simulated = model::run_adaptive(g, protocol, coins);
+  EXPECT_EQ(served.output, simulated.output);
+  EXPECT_EQ(served.comm.max_bits, simulated.comm.max_bits);
+  EXPECT_EQ(served.comm.total_bits, simulated.comm.total_bits);
+  EXPECT_EQ(served.broadcast_bits, simulated.broadcast_bits);
+  ASSERT_EQ(served.by_round.size(), simulated.by_round.size());
+  for (std::size_t r = 0; r < served.by_round.size(); ++r) {
+    EXPECT_EQ(served.by_round[r].total_bits,
+              simulated.by_round[r].total_bits);
+  }
+  for (const model::MatchingOutput& result : player_results) {
+    EXPECT_EQ(result, simulated.output);
+  }
+}
+
+TEST(ShardedReferee, MoreShardsThanConnectionsStillCompletes) {
+  // Empty shards must idle harmlessly while the populated ones carry
+  // the round.
+  const graph::Graph g = test_graph(12, 4, 0.3);
+  const protocols::AgmConnectivity protocol;
+  const model::PublicCoins coins(kCoinSeed);
+
+  ShardedCluster cluster(6, 2, kCoinSeed, 5000ms);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 2; ++i) {
+    threads.emplace_back([&, i] {
+      const std::vector<graph::Vertex> owned =
+          service::shard_vertices(g.num_vertices(), 2, i);
+      (void)service::play_protocol(*cluster.players[i], g, owned, protocol,
+                                   coins, 5000ms);
+    });
+  }
+  const auto served = cluster.referee.run(protocol, g.num_vertices());
+  for (std::thread& t : threads) t.join();
+
+  const auto simulated = model::run_protocol(g, protocol, coins);
+  EXPECT_EQ(served.output, simulated.output);
+  EXPECT_EQ(served.comm.total_bits, simulated.comm.total_bits);
+}
+
+TEST(ShardedReferee, MissingPlayerIsACleanDeadlineError) {
+  const graph::Graph g = test_graph(8, 6, 0.3);
+  const protocols::AgmConnectivity protocol;
+  const model::PublicCoins coins(kCoinSeed);
+
+  ShardedCluster cluster(2, 2, kCoinSeed, 300ms);
+  // Player 0 sends only vertex 0; player 1 never shows up.
+  const graph::Vertex v0[] = {0};
+  (void)service::send_sketches(*cluster.players[0], g, v0, protocol, coins);
+
+  EXPECT_THROW((void)cluster.referee.run(protocol, g.num_vertices()),
+               service::ServiceError);
+}
+
+}  // namespace
+}  // namespace ds

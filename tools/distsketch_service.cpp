@@ -36,6 +36,7 @@
 #include "protocols/zoo.h"
 #include "service/player_client.h"
 #include "service/referee_service.h"
+#include "service/sharded_referee.h"
 #include "wire/tcp.h"
 
 namespace {
@@ -51,6 +52,7 @@ struct Options {
   std::uint64_t coin_seed = 7;
   std::size_t players = 1;
   std::size_t index = 0;
+  std::size_t shards = 0;  // 0 = blocking referee; N >= 1 = epoll shards
   std::chrono::milliseconds timeout{10000};
   std::string metrics_out;  // write obs snapshot JSON here on exit
   std::chrono::milliseconds metrics_interval{0};  // 0 = no periodic summary
@@ -115,6 +117,8 @@ void write_metrics_snapshot(const std::string& path) {
       << "  --coin-seed C      public coins seed\n"
       << "  --players K        number of player processes\n"
       << "  --index I          player: this process's shard index\n"
+      << "  --shards S         serve: S epoll referee shards (default 0 ="
+         " blocking referee)\n"
       << "  --timeout-ms T     round deadline (default 10000)\n"
       << "  --metrics-out F    enable metrics; write the obs JSON snapshot"
          " to F on exit\n"
@@ -150,6 +154,8 @@ Options parse(int argc, char** argv) {
       opt.players = std::stoul(value);
     } else if (key == "--index") {
       opt.index = std::stoul(value);
+    } else if (key == "--shards") {
+      opt.shards = std::stoul(value);
     } else if (key == "--timeout-ms") {
       opt.timeout = std::chrono::milliseconds(std::stoul(value));
     } else if (key == "--metrics-out") {
@@ -181,27 +187,12 @@ void print_serve_wire(const Result& r) {
   print_wire("downlink", r.downlink);
 }
 
-int run_serve(const Options& opt) {
-  const MetricsReporter reporter(opt.metrics_interval);
-  ds::wire::TcpListener listener(opt.port);
-  std::cout << "referee: listening on 127.0.0.1:" << listener.port()
-            << ", awaiting " << opt.players << " player(s)\n";
-  std::vector<std::unique_ptr<ds::wire::Link>> links;
-  {
-    const ds::obs::ScopedSpan accept_span(
-        "service.accept", &ds::obs::histogram("service.accept_us"));
-    for (std::size_t i = 0; i < opt.players; ++i) {
-      std::unique_ptr<ds::wire::Link> link = listener.accept(opt.timeout);
-      if (!link) {
-        std::cerr << "referee: player " << i << " never connected\n";
-        return 1;
-      }
-      links.push_back(std::move(link));
-    }
-  }
-
-  ds::service::RefereeService referee(std::move(links), opt.coin_seed,
-                                      opt.timeout);
+/// Protocol dispatch shared by the blocking and sharded referees: both
+/// expose the same run / run_adaptive surface with identical result
+/// types, which is the point — `--shards` changes the ingestion path,
+/// never the protocol semantics.
+template <typename Service>
+int serve_protocols(Service& referee, const Options& opt) {
   if (opt.protocol == "spanning-forest") {
     const ds::protocols::AgmSpanningForest protocol;
     const auto r = referee.run(protocol, opt.n);
@@ -229,6 +220,52 @@ int run_serve(const Options& opt) {
   }
   write_metrics_snapshot(opt.metrics_out);
   return 0;
+}
+
+int run_serve(const Options& opt) {
+  const MetricsReporter reporter(opt.metrics_interval);
+  ds::wire::TcpListener listener(opt.port);
+  std::cout << "referee: listening on 127.0.0.1:" << listener.port()
+            << ", awaiting " << opt.players << " player(s)"
+            << (opt.shards > 0
+                    ? " across " + std::to_string(opt.shards) + " shard(s)"
+                    : std::string())
+            << "\n";
+
+  if (opt.shards > 0) {
+    ds::service::ShardedRefereeService referee(opt.shards, opt.coin_seed,
+                                               opt.timeout);
+    {
+      const ds::obs::ScopedSpan accept_span(
+          "service.accept", &ds::obs::histogram("service.accept_us"));
+      for (std::size_t i = 0; i < opt.players; ++i) {
+        const int fd = listener.accept_fd(opt.timeout);
+        if (fd < 0) {
+          std::cerr << "referee: player " << i << " never connected\n";
+          return 1;
+        }
+        (void)referee.adopt_fd(fd);
+      }
+    }
+    return serve_protocols(referee, opt);
+  }
+
+  std::vector<std::unique_ptr<ds::wire::Link>> links;
+  {
+    const ds::obs::ScopedSpan accept_span(
+        "service.accept", &ds::obs::histogram("service.accept_us"));
+    for (std::size_t i = 0; i < opt.players; ++i) {
+      std::unique_ptr<ds::wire::Link> link = listener.accept(opt.timeout);
+      if (!link) {
+        std::cerr << "referee: player " << i << " never connected\n";
+        return 1;
+      }
+      links.push_back(std::move(link));
+    }
+  }
+  ds::service::RefereeService referee(std::move(links), opt.coin_seed,
+                                      opt.timeout);
+  return serve_protocols(referee, opt);
 }
 
 int run_player(const Options& opt) {
