@@ -1,0 +1,297 @@
+// S1: turnstile stream ingestion throughput (src/streamio/).
+//
+// Per case the driver:
+//   1. materializes a GeneratorStream update sequence once (so every row
+//      replays byte-identical input via MemorySource, with generation
+//      cost outside the clock),
+//   2. ingests it serially (the DynamicConnectivity::apply baseline),
+//      then through the sharded ingestor at 1, 4, and
+//      configured_threads() pool threads,
+//   3. certifies every pooled row against the serial twin: same
+//      state_hash, same component count — the bit-identical ingestion
+//      contract of docs/STREAMING.md,
+//   4. also measures the raw generator drain rate and the file-backed
+//      write -> read -> ingest path (BinaryStreamWriter/Reader).
+//
+// Emits BENCH_stream.json and exits nonzero if any pooled row diverged
+// from its serial twin (speed never fails the run; a broken equality
+// contract always does).
+//
+// The flagship case holds n = 2^20 >= 10^6 vertices resident at
+// rounds=2 (the memory knob documented in stream/dynamic_stream.h);
+// `--quick` swaps in a small case for CI smoke jobs.
+//
+// Note on scaling: this container exposes a single hardware thread, so
+// pooled rows demonstrate that sharding adds no overhead and lands
+// identical state (flat updates/sec 1 -> 4 threads) rather than a
+// parallel speedup; the shards only run concurrently on multi-core
+// hosts.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "parallel/thread_pool.h"
+#include "streamio/generator_stream.h"
+#include "streamio/ingestor.h"
+
+namespace {
+
+using namespace ds;
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string hex64(std::uint64_t value) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+struct StreamRow {
+  std::string name;
+  std::string mode;  // "generate" | "ingest" | "ingest-file"
+  graph::Vertex n = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  std::size_t threads = 0;  // 0 = serial apply loop (no sharding)
+  double ms = 0.0;
+  double updates_per_sec = 0.0;
+  std::size_t state_bits = 0;
+  std::uint64_t state_hash = 0;
+  std::uint32_t components = 0;
+  std::size_t snapshots = 0;
+  bool matches_serial = true;  // trivially true for the baseline rows
+};
+
+struct CaseSpec {
+  std::string name;
+  streamio::GeneratorConfig config;
+  unsigned rounds = 2;
+  std::uint64_t sketch_seed = 2020;
+  std::uint64_t query_interval = 0;  // for the max-threads row
+};
+
+/// Drain the generator once, timing the drain itself (the "generate"
+/// row), and return the materialized sequence for the ingest rows.
+std::vector<stream::EdgeUpdate> materialize(const CaseSpec& spec,
+                                            std::vector<StreamRow>& rows) {
+  streamio::GeneratorStream source(spec.config);
+  std::vector<stream::EdgeUpdate> all;
+  std::vector<stream::EdgeUpdate> buf(std::size_t{1} << 15);
+  const auto start = Clock::now();
+  for (;;) {
+    const std::size_t got = source.next_batch(buf);
+    if (got == 0) break;
+    all.insert(all.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  StreamRow row;
+  row.name = spec.name + "/generate";
+  row.mode = "generate";
+  row.n = spec.config.n;
+  row.updates = all.size();
+  for (const stream::EdgeUpdate& u : all) {
+    (u.insert ? row.inserts : row.deletes) += 1;
+  }
+  row.ms = ms_since(start);
+  row.updates_per_sec =
+      row.ms > 0.0 ? static_cast<double>(row.updates) / (row.ms / 1e3) : 0.0;
+  rows.push_back(row);
+  std::cout << "[" << row.name << "] updates=" << row.updates
+            << " (" << row.inserts << " ins, " << row.deletes
+            << " del) gen=" << row.ms << "ms\n";
+  return all;
+}
+
+void run_case(const CaseSpec& spec, std::vector<StreamRow>& rows) {
+  const auto updates = materialize(spec, rows);
+
+  auto ingest_row = [&](const std::string& label, std::size_t threads,
+                        streamio::UpdateSource& source,
+                        const streamio::IngestOptions& options) {
+    stream::DynamicConnectivity state(spec.config.n, spec.sketch_seed,
+                                      spec.rounds);
+    const streamio::IngestReport report =
+        streamio::ingest(source, state, options);
+    StreamRow row;
+    row.name = spec.name + "/" + label;
+    row.mode = "ingest";
+    row.n = spec.config.n;
+    row.updates = report.updates;
+    row.inserts = report.inserts;
+    row.deletes = report.deletes;
+    row.threads = threads;
+    row.ms = report.wall_ms;
+    row.updates_per_sec = report.updates_per_sec();
+    row.state_bits = state.state_bits();
+    row.state_hash = state.state_hash();
+    row.components = state.query_components();
+    row.snapshots = report.snapshots.size();
+    rows.push_back(row);
+    std::cout << "[" << row.name << "] " << row.ms << "ms "
+              << static_cast<std::uint64_t>(row.updates_per_sec)
+              << " updates/sec components=" << row.components
+              << " hash=" << hex64(row.state_hash) << "\n";
+    return rows.size() - 1;
+  };
+
+  // Baseline: the plain serial apply loop.
+  streamio::MemorySource serial_source(spec.config.n, updates);
+  const std::size_t base = ingest_row("serial", 0, serial_source,
+                                      {.serial = true});
+  const std::uint64_t want_hash = rows[base].state_hash;
+  const std::uint32_t want_components = rows[base].components;
+
+  // Pooled rows: 1, 4, and the configured thread count (which also
+  // exercises the interleaved-query path).
+  struct PoolRow {
+    std::string label;
+    std::size_t threads;
+    std::uint64_t query_interval;
+  };
+  const PoolRow pool_rows[] = {
+      {"pool1", 1, 0},
+      {"pool4", 4, 0},
+      {"poolmax", parallel::configured_threads(), spec.query_interval},
+  };
+  for (const PoolRow& pr : pool_rows) {
+    parallel::ThreadPool pool(pr.threads);
+    streamio::MemorySource source(spec.config.n, updates);
+    streamio::IngestOptions options;
+    options.pool = &pool;
+    options.query_interval = pr.query_interval;
+    const std::size_t i = ingest_row(pr.label, pr.threads, source, options);
+    rows[i].matches_serial = rows[i].state_hash == want_hash &&
+                             rows[i].components == want_components;
+  }
+
+  // File-backed row: write the stream out, then ingest through the
+  // buffered reader (IO + parse + serial apply).
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("ds_bench_" + spec.name + ".stream")).string();
+  {
+    streamio::BinaryStreamWriter writer(path, spec.config.n,
+                                        spec.config.seed);
+    writer.append(updates);
+    if (!writer.finish()) {
+      std::cerr << "FAIL: could not write " << path << "\n";
+      std::exit(1);
+    }
+  }
+  {
+    streamio::BinaryStreamReader reader(path);
+    const std::size_t i =
+        ingest_row("file-serial", 0, reader, {.serial = true});
+    rows[i].mode = "ingest-file";
+    rows[i].matches_serial = rows[i].state_hash == want_hash;
+  }
+  std::remove(path.c_str());
+}
+
+void write_json(const std::string& path, const std::string& mode,
+                const std::vector<StreamRow>& rows) {
+  std::ofstream out(path);
+  out << "{\n  \"mode\": \"" << mode << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const StreamRow& r = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << r.name << "\",\n"
+        << "      \"mode\": \"" << r.mode << "\",\n"
+        << "      \"n\": " << r.n << ",\n"
+        << "      \"updates\": " << r.updates << ",\n"
+        << "      \"inserts\": " << r.inserts << ",\n"
+        << "      \"deletes\": " << r.deletes << ",\n"
+        << "      \"threads\": " << r.threads << ",\n"
+        << "      \"ms\": " << r.ms << ",\n"
+        << "      \"updates_per_sec\": " << r.updates_per_sec << ",\n"
+        << "      \"state_bits\": " << r.state_bits << ",\n"
+        << "      \"state_hash\": \"" << hex64(r.state_hash) << "\",\n"
+        << "      \"components\": " << r.components << ",\n"
+        << "      \"snapshots\": " << r.snapshots << ",\n"
+        << "      \"matches_serial\": "
+        << (r.matches_serial ? "true" : "false") << "\n    }"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": ";
+  ds::obs::write_json(out, ds::obs::snapshot(), "  ");
+  out << "\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_stream.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      out_path = arg;
+    }
+  }
+  ds::obs::set_metrics_enabled(true);
+
+  std::vector<StreamRow> rows;
+  if (quick) {
+    // CI smoke: small enough for sanitizer builds, same code paths.
+    CaseSpec rmat;
+    rmat.name = "rmat-quick";
+    rmat.config.family = streamio::Family::kRmat;
+    rmat.config.n = 1u << 12;
+    rmat.config.edges = 40000;
+    rmat.config.delete_fraction = 0.15;
+    rmat.config.seed = 7;
+    rmat.query_interval = 20000;
+    run_case(rmat, rows);
+  } else {
+    // The flagship n >= 10^6 turnstile case (acceptance floor for
+    // docs/STREAMING.md): 3M insert draws + ~15% deletions at
+    // rounds=2 keeps the resident sketch state a few GB.
+    CaseSpec rmat;
+    rmat.name = "rmat-1m";
+    rmat.config.family = streamio::Family::kRmat;
+    rmat.config.n = 1u << 20;
+    rmat.config.edges = 3000000;
+    rmat.config.delete_fraction = 0.15;
+    rmat.config.seed = 7;
+    rmat.query_interval = 1000000;
+    run_case(rmat, rows);
+
+    // A skewed-degree family at moderate scale.
+    CaseSpec cl;
+    cl.name = "chung-lu-100k";
+    cl.config.family = streamio::Family::kChungLu;
+    cl.config.n = 100000;
+    cl.config.edges = 500000;
+    cl.config.delete_fraction = 0.2;
+    cl.config.chung_lu_exponent = 2.5;
+    cl.config.seed = 8;
+    run_case(cl, rows);
+  }
+
+  write_json(out_path, quick ? "quick" : "full", rows);
+
+  for (const StreamRow& r : rows) {
+    if (!r.matches_serial) {
+      std::cerr << "FAIL: " << r.name
+                << " diverged from the serial ingest baseline\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -26,12 +26,19 @@
 # 1/2/4 shards, with the same payload_matches_sim certification. Exits
 # nonzero only on a correctness divergence, never on a slow run.
 #
+# Also emits BENCH_stream.json (schema in docs/STREAMING.md): turnstile
+# stream ingestion serial vs pooled at 1/4/max threads, with a
+# matches_serial flag certifying bit-identical sharded ingestion. Runs
+# the small --quick case by default; set BENCH_STREAM_MODE=--full for
+# the committed n >= 10^6 numbers (a few GB of RAM, several minutes).
+# Exits nonzero if any pooled ingest diverged from its serial twin.
+#
 # Usage:
 #   scripts/bench.sh                 # writes ./BENCH_parallel.json +
 #                                    #   ./BENCH_wire.json + ./BENCH_engine.json
-#                                    #   + ./BENCH_shard.json
+#                                    #   + ./BENCH_shard.json + ./BENCH_stream.json
 #   scripts/bench.sh out.json        # custom BENCH_parallel.json path
-#   scripts/bench.sh out.json wire.json engine.json shard.json  # custom paths
+#   scripts/bench.sh out.json wire.json engine.json shard.json stream.json
 #   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +47,8 @@ OUT="${1:-BENCH_parallel.json}"
 WIRE_OUT="${2:-BENCH_wire.json}"
 ENGINE_OUT="${3:-BENCH_engine.json}"
 SHARD_OUT="${4:-BENCH_shard.json}"
+STREAM_OUT="${5:-BENCH_stream.json}"
+STREAM_MODE="${BENCH_STREAM_MODE:---quick}"
 BUILD_DIR=build-release
 
 # Never pass -G at a configured cache: CMake refuses to switch generators
@@ -53,9 +62,10 @@ elif command -v ninja > /dev/null 2>&1; then
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine bench_shard
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine bench_shard bench_stream
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
 "$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"
 "$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT"
 "$BUILD_DIR"/bench/bench_shard "$SHARD_OUT"
+"$BUILD_DIR"/bench/bench_stream "$STREAM_OUT" $STREAM_MODE

@@ -1,6 +1,7 @@
 #include "graph/generators.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -138,6 +139,83 @@ NeedleInstance needle_bipartite(Vertex left, Vertex right, double p,
   edges.push_back(inst.needle);
   inst.graph = Graph::from_edges(n, edges);
   return inst;
+}
+
+void rmat_edges(Vertex n, std::uint64_t edges, const RmatParams& params,
+                util::Rng& rng, const EdgeSink& sink) {
+  assert(n >= 2);
+  assert(params.a >= 0 && params.b >= 0 && params.c >= 0 &&
+         params.a + params.b + params.c <= 1.0);
+  const unsigned scale =
+      static_cast<unsigned>(std::bit_width(static_cast<std::uint64_t>(n) - 1));
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    Vertex u = 0;
+    Vertex v = 0;
+    do {
+      u = 0;
+      v = 0;
+      for (unsigned level = 0; level < scale; ++level) {
+        // Quadrants (u-bit, v-bit): [0,a) -> (0,0), [a,a+b) -> (0,1),
+        // [a+b,a+b+c) -> (1,0), [a+b+c,1) -> (1,1).
+        const double r = rng.next_double();
+        u = static_cast<Vertex>((u << 1) | (r >= ab ? 1u : 0u));
+        v = static_cast<Vertex>(
+            (v << 1) | ((r >= params.a && r < ab) || r >= abc ? 1u : 0u));
+      }
+    } while (u == v || u >= n || v >= n);
+    sink(Edge{u, v});
+  }
+}
+
+Graph rmat(Vertex n, std::uint64_t edges, const RmatParams& params,
+           util::Rng& rng) {
+  std::vector<Edge> collected;
+  collected.reserve(edges);
+  rmat_edges(n, edges, params, rng,
+             [&](Edge e) { collected.push_back(e); });
+  return Graph::from_edges(n, collected);
+}
+
+PowerLawWeights::PowerLawWeights(Vertex n, double exponent)
+    : exponent_(exponent) {
+  assert(n >= 2 && exponent > 1.0);
+  const double alpha = 1.0 / (exponent - 1.0);
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (Vertex v = 0; v < n; ++v) {
+    total += std::pow(static_cast<double>(v) + 1.0, -alpha);
+    cdf_.push_back(total);
+  }
+}
+
+Vertex PowerLawWeights::sample(util::Rng& rng) const noexcept {
+  const double r = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), r);
+  const std::size_t idx =
+      static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  return static_cast<Vertex>(std::min(idx, cdf_.size() - 1));
+}
+
+void chung_lu_edges(const PowerLawWeights& weights, std::uint64_t edges,
+                    util::Rng& rng, const EdgeSink& sink) {
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    Vertex u = weights.sample(rng);
+    Vertex v = weights.sample(rng);
+    while (u == v) v = weights.sample(rng);
+    sink(Edge{u, v});
+  }
+}
+
+Graph chung_lu(Vertex n, double exponent, std::uint64_t edges,
+               util::Rng& rng) {
+  const PowerLawWeights weights(n, exponent);
+  std::vector<Edge> collected;
+  collected.reserve(edges);
+  chung_lu_edges(weights, edges, rng,
+                 [&](Edge e) { collected.push_back(e); });
+  return Graph::from_edges(n, collected);
 }
 
 Graph subsample_edges(const Graph& g, double keep_prob, util::Rng& rng) {

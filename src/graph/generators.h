@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "graph/graph.h"
 #include "util/rng.h"
@@ -45,6 +47,75 @@ struct BridgeInstance {
 };
 [[nodiscard]] BridgeInstance two_clusters_with_bridge(Vertex n, double p,
                                                       util::Rng& rng);
+
+// ---------------------------------------------------------------------
+// Streaming-friendly scale-free generators (R-MAT, Chung-Lu).
+//
+// The stream-ingestion workloads (src/streamio/) need edge sequences at
+// n >= 10^6, far past what a materialized Graph should hold just to be
+// replayed once.  The generators below therefore emit edges through a
+// callback — constant memory in the number of edges — and the
+// materialized Graph variants are thin wrappers over the same emission
+// loops, so both paths draw identical edges from identical seeds.
+// ---------------------------------------------------------------------
+
+/// Called once per generated edge.  Endpoints are distinct and < n, but
+/// edges are NOT deduplicated: both families are expected-degree models
+/// that naturally produce repeats (the materialized wrappers collapse
+/// them via Graph::from_edges).
+using EdgeSink = std::function<void(Edge)>;
+
+/// R-MAT recursive-quadrant probabilities [Chakrabarti-Zhan-Faloutsos];
+/// the fourth quadrant gets d = 1 - a - b - c.  The defaults are the
+/// conventional skewed setting (Graph500 uses a similar shape).
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+};
+
+/// `edges` R-MAT draws over vertices [0, n), n >= 2.  n need not be a
+/// power of two: draws landing on the diagonal or outside [0, n) are
+/// redrawn (the quadrant skew points at low ids, so acceptance is high).
+void rmat_edges(Vertex n, std::uint64_t edges, const RmatParams& params,
+                util::Rng& rng, const EdgeSink& sink);
+
+/// Materialized R-MAT graph; same draws as rmat_edges, duplicates
+/// collapsed.
+[[nodiscard]] Graph rmat(Vertex n, std::uint64_t edges,
+                         const RmatParams& params, util::Rng& rng);
+
+/// Chung-Lu power-law weight table: vertex v carries weight
+/// (v + 1)^(-1/(exponent - 1)), the classic choice giving an expected
+/// degree sequence with tail exponent `exponent` (> 1; 2.5 is typical).
+/// Built once (O(n) doubles) and shared by every sampling pass.
+class PowerLawWeights {
+ public:
+  PowerLawWeights(Vertex n, double exponent);
+
+  /// A vertex drawn with probability proportional to its weight
+  /// (inverse-CDF binary search, O(log n)).
+  [[nodiscard]] Vertex sample(util::Rng& rng) const noexcept;
+
+  [[nodiscard]] Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(cdf_.size());
+  }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;  // cdf_[v] = w_0 + ... + w_v
+};
+
+/// `edges` Chung-Lu draws: both endpoints sampled independently in
+/// proportion to their weight (the "fast Chung-Lu" expected-degree
+/// model), diagonal draws redrawn.
+void chung_lu_edges(const PowerLawWeights& weights, std::uint64_t edges,
+                    util::Rng& rng, const EdgeSink& sink);
+
+/// Materialized Chung-Lu graph; same draws, duplicates collapsed.
+[[nodiscard]] Graph chung_lu(Vertex n, double exponent, std::uint64_t edges,
+                             util::Rng& rng);
 
 /// Keep each edge of g independently with probability `keep_prob`
 /// (the random subsampling step of distribution D_MM).

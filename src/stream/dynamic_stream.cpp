@@ -3,25 +3,39 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/bitio.h"
+#include "util/rng.h"
+
 namespace ds::stream {
 
 using graph::Edge;
 using graph::Vertex;
 
-DynamicConnectivity::DynamicConnectivity(Vertex n, std::uint64_t seed)
+DynamicConnectivity::DynamicConnectivity(Vertex n, std::uint64_t seed,
+                                         unsigned rounds)
     : coins_(seed) {
+  // Every vertex shares one sketch shape (same hash families and
+  // fingerprint bases — AGM merging requires it), so build the shape
+  // once and copy: at n >= 10^6 this replaces ~10^8 coin-stream
+  // constructions with plain memcpys of zeroed state.
   sketches_.reserve(n);
-  for (Vertex v = 0; v < n; ++v) {
-    sketches_.push_back(sketch::AgmVertexSketch::make(coins_, n));
+  if (n > 0) {
+    const auto shape = sketch::AgmVertexSketch::make(coins_, n, rounds);
+    for (Vertex v = 0; v < n; ++v) sketches_.push_back(shape);
   }
 }
 
 void DynamicConnectivity::apply(const EdgeUpdate& update) {
   const Edge e = update.edge;
-  assert(e.u != e.v && e.u < num_vertices() && e.v < num_vertices());
   const std::int64_t scale = update.insert ? +1 : -1;
-  sketches_[e.u].add_single_edge(e.u, e.v, scale);
-  sketches_[e.v].add_single_edge(e.v, e.u, scale);
+  add_half_edge(e.u, e.v, scale);
+  add_half_edge(e.v, e.u, scale);
+}
+
+void DynamicConnectivity::add_half_edge(Vertex v, Vertex w,
+                                        std::int64_t scale) {
+  assert(v != w && v < num_vertices() && w < num_vertices());
+  sketches_[v].add_single_edge(v, w, scale);
 }
 
 sketch::SpanningForestDecode DynamicConnectivity::query_forest() const {
@@ -39,6 +53,24 @@ std::size_t DynamicConnectivity::state_bits() const {
   std::size_t bits = 0;
   for (const auto& s : sketches_) bits += s.state_bits();
   return bits;
+}
+
+unsigned DynamicConnectivity::rounds() const noexcept {
+  return sketches_.empty() ? 0 : sketches_.front().rounds();
+}
+
+std::uint64_t DynamicConnectivity::state_hash() const {
+  // Serialize per vertex and fold the words through mix64 with a running
+  // chain value, so both the word values and their order are pinned.
+  std::uint64_t h = util::mix64(0x5354484153480001ULL, num_vertices());
+  util::BitWriter w;
+  for (const auto& s : sketches_) {
+    w.clear();
+    s.write(w);
+    h = util::mix64(h, w.bit_count());
+    for (const std::uint64_t word : w.words()) h = util::mix64(h, word);
+  }
+  return h;
 }
 
 InsertionGreedyMatching::InsertionGreedyMatching(Vertex n)

@@ -36,12 +36,26 @@ struct EdgeUpdate {
 class DynamicConnectivity {
  public:
   /// `seed` keys the sketch randomness (a stream algorithm's private
-  /// coins must be independent of the stream).
-  DynamicConnectivity(graph::Vertex n, std::uint64_t seed);
+  /// coins must be independent of the stream).  `rounds` is the number of
+  /// independent per-vertex samplers — the Boruvka depth the state can
+  /// support: 0 means agm_default_rounds(n) (full O(log n) depth, exact
+  /// whp), smaller values trade query completeness for an `rounds`-fold
+  /// smaller memory footprint, which is what lets the stream ingestion
+  /// workloads hold n >= 10^6 vertices resident (docs/STREAMING.md).
+  DynamicConnectivity(graph::Vertex n, std::uint64_t seed,
+                      unsigned rounds = 0);
 
   void apply(const EdgeUpdate& update);
   void insert(graph::Vertex u, graph::Vertex v) { apply({{u, v}, true}); }
   void remove(graph::Vertex u, graph::Vertex v) { apply({{u, v}, false}); }
+
+  /// One endpoint's half of apply(): account edge {v, w} in v's sketch
+  /// only, scaled +1 (insert) or -1 (delete).  apply(u, v) is exactly
+  /// add_half_edge(u, v, s) followed by add_half_edge(v, u, s), and the
+  /// field operations commute, so a vertex-sharded ingestor (each shard
+  /// owning the half-edges of its own vertex range; src/streamio/) lands
+  /// bit-identical state in any execution order.
+  void add_half_edge(graph::Vertex v, graph::Vertex w, std::int64_t scale);
 
   /// Decode a spanning forest of the current graph (consumes fresh sketch
   /// copies; the stream state is untouched and can keep absorbing
@@ -54,6 +68,15 @@ class DynamicConnectivity {
   }
   /// Total sketch state in bits (the algorithm's memory footprint).
   [[nodiscard]] std::size_t state_bits() const;
+
+  /// Samplers per vertex (the Boruvka depth queries can reach).
+  [[nodiscard]] unsigned rounds() const noexcept;
+
+  /// Order-sensitive 64-bit digest of the serialized sketch state, the
+  /// equality witness for the parallel-ingestion audits: two runs with
+  /// equal hashes hold (up to collision) identical sketch words, hence
+  /// identical answers to every future query.
+  [[nodiscard]] std::uint64_t state_hash() const;
 
  private:
   model::PublicCoins coins_;

@@ -1,0 +1,184 @@
+#include "streamio/binary_stream.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ds::streamio {
+
+namespace {
+
+constexpr std::size_t kWriterBufferBytes = std::size_t{1} << 16;
+
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) noexcept {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// BinaryStreamWriter
+// ---------------------------------------------------------------------
+
+BinaryStreamWriter::BinaryStreamWriter(const std::string& path,
+                                       graph::Vertex n, std::uint64_t seed)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  assert(n >= 2);
+  buffer_.reserve(kWriterBufferBytes + kRecordBytes);
+  std::uint8_t header[kHeaderBytes];
+  put_u32(header, kMagic);
+  put_u32(header + 4, kVersion);
+  put_u64(header + 8, n);
+  put_u64(header + 16, 0);  // update count, patched by finish()
+  put_u64(header + 24, seed);
+  out_.write(reinterpret_cast<const char*>(header), kHeaderBytes);
+}
+
+BinaryStreamWriter::~BinaryStreamWriter() { (void)finish(); }
+
+void BinaryStreamWriter::append(const stream::EdgeUpdate& update) {
+  assert(!finished_);
+  const std::size_t at = buffer_.size();
+  buffer_.resize(at + kRecordBytes);
+  encode_record(update, buffer_.data() + at);
+  ++count_;
+  if (buffer_.size() >= kWriterBufferBytes) flush_buffer();
+}
+
+void BinaryStreamWriter::append(
+    std::span<const stream::EdgeUpdate> updates) {
+  for (const stream::EdgeUpdate& u : updates) append(u);
+}
+
+void BinaryStreamWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
+}
+
+bool BinaryStreamWriter::finish() {
+  if (finished_) return out_.good();
+  finished_ = true;
+  flush_buffer();
+  std::uint8_t count_bytes[8];
+  put_u64(count_bytes, count_);
+  out_.seekp(16, std::ios::beg);
+  out_.write(reinterpret_cast<const char*>(count_bytes), 8);
+  out_.flush();
+  return out_.good();
+}
+
+// ---------------------------------------------------------------------
+// BinaryStreamReader
+// ---------------------------------------------------------------------
+
+BinaryStreamReader::BinaryStreamReader(const std::string& path,
+                                       std::size_t buffer_bytes)
+    : in_(path, std::ios::binary) {
+  buffer_.resize(std::max(buffer_bytes, kRecordBytes * 2));
+  if (!in_.good()) {
+    status_ = ReadStatus::kIoError;
+    return;
+  }
+  std::uint8_t header[kHeaderBytes];
+  in_.read(reinterpret_cast<char*>(header), kHeaderBytes);
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  bytes_read_ += got;
+  if (got < kHeaderBytes) {
+    status_ = ReadStatus::kTruncatedHeader;
+    return;
+  }
+  if (get_u32(header) != kMagic) {
+    status_ = ReadStatus::kBadMagic;
+    return;
+  }
+  if (get_u32(header + 4) != kVersion) {
+    status_ = ReadStatus::kBadVersion;
+    return;
+  }
+  const std::uint64_t n64 = get_u64(header + 8);
+  if (n64 < 2 || n64 > 0xFFFFFFFFULL) {
+    status_ = ReadStatus::kBadHeader;
+    return;
+  }
+  header_.n = static_cast<graph::Vertex>(n64);
+  header_.updates = get_u64(header + 16);
+  header_.seed = get_u64(header + 24);
+  if (header_.updates == 0) status_ = ReadStatus::kEnd;
+}
+
+void BinaryStreamReader::refill() {
+  // Slide the partial-record tail to the front, then top up.
+  const std::size_t tail = buf_len_ - buf_pos_;
+  if (tail > 0 && buf_pos_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + buf_pos_, tail);
+  }
+  buf_pos_ = 0;
+  buf_len_ = tail;
+  if (file_exhausted_) return;
+  in_.read(reinterpret_cast<char*>(buffer_.data() + buf_len_),
+           static_cast<std::streamsize>(buffer_.size() - buf_len_));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  bytes_read_ += got;
+  buf_len_ += got;
+  if (got == 0 || in_.eof()) file_exhausted_ = true;
+  if (in_.bad()) status_ = ReadStatus::kIoError;
+}
+
+std::size_t BinaryStreamReader::next_batch(
+    std::span<stream::EdgeUpdate> out) {
+  if (status_ != ReadStatus::kOk) return 0;
+  std::size_t filled = 0;
+  while (filled < out.size() && delivered_ < header_.updates) {
+    if (buf_len_ - buf_pos_ < kRecordBytes) {
+      refill();
+      if (status_ != ReadStatus::kOk) break;
+      if (buf_len_ - buf_pos_ < kRecordBytes) {
+        // The file ended before the declared count — either mid-record
+        // or on a record boundary; both are truncation.
+        status_ = ReadStatus::kTruncatedRecord;
+        break;
+      }
+    }
+    const ReadStatus rs =
+        decode_record(buffer_.data() + buf_pos_, header_.n, out[filled]);
+    if (rs != ReadStatus::kOk) {
+      status_ = rs;
+      break;
+    }
+    buf_pos_ += kRecordBytes;
+    ++filled;
+    ++delivered_;
+  }
+  if (status_ == ReadStatus::kOk && delivered_ == header_.updates) {
+    status_ = ReadStatus::kEnd;
+  }
+  return filled;
+}
+
+}  // namespace ds::streamio

@@ -1,0 +1,109 @@
+// The versioned binary turnstile edge-stream format (docs/STREAMING.md).
+//
+// A stream file is a fixed 32-byte header followed by fixed-width 9-byte
+// update records, everything little-endian:
+//
+//   header:  magic  u32 = 0x52545344 ("DSTR")
+//            version u32 = 1
+//            n       u64   vertex-id space [0, n), n >= 2
+//            updates u64   record count (patched by the writer's finish())
+//            seed    u64   generator seed hint, 0 = unspecified
+//   record:  op u8 (0 = insert, 1 = delete), u u32, v u32
+//
+// Fixed-width records are the point: the reader's inner loop is a bounds
+// check and two loads per update — no varint branches — and a file's
+// size pins its record count, so truncation is detectable without a
+// trailer.  Every malformed-input case maps to a distinguished
+// ReadStatus (tests/streamio/format_test.cpp covers each one).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stream/dynamic_stream.h"
+
+namespace ds::streamio {
+
+inline constexpr std::uint32_t kMagic = 0x52545344;  // "DSTR" on disk
+inline constexpr std::uint32_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+inline constexpr std::size_t kRecordBytes = 9;
+
+struct StreamHeader {
+  graph::Vertex n = 0;         // stored as u64 on disk
+  std::uint64_t updates = 0;   // number of records that follow
+  std::uint64_t seed = 0;      // provenance hint only, never consumed
+};
+
+/// Everything a read can report.  kOk/kEnd are the two success states;
+/// the rest are distinguished failures — a reader latches the first one
+/// and refuses further batches.
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,          // more records may follow
+  kEnd,             // all declared records delivered
+  kBadMagic,        // first four bytes are not "DSTR"
+  kBadVersion,      // unknown format version
+  kBadHeader,       // header fields invalid (n < 2, or n >= 2^32)
+  kTruncatedHeader, // file ends inside the 32-byte header
+  kTruncatedRecord, // file ends inside a record, or before the declared count
+  kBadOp,           // record op byte outside {0, 1}
+  kBadVertex,       // endpoint >= n, or a self-loop
+  kIoError,         // the underlying stream failed outright
+};
+
+[[nodiscard]] constexpr const char* to_string(ReadStatus status) noexcept {
+  switch (status) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kEnd: return "end";
+    case ReadStatus::kBadMagic: return "bad-magic";
+    case ReadStatus::kBadVersion: return "bad-version";
+    case ReadStatus::kBadHeader: return "bad-header";
+    case ReadStatus::kTruncatedHeader: return "truncated-header";
+    case ReadStatus::kTruncatedRecord: return "truncated-record";
+    case ReadStatus::kBadOp: return "bad-op";
+    case ReadStatus::kBadVertex: return "bad-vertex";
+    case ReadStatus::kIoError: return "io-error";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr bool is_error(ReadStatus status) noexcept {
+  return status != ReadStatus::kOk && status != ReadStatus::kEnd;
+}
+
+/// Serialize `update` into exactly kRecordBytes at `out`.
+inline void encode_record(const stream::EdgeUpdate& update,
+                          std::uint8_t* out) noexcept {
+  out[0] = update.insert ? 0 : 1;
+  const graph::Vertex u = update.edge.u;
+  const graph::Vertex v = update.edge.v;
+  out[1] = static_cast<std::uint8_t>(u);
+  out[2] = static_cast<std::uint8_t>(u >> 8);
+  out[3] = static_cast<std::uint8_t>(u >> 16);
+  out[4] = static_cast<std::uint8_t>(u >> 24);
+  out[5] = static_cast<std::uint8_t>(v);
+  out[6] = static_cast<std::uint8_t>(v >> 8);
+  out[7] = static_cast<std::uint8_t>(v >> 16);
+  out[8] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/// Parse kRecordBytes at `in` and validate against the id space [0, n).
+/// Returns kOk and fills `update`, or the distinguished failure.
+inline ReadStatus decode_record(const std::uint8_t* in, graph::Vertex n,
+                                stream::EdgeUpdate& update) noexcept {
+  if (in[0] > 1) return ReadStatus::kBadOp;
+  const graph::Vertex u = static_cast<graph::Vertex>(in[1]) |
+                          static_cast<graph::Vertex>(in[2]) << 8 |
+                          static_cast<graph::Vertex>(in[3]) << 16 |
+                          static_cast<graph::Vertex>(in[4]) << 24;
+  const graph::Vertex v = static_cast<graph::Vertex>(in[5]) |
+                          static_cast<graph::Vertex>(in[6]) << 8 |
+                          static_cast<graph::Vertex>(in[7]) << 16 |
+                          static_cast<graph::Vertex>(in[8]) << 24;
+  if (u >= n || v >= n || u == v) return ReadStatus::kBadVertex;
+  update.edge = {u, v};
+  update.insert = in[0] == 0;
+  return ReadStatus::kOk;
+}
+
+}  // namespace ds::streamio

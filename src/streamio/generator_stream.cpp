@@ -1,0 +1,101 @@
+#include "streamio/generator_stream.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ds::streamio {
+
+GeneratorStream::GeneratorStream(const GeneratorConfig& config)
+    : config_(config) {
+  assert(config_.n >= 2);
+  assert(config_.delete_fraction >= 0.0 && config_.delete_fraction <= 1.0);
+  if (config_.family == Family::kChungLu) {
+    weights_.emplace(config_.n, config_.chung_lu_exponent);
+  }
+  blocks_total_ = (config_.edges + kBlockEdges - 1) / kBlockEdges;
+  block_.reserve(static_cast<std::size_t>(
+      kBlockEdges + kBlockEdges / 4 + 16));
+}
+
+void GeneratorStream::rewind() noexcept {
+  next_block_ = 0;
+  emitted_ = 0;
+  block_.clear();
+  block_pos_ = 0;
+}
+
+ReadStatus GeneratorStream::status() const noexcept {
+  const bool more = block_pos_ < block_.size() || next_block_ < blocks_total_;
+  return more ? ReadStatus::kOk : ReadStatus::kEnd;
+}
+
+void GeneratorStream::fill_block() {
+  block_.clear();
+  block_pos_ = 0;
+  if (next_block_ >= blocks_total_) return;
+
+  const std::uint64_t lo = next_block_ * kBlockEdges;
+  const std::uint64_t hi = std::min(lo + kBlockEdges, config_.edges);
+  const std::uint64_t count = hi - lo;
+  util::Rng rng(util::derive_seed(config_.seed, next_block_));
+  ++next_block_;
+
+  // Draw the block's edges first, then (from the same stream, after all
+  // edge draws) the deletion plan — the split keeps the edge sequence
+  // identical whether or not deletions are enabled.
+  std::vector<graph::Edge> edges;
+  edges.reserve(count);
+  const auto sink = [&](graph::Edge e) { edges.push_back(e); };
+  if (config_.family == Family::kRmat) {
+    graph::rmat_edges(config_.n, count, config_.rmat, rng, sink);
+  } else {
+    graph::chung_lu_edges(*weights_, count, rng, sink);
+  }
+
+  // Interleave: insert i gets sort key 2i; a deleted edge i adds a
+  // delete with key 2j+1 for uniform j in [i, count), which always sorts
+  // after its own insert but lands anywhere in the rest of the block.
+  struct Keyed {
+    std::uint64_t key;
+    stream::EdgeUpdate update;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(edges.size() + edges.size() / 4 + 1);
+  for (std::uint64_t i = 0; i < edges.size(); ++i) {
+    keyed.push_back({2 * i, {edges[i], true}});
+  }
+  if (config_.delete_fraction > 0.0) {
+    for (std::uint64_t i = 0; i < edges.size(); ++i) {
+      if (!rng.next_bernoulli(config_.delete_fraction)) continue;
+      const std::uint64_t j = i + rng.next_below(edges.size() - i);
+      keyed.push_back({2 * j + 1, {edges[i], false}});
+    }
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.key < b.key;
+                   });
+  for (const Keyed& k : keyed) block_.push_back(k.update);
+}
+
+std::size_t GeneratorStream::next_batch(std::span<stream::EdgeUpdate> out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    if (block_pos_ == block_.size()) {
+      if (next_block_ >= blocks_total_) break;
+      fill_block();
+      if (block_.empty()) break;
+    }
+    const std::size_t take =
+        std::min(out.size() - filled, block_.size() - block_pos_);
+    for (std::size_t i = 0; i < take; ++i) {
+      out[filled + i] = block_[block_pos_ + i];
+    }
+    filled += take;
+    block_pos_ += take;
+  }
+  emitted_ += filled;
+  return filled;
+}
+
+}  // namespace ds::streamio

@@ -1,0 +1,80 @@
+// Synthetic turnstile update streams at n >= 10^6, generated in fixed
+// blocks without ever materializing a graph::Graph.
+//
+// Determinism contract (docs/STREAMING.md): the update sequence is a
+// pure function of the GeneratorConfig.  Block b of kBlockEdges edges
+// is drawn from Rng(derive_seed(seed, b)) — counter-based, exactly the
+// trial-loop idiom of docs/PARALLELISM.md — so the sequence does not
+// depend on the consumer's batch size, on how many blocks were
+// generated before, or on the thread count of whatever ingests it.
+// Replaying a config always yields byte-identical updates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/generators.h"
+#include "streamio/binary_stream.h"
+
+namespace ds::streamio {
+
+enum class Family : std::uint8_t { kRmat, kChungLu };
+
+[[nodiscard]] constexpr const char* to_string(Family family) noexcept {
+  return family == Family::kRmat ? "rmat" : "chung_lu";
+}
+
+struct GeneratorConfig {
+  Family family = Family::kRmat;
+  graph::Vertex n = 0;
+  std::uint64_t edges = 0;       // inserted edges across the whole stream
+  /// Each inserted edge is independently re-deleted later in its own
+  /// block with this probability, so deletions always cancel a real
+  /// prior insertion (the turnstile regime the sketches absorb).
+  double delete_fraction = 0.0;
+  std::uint64_t seed = 1;
+  graph::RmatParams rmat{};
+  double chung_lu_exponent = 2.5;  // power-law tail of the weight table
+};
+
+/// Edges generated per derive_seed block.  Fixed — never derived from
+/// the consumer's batch size — because it is part of the determinism
+/// contract above.
+inline constexpr std::uint64_t kBlockEdges = std::uint64_t{1} << 15;
+
+class GeneratorStream final : public UpdateSource {
+ public:
+  explicit GeneratorStream(const GeneratorConfig& config);
+
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return config_.n;
+  }
+  [[nodiscard]] std::size_t next_batch(
+      std::span<stream::EdgeUpdate> out) override;
+  [[nodiscard]] ReadStatus status() const noexcept override;
+
+  [[nodiscard]] const GeneratorConfig& config() const noexcept {
+    return config_;
+  }
+  /// Updates handed out so far (inserts + deletes).
+  [[nodiscard]] std::uint64_t updates_emitted() const noexcept {
+    return emitted_;
+  }
+
+  /// Restart the stream from block 0; the replay is byte-identical.
+  void rewind() noexcept;
+
+ private:
+  void fill_block();
+
+  GeneratorConfig config_;
+  std::optional<graph::PowerLawWeights> weights_;  // kChungLu only
+  std::uint64_t next_block_ = 0;
+  std::uint64_t blocks_total_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::vector<stream::EdgeUpdate> block_;
+  std::size_t block_pos_ = 0;
+};
+
+}  // namespace ds::streamio

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "graph/connectivity.h"
 
@@ -105,6 +107,100 @@ TEST(Generators, SubsampleIsSubset) {
   const Graph g = gnp(50, 0.2, rng);
   const Graph sub = subsample_edges(g, 0.5, rng);
   for (const Edge& e : sub.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+}
+
+TEST(Generators, RmatEdgesAreValidAndDeterministic) {
+  const RmatParams params;
+  std::vector<Edge> first;
+  util::Rng rng_a(9);
+  rmat_edges(100, 500, params, rng_a, [&](Edge e) { first.push_back(e); });
+  ASSERT_EQ(first.size(), 500u);
+  for (const Edge& e : first) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    EXPECT_NE(e.u, e.v);
+  }
+  std::vector<Edge> second;
+  util::Rng rng_b(9);
+  rmat_edges(100, 500, params, rng_b, [&](Edge e) { second.push_back(e); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(Generators, RmatMaterializedMatchesCallbackDraws) {
+  const RmatParams params;
+  util::Rng rng_a(10);
+  const Graph g = rmat(64, 300, params, rng_a);
+  std::vector<Edge> drawn;
+  util::Rng rng_b(10);
+  rmat_edges(64, 300, params, rng_b, [&](Edge e) { drawn.push_back(e); });
+  EXPECT_EQ(g, Graph::from_edges(64, drawn));
+}
+
+TEST(Generators, RmatIsSkewedTowardLowIds) {
+  // With the default quadrant weights most edge mass concentrates on
+  // low vertex ids: P(top two bits zero) = (a+b)^2 ~ 0.58 per endpoint.
+  // Count raw draws (materializing dedups the dense corner and flattens
+  // the skew).
+  util::Rng rng(11);
+  std::uint64_t low = 0;
+  std::uint64_t total = 0;
+  rmat_edges(256, 4000, RmatParams{}, rng, [&](Edge e) {
+    total += 2;
+    if (e.u < 64) ++low;
+    if (e.v < 64) ++low;
+  });
+  EXPECT_GT(low * 2, total);  // >50% of mass in the lowest 25% of ids
+}
+
+TEST(Generators, PowerLawWeightsSampleSkew) {
+  const PowerLawWeights weights(1000, 2.5);
+  EXPECT_EQ(weights.num_vertices(), 1000u);
+  util::Rng rng(12);
+  std::uint64_t low = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (weights.sample(rng) < 100) ++low;
+  }
+  // The head of a power law holds far more than its 10% uniform share.
+  EXPECT_GT(low, kDraws / 4);
+}
+
+TEST(Generators, ChungLuEdgesValidAndDeterministic) {
+  const PowerLawWeights weights(500, 2.5);
+  std::vector<Edge> first;
+  util::Rng rng_a(13);
+  chung_lu_edges(weights, 800, rng_a, [&](Edge e) { first.push_back(e); });
+  ASSERT_EQ(first.size(), 800u);
+  for (const Edge& e : first) {
+    EXPECT_LT(e.u, 500u);
+    EXPECT_LT(e.v, 500u);
+    EXPECT_NE(e.u, e.v);
+  }
+  std::vector<Edge> second;
+  util::Rng rng_b(13);
+  chung_lu_edges(weights, 800, rng_b, [&](Edge e) { second.push_back(e); });
+  EXPECT_EQ(first, second);
+}
+
+TEST(Generators, ChungLuMaterializedMatchesCallbackDraws) {
+  util::Rng rng_a(14);
+  const Graph g = chung_lu(200, 2.5, 600, rng_a);
+  const PowerLawWeights weights(200, 2.5);
+  std::vector<Edge> drawn;
+  util::Rng rng_b(14);
+  chung_lu_edges(weights, 600, rng_b, [&](Edge e) { drawn.push_back(e); });
+  EXPECT_EQ(g, Graph::from_edges(200, drawn));
+}
+
+TEST(Generators, RmatHandlesNonPowerOfTwoN) {
+  util::Rng rng(15);
+  std::size_t count = 0;
+  rmat_edges(100, 200, RmatParams{}, rng, [&](Edge e) {
+    EXPECT_LT(e.u, 100u);
+    EXPECT_LT(e.v, 100u);
+    ++count;
+  });
+  EXPECT_EQ(count, 200u);
 }
 
 }  // namespace

@@ -1,0 +1,190 @@
+// GeneratorStream: the derive_seed block-keyed determinism contract —
+// the update sequence is a pure function of the config, independent of
+// consumer batch size — plus turnstile well-formedness (every delete
+// cancels a real prior insert) and constant-memory generation at
+// n >= 10^6.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "streamio/generator_stream.h"
+
+namespace ds::streamio {
+namespace {
+
+using stream::EdgeUpdate;
+
+std::vector<EdgeUpdate> drain(GeneratorStream& source,
+                              std::size_t batch_size) {
+  std::vector<EdgeUpdate> all;
+  std::vector<EdgeUpdate> buf(batch_size);
+  for (;;) {
+    const std::size_t got = source.next_batch(buf);
+    if (got == 0) break;
+    all.insert(all.end(), buf.begin(),
+               buf.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  return all;
+}
+
+bool same_updates(const std::vector<EdgeUpdate>& a,
+                  const std::vector<EdgeUpdate>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].edge != b[i].edge || a[i].insert != b[i].insert) return false;
+  }
+  return true;
+}
+
+GeneratorConfig small_config(Family family) {
+  GeneratorConfig config;
+  config.family = family;
+  config.n = 500;
+  config.edges = 3000;
+  config.delete_fraction = 0.3;
+  config.seed = 11;
+  return config;
+}
+
+TEST(GeneratorStream, BatchSizeDoesNotChangeTheSequence) {
+  for (const Family family : {Family::kRmat, Family::kChungLu}) {
+    GeneratorStream a(small_config(family));
+    GeneratorStream b(small_config(family));
+    GeneratorStream c(small_config(family));
+    const auto small = drain(a, 13);
+    const auto large = drain(b, 4096);
+    const auto single = drain(c, 1);
+    EXPECT_TRUE(same_updates(small, large)) << to_string(family);
+    EXPECT_TRUE(same_updates(small, single)) << to_string(family);
+    EXPECT_EQ(a.status(), ReadStatus::kEnd);
+  }
+}
+
+TEST(GeneratorStream, RewindReplaysByteIdentically) {
+  GeneratorStream source(small_config(Family::kRmat));
+  const auto first = drain(source, 100);
+  source.rewind();
+  const auto second = drain(source, 257);
+  EXPECT_TRUE(same_updates(first, second));
+}
+
+TEST(GeneratorStream, SeedChangesTheSequence) {
+  GeneratorConfig other = small_config(Family::kRmat);
+  other.seed = 12;
+  GeneratorStream a(small_config(Family::kRmat));
+  GeneratorStream b(other);
+  EXPECT_FALSE(same_updates(drain(a, 64), drain(b, 64)));
+}
+
+TEST(GeneratorStream, EveryDeleteCancelsAPriorInsert) {
+  for (const Family family : {Family::kRmat, Family::kChungLu}) {
+    GeneratorStream source(small_config(family));
+    const auto updates = drain(source, 512);
+    std::map<std::pair<graph::Vertex, graph::Vertex>, std::int64_t> mult;
+    for (const EdgeUpdate& u : updates) {
+      const graph::Edge e = u.edge.normalized();
+      auto& count = mult[{e.u, e.v}];
+      count += u.insert ? 1 : -1;
+      // A delete may never drive an edge's multiplicity negative: the
+      // generator only deletes edges it inserted earlier in the block.
+      EXPECT_GE(count, 0) << to_string(family);
+    }
+  }
+}
+
+TEST(GeneratorStream, InsertCountMatchesConfiguredEdges) {
+  GeneratorStream source(small_config(Family::kRmat));
+  const auto updates = drain(source, 999);
+  std::uint64_t inserts = 0;
+  std::uint64_t deletes = 0;
+  for (const EdgeUpdate& u : updates) (u.insert ? inserts : deletes) += 1;
+  EXPECT_EQ(inserts, 3000u);
+  // delete_fraction = 0.3 with 3000 draws: nowhere near the extremes.
+  EXPECT_GT(deletes, 600u);
+  EXPECT_LT(deletes, 1500u);
+  EXPECT_EQ(source.updates_emitted(), updates.size());
+}
+
+TEST(GeneratorStream, ZeroDeleteFractionKeepsEdgeSequence) {
+  // The edge draws must be identical with and without deletions (the
+  // deletion plan is drawn after all edge draws in each block).
+  GeneratorConfig with = small_config(Family::kRmat);
+  GeneratorConfig without = small_config(Family::kRmat);
+  without.delete_fraction = 0.0;
+  GeneratorStream a(with);
+  GeneratorStream b(without);
+  std::vector<graph::Edge> inserts_a;
+  for (const EdgeUpdate& u : drain(a, 128)) {
+    if (u.insert) inserts_a.push_back(u.edge);
+  }
+  std::vector<graph::Edge> inserts_b;
+  for (const EdgeUpdate& u : drain(b, 128)) inserts_b.push_back(u.edge);
+  EXPECT_EQ(inserts_a, inserts_b);
+}
+
+TEST(GeneratorStream, MillionVertexGenerationStaysStreaming) {
+  // n >= 10^6 with a bounded pull: generation cost is per-block, so
+  // pulling 200k updates must not materialize anything n-sized beyond
+  // the Chung-Lu weight table.
+  GeneratorConfig config;
+  config.family = Family::kRmat;
+  config.n = 1u << 20;
+  config.edges = 200000;
+  config.delete_fraction = 0.1;
+  config.seed = 3;
+  GeneratorStream source(config);
+  std::vector<EdgeUpdate> buf(1 << 14);
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::size_t got = source.next_batch(buf);
+    if (got == 0) break;
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_LT(buf[i].edge.u, config.n);
+      ASSERT_LT(buf[i].edge.v, config.n);
+      ASSERT_NE(buf[i].edge.u, buf[i].edge.v);
+    }
+    seen += got;
+  }
+  EXPECT_GE(seen, config.edges);
+  EXPECT_EQ(source.status(), ReadStatus::kEnd);
+}
+
+TEST(GeneratorStream, WriteThenReadBackEqualsDirectDrain) {
+  const GeneratorConfig config = small_config(Family::kChungLu);
+  GeneratorStream source(config);
+  const auto direct = drain(source, 300);
+
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "ds_generator_roundtrip.stream").string();
+  {
+    BinaryStreamWriter writer(path, config.n, config.seed);
+    source.rewind();
+    std::vector<EdgeUpdate> buf(1024);
+    for (;;) {
+      const std::size_t got = source.next_batch(buf);
+      if (got == 0) break;
+      writer.append(std::span<const EdgeUpdate>(buf.data(), got));
+    }
+    ASSERT_TRUE(writer.finish());
+  }
+  BinaryStreamReader reader(path);
+  EXPECT_EQ(reader.header().updates, direct.size());
+  std::vector<EdgeUpdate> buf(777);
+  std::vector<EdgeUpdate> from_file;
+  for (;;) {
+    const std::size_t got = reader.next_batch(buf);
+    if (got == 0) break;
+    from_file.insert(from_file.end(), buf.begin(),
+                     buf.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  EXPECT_TRUE(same_updates(direct, from_file));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ds::streamio

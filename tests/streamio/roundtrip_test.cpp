@@ -1,0 +1,143 @@
+// The stream::scrambled_updates / DynamicConnectivity round-trip
+// property: a scrambled update sequence written through
+// BinaryStreamWriter and read back through BinaryStreamReader yields
+// bit-identical sketch state (state_hash) and the target graph's
+// component count — including the all-deletions-to-empty edge case the
+// turnstile model exists for.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "streamio/binary_stream.h"
+#include "streamio/ingestor.h"
+
+namespace ds::streamio {
+namespace {
+
+using graph::Edge;
+using graph::Graph;
+using graph::Vertex;
+using stream::EdgeUpdate;
+
+std::string temp_stream_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path();
+  return (dir / ("ds_roundtrip_" + name + ".stream")).string();
+}
+
+/// Apply updates directly (the in-memory reference path).
+stream::DynamicConnectivity direct_state(
+    Vertex n, std::uint64_t seed, const std::vector<EdgeUpdate>& updates) {
+  stream::DynamicConnectivity state(n, seed);
+  for (const EdgeUpdate& u : updates) state.apply(u);
+  return state;
+}
+
+TEST(StreamRoundTrip, ScrambledStreamSurvivesFileRoundTrip) {
+  constexpr Vertex kN = 30;
+  constexpr std::uint64_t kSketchSeed = 77;
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    util::Rng rng(util::derive_seed(900, trial));
+    const Graph target = graph::gnp(kN, 0.12, rng);
+    const auto updates =
+        stream::scrambled_updates(target, /*spurious_pairs=*/25, rng);
+
+    const std::string path =
+        temp_stream_path("scrambled_" + std::to_string(trial));
+    {
+      BinaryStreamWriter writer(path, kN, kSketchSeed);
+      writer.append(updates);
+      ASSERT_TRUE(writer.finish());
+    }
+
+    BinaryStreamReader reader(path);
+    ASSERT_EQ(reader.status(), ReadStatus::kOk);
+    stream::DynamicConnectivity from_file(kN, kSketchSeed);
+    const IngestReport report =
+        ingest(reader, from_file, {.batch_updates = 7, .serial = true});
+    EXPECT_EQ(report.status, ReadStatus::kEnd);
+    EXPECT_EQ(report.updates, updates.size());
+
+    const auto reference = direct_state(kN, kSketchSeed, updates);
+    EXPECT_EQ(from_file.state_hash(), reference.state_hash())
+        << "trial " << trial;
+    EXPECT_EQ(from_file.query_components(),
+              graph::connected_components(target).count)
+        << "trial " << trial;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(StreamRoundTrip, AllDeletionsToEmptyDecodesAsEmpty) {
+  constexpr Vertex kN = 24;
+  constexpr std::uint64_t kSketchSeed = 5;
+  util::Rng rng(41);
+  const Graph target = graph::gnp(kN, 0.2, rng);
+
+  // Insert everything, then delete everything (in a different order).
+  std::vector<EdgeUpdate> updates;
+  for (const Edge& e : target.edges()) updates.push_back({e, true});
+  std::vector<Edge> doomed = target.edges();
+  rng.shuffle(std::span<Edge>(doomed));
+  for (const Edge& e : doomed) updates.push_back({e, false});
+
+  const std::string path = temp_stream_path("all_deleted");
+  {
+    BinaryStreamWriter writer(path, kN, kSketchSeed);
+    writer.append(updates);
+    ASSERT_TRUE(writer.finish());
+  }
+  BinaryStreamReader reader(path);
+  stream::DynamicConnectivity state(kN, kSketchSeed);
+  const IngestReport report = ingest(reader, state, {.serial = true});
+  EXPECT_EQ(report.status, ReadStatus::kEnd);
+  EXPECT_EQ(report.inserts, target.num_edges());
+  EXPECT_EQ(report.deletes, target.num_edges());
+
+  // The empty graph: n components, and the sketch state must equal the
+  // never-touched state bit for bit (linearity: +1 then -1 cancels).
+  EXPECT_EQ(state.query_components(), kN);
+  EXPECT_EQ(state.state_hash(),
+            stream::DynamicConnectivity(kN, kSketchSeed).state_hash());
+  std::remove(path.c_str());
+}
+
+TEST(StreamRoundTrip, PooledIngestMatchesSerialOnFileStream) {
+  constexpr Vertex kN = 40;
+  constexpr std::uint64_t kSketchSeed = 19;
+  util::Rng rng(52);
+  const Graph target = graph::gnp(kN, 0.1, rng);
+  const auto updates =
+      stream::scrambled_updates(target, /*spurious_pairs=*/40, rng);
+  const std::string path = temp_stream_path("pooled");
+  {
+    BinaryStreamWriter writer(path, kN, kSketchSeed);
+    writer.append(updates);
+    ASSERT_TRUE(writer.finish());
+  }
+
+  stream::DynamicConnectivity serial(kN, kSketchSeed);
+  {
+    BinaryStreamReader reader(path);
+    (void)ingest(reader, serial, {.serial = true});
+  }
+  parallel::ThreadPool pool(4);
+  stream::DynamicConnectivity pooled(kN, kSketchSeed);
+  {
+    BinaryStreamReader reader(path);
+    const IngestReport report =
+        ingest(reader, pooled, {.batch_updates = 16, .pool = &pool});
+    EXPECT_EQ(report.status, ReadStatus::kEnd);
+  }
+  EXPECT_EQ(pooled.state_hash(), serial.state_hash());
+  EXPECT_EQ(pooled.query_components(),
+            graph::connected_components(target).count);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ds::streamio
