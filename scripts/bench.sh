@@ -17,9 +17,13 @@
 # service counters/histograms alongside the timings.
 #
 # Also emits BENCH_engine.json (schema in docs/ENGINE.md): encode
-# throughput and global allocation counts for the round engine with and
-# without a SketchArena. Exits nonzero if the pooled steady state still
-# allocates per vertex or its sketches diverge from the unpooled run.
+# throughput, roofline figures (payload bytes/trial, encode/decode MB/s,
+# encode bytes/cycle), and global allocation counts for the round engine
+# with and without a SketchArena. Exits nonzero if the pooled steady
+# state still allocates per vertex, its sketches diverge from the
+# unpooled run, or — because the committed BENCH_engine.json is passed as
+# --baseline — any case's encode MB/s drops below 80% of the committed
+# figure (the no-regression gate; see docs/ENGINE.md "hot path").
 #
 # Also emits BENCH_shard.json (schema in docs/WIRE.md): the blocking
 # single-referee session baseline vs the epoll referee's absorb rate at
@@ -66,6 +70,14 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire benc
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
 "$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"
-"$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT"
+# Gate against the committed baseline when refreshing the default file in
+# place; a custom output path is a fresh measurement, not a regression
+# check against unrelated numbers.
+if [ "$ENGINE_OUT" = "BENCH_engine.json" ] && [ -f BENCH_engine.json ]; then
+  cp BENCH_engine.json "$BUILD_DIR/engine_baseline.json"
+  "$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT" --baseline "$BUILD_DIR/engine_baseline.json"
+else
+  "$BUILD_DIR"/bench/bench_engine "$ENGINE_OUT"
+fi
 "$BUILD_DIR"/bench/bench_shard "$SHARD_OUT"
 "$BUILD_DIR"/bench/bench_stream "$STREAM_OUT" $STREAM_MODE

@@ -17,7 +17,14 @@ namespace ds::model {
 
 class PublicCoins {
  public:
-  explicit PublicCoins(std::uint64_t seed) noexcept : root_(seed) {}
+  explicit PublicCoins(std::uint64_t seed) noexcept
+      : root_(seed), seed_(seed) {}
+
+  /// The seed this coin sequence was constructed from.  Two PublicCoins
+  /// with equal seeds are behaviourally identical (every stream/hash call
+  /// agrees), so the seed is a sound identity key for caching sketch
+  /// shapes derived from the coins.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// An Rng stream for the given tag; equal tags yield equal streams.
   [[nodiscard]] util::Rng stream(std::uint64_t tag) const noexcept {
@@ -38,6 +45,7 @@ class PublicCoins {
 
  private:
   util::Rng root_;
+  std::uint64_t seed_ = 0;
 };
 
 /// Well-known tag prefixes, so independent subsystems never collide on a

@@ -163,7 +163,12 @@ std::uint64_t Histogram::quantile_bound(double q) const noexcept {
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
     cumulative += bucket(b);
     if (cumulative >= threshold && cumulative > 0) {
-      return b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+      // Bucket b holds values with bit_width == b, upper bound 2^b - 1.
+      // The top bucket is a clamp (record() caps at kHistogramBuckets-1),
+      // so its true upper bound is UINT64_MAX, not 2^63 - 1.
+      if (b == 0) return 0;
+      if (b == kHistogramBuckets - 1) return UINT64_MAX;
+      return (std::uint64_t{1} << b) - 1;
     }
   }
   return max();
@@ -265,7 +270,9 @@ Snapshot snapshot() {
         const std::uint64_t n = h->bucket(b);
         if (n == 0) continue;
         const std::uint64_t bound =
-            b == 0 ? 0 : (std::uint64_t{1} << b) - 1;
+            b == 0                       ? 0
+            : b == kHistogramBuckets - 1 ? UINT64_MAX
+                                         : (std::uint64_t{1} << b) - 1;
         view.buckets.emplace_back(bound, n);
       }
       snap.histograms.push_back(std::move(view));

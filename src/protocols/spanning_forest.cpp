@@ -5,7 +5,7 @@ namespace ds::protocols {
 void AgmSpanningForest::encode(const model::VertexView& view,
                                util::BitWriter& out) const {
   sketch::AgmVertexSketch s =
-      sketch::AgmVertexSketch::make(*view.coins, view.n, rounds_);
+      sketch::AgmVertexSketch::make_cached(*view.coins, view.n, rounds_);
   s.add_vertex_edges(view.id, view.neighbors);
   s.write(out);
 }
@@ -17,7 +17,7 @@ model::ForestOutput AgmSpanningForest::decode(
   decoded.reserve(n);
   for (graph::Vertex v = 0; v < n; ++v) {
     sketch::AgmVertexSketch s =
-        sketch::AgmVertexSketch::make(coins, n, rounds_);
+        sketch::AgmVertexSketch::make_cached(coins, n, rounds_);
     util::BitReader reader(sketches[v]);
     s.read(reader);
     decoded.push_back(std::move(s));

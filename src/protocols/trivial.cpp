@@ -1,5 +1,7 @@
 #include "protocols/trivial.h"
 
+#include <bit>
+
 #include "graph/independent_set.h"
 #include "graph/matching.h"
 
@@ -12,12 +14,19 @@ using graph::Vertex;
 void encode_adjacency_bitmap(const model::VertexView& view,
                              util::BitWriter& out) {
   // n bits: bit w set iff w is a neighbor. Exactly the Theta(n) bound.
+  // Built a 64-bit word at a time from the sorted neighbor list; the
+  // emitted bit stream is identical to a per-bit put_bit(adjacent) loop.
   std::size_t cursor = 0;
-  for (Vertex w = 0; w < view.n; ++w) {
-    const bool adjacent =
-        cursor < view.neighbors.size() && view.neighbors[cursor] == w;
-    if (adjacent) ++cursor;
-    out.put_bit(adjacent);
+  for (Vertex base = 0; base < view.n; base += 64) {
+    const unsigned width =
+        view.n - base < 64 ? static_cast<unsigned>(view.n - base) : 64u;
+    std::uint64_t word = 0;
+    while (cursor < view.neighbors.size() &&
+           view.neighbors[cursor] < base + width) {
+      word |= std::uint64_t{1} << (view.neighbors[cursor] - base);
+      ++cursor;
+    }
+    out.put_bits(word, width);
   }
 }
 
@@ -25,8 +34,17 @@ Graph decode_full_graph(Vertex n, std::span<const util::BitString> sketches) {
   std::vector<Edge> edges;
   for (Vertex v = 0; v < n; ++v) {
     util::BitReader reader(sketches[v]);
-    for (Vertex w = 0; w < n; ++w) {
-      if (reader.get_bit() && v < w) edges.push_back({v, w});
+    // Read a word at a time and walk its set bits (ascending, matching
+    // the per-bit loop's edge output order).
+    for (Vertex base = 0; base < n; base += 64) {
+      const unsigned width =
+          n - base < 64 ? static_cast<unsigned>(n - base) : 64u;
+      std::uint64_t word = reader.get_bits(width);
+      while (word != 0) {
+        const Vertex w = base + static_cast<Vertex>(std::countr_zero(word));
+        word &= word - 1;
+        if (v < w) edges.push_back({v, w});
+      }
     }
   }
   return Graph::from_edges(n, edges);

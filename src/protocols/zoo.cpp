@@ -22,7 +22,7 @@ std::vector<sketch::AgmVertexSketch> read_group(
   group.reserve(n);
   for (Vertex v = 0; v < n; ++v) {
     sketch::AgmVertexSketch s =
-        sketch::AgmVertexSketch::make(coins, n, 0, tag);
+        sketch::AgmVertexSketch::make_cached(coins, n, 0, tag);
     s.read(readers[v]);
     group.push_back(std::move(s));
   }
@@ -35,7 +35,7 @@ std::vector<sketch::AgmVertexSketch> read_group(
 void AgmConnectivity::encode(const model::VertexView& view,
                              util::BitWriter& out) const {
   sketch::AgmVertexSketch s =
-      sketch::AgmVertexSketch::make(*view.coins, view.n, rounds_);
+      sketch::AgmVertexSketch::make_cached(*view.coins, view.n, rounds_);
   s.add_vertex_edges(view.id, view.neighbors);
   s.write(out);
 }
@@ -47,7 +47,7 @@ std::uint32_t AgmConnectivity::decode(
   decoded.reserve(n);
   for (Vertex v = 0; v < n; ++v) {
     sketch::AgmVertexSketch s =
-        sketch::AgmVertexSketch::make(coins, n, rounds_);
+        sketch::AgmVertexSketch::make_cached(coins, n, rounds_);
     util::BitReader reader(sketches[v]);
     s.read(reader);
     decoded.push_back(std::move(s));
@@ -59,7 +59,7 @@ void KConnectivityCertificate::encode(const model::VertexView& view,
                                       util::BitWriter& out) const {
   // k independent sketch groups of the same incidence vector.
   for (std::uint32_t group = 0; group < k_; ++group) {
-    sketch::AgmVertexSketch s = sketch::AgmVertexSketch::make(
+    sketch::AgmVertexSketch s = sketch::AgmVertexSketch::make_cached(
         *view.coins, view.n, 0, util::mix64(kPeelTag, group));
     s.add_vertex_edges(view.id, view.neighbors);
     s.write(out);
@@ -100,14 +100,16 @@ void MstWeight::encode(const model::VertexView& view,
          "MstWeight needs the weighted runner");
   // One connectivity sketch per weight class i = 1..W over the subgraph
   // of incident edges with weight <= i.
+  std::vector<Vertex> kept;
+  kept.reserve(view.neighbors.size());
   for (std::uint32_t klass = 1; klass <= max_weight_; ++klass) {
-    sketch::AgmVertexSketch s = sketch::AgmVertexSketch::make(
+    sketch::AgmVertexSketch s = sketch::AgmVertexSketch::make_cached(
         *view.coins, view.n, 0, util::mix64(kWeightClassTag, klass));
+    kept.clear();
     for (std::size_t i = 0; i < view.neighbors.size(); ++i) {
-      if (view.neighbor_weights[i] <= klass) {
-        s.add_single_edge(view.id, view.neighbors[i]);
-      }
+      if (view.neighbor_weights[i] <= klass) kept.push_back(view.neighbors[i]);
     }
+    s.add_vertex_edges(view.id, kept);
     s.write(out);
   }
 }

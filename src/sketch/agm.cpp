@@ -31,9 +31,54 @@ AgmVertexSketch AgmVertexSketch::make(const model::PublicCoins& coins,
   return s;
 }
 
+AgmVertexSketch AgmVertexSketch::make_cached(const model::PublicCoins& coins,
+                                             Vertex n, unsigned rounds,
+                                             std::uint64_t tag) {
+  if (rounds == 0) rounds = agm_default_rounds(n);
+  struct Entry {
+    std::uint64_t seed;
+    Vertex n;
+    unsigned rounds;
+    std::uint64_t tag;
+    AgmVertexSketch tmpl;
+  };
+  // Bounded cache with round-robin eviction; a protocol run touches a
+  // handful of distinct shapes, so capacity 16 is generous.  thread_local:
+  // encodes run on pool workers and the templates are derived purely from
+  // the arguments, so worker-privacy cannot change any result.
+  constexpr std::size_t kCapacity = 16;
+  thread_local std::vector<Entry> cache;
+  thread_local std::size_t next_evict = 0;
+  for (const Entry& e : cache) {
+    if (e.seed == coins.seed() && e.n == n && e.rounds == rounds &&
+        e.tag == tag) {
+      return e.tmpl;
+    }
+  }
+  AgmVertexSketch tmpl = make(coins, n, rounds, tag);
+  if (cache.size() < kCapacity) {
+    cache.push_back(Entry{coins.seed(), n, rounds, tag, tmpl});
+  } else {
+    cache[next_evict] = Entry{coins.seed(), n, rounds, tag, tmpl};
+    next_evict = (next_evict + 1) % kCapacity;
+  }
+  return tmpl;
+}
+
 void AgmVertexSketch::add_vertex_edges(Vertex v,
                                        std::span<const Vertex> neighbors) {
-  for (Vertex w : neighbors) add_single_edge(v, w);
+  // Materialize the edge-id and sign rows once, then stream each row
+  // through every sampler's batched path.  Equivalent in every written
+  // bit to the per-edge loop (add_batch preserves per-element order).
+  thread_local std::vector<std::uint64_t> ids;
+  thread_local std::vector<std::int64_t> signs;
+  ids.resize(neighbors.size());
+  signs.resize(neighbors.size());
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    ids[i] = graph::pair_id(n_, v, neighbors[i]);
+    signs[i] = v < neighbors[i] ? +1 : -1;
+  }
+  for (L0Sampler& sampler : samplers_) sampler.add_batch(ids, signs);
 }
 
 void AgmVertexSketch::add_single_edge(Vertex v, Vertex w, std::int64_t scale) {

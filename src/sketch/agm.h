@@ -35,7 +35,20 @@ class AgmVertexSketch {
                               graph::Vertex n, unsigned rounds = 0,
                               std::uint64_t tag = 0xA6A6);
 
-  /// Account all edges incident on v (the player-side step).
+  /// Exactly make(), but served from a small thread-local cache of zero
+  /// sketch templates keyed by (coins.seed(), n, rounds, tag).  Shape
+  /// derivation (hash coefficients, fingerprint bases) walks the public
+  /// coins once per distinct shape instead of once per vertex; the
+  /// returned copy is bit-identical to a fresh make().  Protocol encode
+  /// and decode loops that build one sketch per vertex should use this.
+  static AgmVertexSketch make_cached(const model::PublicCoins& coins,
+                                     graph::Vertex n, unsigned rounds = 0,
+                                     std::uint64_t tag = 0xA6A6);
+
+  /// Account all edges incident on v (the player-side step).  Batched:
+  /// the edge-id row and sign row are materialized once and each sampler
+  /// consumes the whole span per call (L0Sampler::add_batch), equivalent
+  /// to add_single_edge(v, w) for each neighbor w in order.
   void add_vertex_edges(graph::Vertex v,
                         std::span<const graph::Vertex> neighbors);
 

@@ -14,11 +14,12 @@ L0Sampler L0Sampler::make(const model::PublicCoins& coins, std::uint64_t tag,
       coins.hash(model::coin_tag(model::CoinTag::kLevelHash, tag), 2);
   const unsigned num_levels =
       static_cast<unsigned>(std::bit_width(universe)) + 2;
-  s.levels_.reserve(num_levels);
+  std::vector<std::uint64_t> tags;
+  tags.reserve(num_levels);
   for (unsigned level = 0; level < num_levels; ++level) {
-    s.levels_.push_back(
-        OneSparse::make(coins, util::mix64(tag, 0xCC00 + level), universe));
+    tags.push_back(util::mix64(tag, 0xCC00 + level));
   }
+  s.levels_ = OneSparseBank::make(coins, tags, universe);
   return s;
 }
 
@@ -28,42 +29,50 @@ void L0Sampler::add(std::uint64_t index, std::int64_t delta) {
   const unsigned level = util::sample_level(*level_hash_, index, max_level);
   // Index participates in every level up to its sampled level (the nested
   // subsampling makes level l's survivor set a subset of level l-1's).
-  for (unsigned l = 0; l <= level; ++l) levels_[l].add(index, delta);
+  levels_.add_prefix(level, index, delta);
+}
+
+void L0Sampler::add_batch(std::span<const std::uint64_t> indices,
+                          std::span<const std::int64_t> deltas) {
+  assert(indices.size() == deltas.size());
+  const unsigned max_level = num_levels() - 1;
+  // One hash evaluation pass over the whole row, then the level walks.
+  // thread_local scratch: add_batch runs on pool workers; the buffer is
+  // instrumentation-free state that never outlives the call's semantics.
+  thread_local std::vector<std::uint32_t> level_scratch;
+  level_scratch.resize(indices.size());
+  util::sample_level_batch(*level_hash_, indices, max_level, level_scratch);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    levels_.add_prefix(level_scratch[i], indices[i], deltas[i]);
+  }
 }
 
 void L0Sampler::merge(const L0Sampler& other) {
   assert(universe_ == other.universe_ &&
          levels_.size() == other.levels_.size());
-  for (std::size_t l = 0; l < levels_.size(); ++l)
-    levels_[l].merge(other.levels_[l]);
+  levels_.merge(other.levels_);
 }
 
 std::optional<Recovered> L0Sampler::decode() const {
   // Prefer the sparsest non-empty level: scan from the top.
-  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
-    const DecodeResult r = it->decode();
+  for (std::size_t l = levels_.size(); l-- > 0;) {
+    const DecodeResult r = levels_.decode(l);
     if (r.status == DecodeStatus::kOne) return r.value;
   }
   return std::nullopt;
 }
 
 bool L0Sampler::looks_zero() const {
-  for (const OneSparse& level : levels_) {
-    if (level.decode().status != DecodeStatus::kZero) return false;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (levels_.decode(l).status != DecodeStatus::kZero) return false;
   }
   return true;
 }
 
-void L0Sampler::write(util::BitWriter& out) const {
-  for (const OneSparse& level : levels_) level.write(out);
-}
+void L0Sampler::write(util::BitWriter& out) const { levels_.write(out); }
 
-void L0Sampler::read(util::BitReader& in) {
-  for (OneSparse& level : levels_) level.read(in);
-}
+void L0Sampler::read(util::BitReader& in) { levels_.read(in); }
 
-std::size_t L0Sampler::state_bits() const {
-  return levels_.size() * OneSparse::state_bits();
-}
+std::size_t L0Sampler::state_bits() const { return levels_.state_bits(); }
 
 }  // namespace ds::sketch

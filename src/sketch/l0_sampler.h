@@ -6,10 +6,16 @@
 // is ~1 decodes via OneSparse.  A single sampler succeeds with constant
 // probability; callers needing high probability keep several independent
 // samplers (the AGM sketch keeps one per Boruvka round anyway).
+//
+// The level table is a OneSparseBank (structure-of-arrays, one contiguous
+// allocation), and add_batch hashes a whole span of indices per call
+// through util::sample_level_batch — the word-at-a-time/batched hot path
+// of docs/ENGINE.md.  Both are bit-identical to the scalar per-edge path.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "model/coins.h"
@@ -24,6 +30,12 @@ class L0Sampler {
                         std::uint64_t universe);
 
   void add(std::uint64_t index, std::int64_t delta);
+
+  /// Batched add: equivalent to add(indices[i], deltas[i]) for every i
+  /// in order, but evaluates the level hash over the whole span per call.
+  void add_batch(std::span<const std::uint64_t> indices,
+                 std::span<const std::int64_t> deltas);
+
   void merge(const L0Sampler& other);
 
   /// A nonzero coordinate, or nullopt (vector zero at every level, or all
@@ -47,7 +59,7 @@ class L0Sampler {
 
   std::uint64_t universe_ = 0;
   std::optional<util::KWiseHash> level_hash_;
-  std::vector<OneSparse> levels_;
+  OneSparseBank levels_;
 };
 
 }  // namespace ds::sketch

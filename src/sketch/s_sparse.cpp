@@ -15,16 +15,17 @@ SSparse SSparse::make(const model::PublicCoins& coins, std::uint64_t tag,
   s.rows_ = rows;
   s.cols_ = 2 * sparsity;
   s.row_hash_.reserve(rows);
-  s.cells_.reserve(static_cast<std::size_t>(rows) * s.cols_);
+  std::vector<std::uint64_t> tags;
+  tags.reserve(static_cast<std::size_t>(rows) * s.cols_);
   for (std::uint32_t row = 0; row < rows; ++row) {
     const std::uint64_t row_tag = util::mix64(tag, 0xBB00 + row);
     s.row_hash_.push_back(
         coins.hash(model::coin_tag(model::CoinTag::kBucketHash, row_tag), 2));
     for (std::uint32_t col = 0; col < s.cols_; ++col) {
-      s.cells_.push_back(OneSparse::make(
-          coins, util::mix64(row_tag, col), universe));
+      tags.push_back(util::mix64(row_tag, col));
     }
   }
+  s.cells_ = OneSparseBank::make(coins, tags, universe);
   return s;
 }
 
@@ -32,14 +33,27 @@ void SSparse::add(std::uint64_t index, std::int64_t delta) {
   assert(index < universe_);
   for (std::uint32_t row = 0; row < rows_; ++row) {
     const std::uint64_t col = row_hash_[row].bounded(index, cols_);
-    cells_[static_cast<std::size_t>(row) * cols_ + col].add(index, delta);
+    cells_.add(static_cast<std::size_t>(row) * cols_ + col, index, delta);
+  }
+}
+
+void SSparse::add_batch(std::span<const std::uint64_t> indices,
+                        std::int64_t delta) {
+  thread_local std::vector<std::uint64_t> col_scratch;
+  col_scratch.resize(indices.size());
+  for (std::uint32_t row = 0; row < rows_; ++row) {
+    row_hash_[row].bounded_batch(indices, cols_, col_scratch);
+    const std::size_t base = static_cast<std::size_t>(row) * cols_;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      cells_.add(base + col_scratch[i], indices[i], delta);
+    }
   }
 }
 
 void SSparse::merge(const SSparse& other) {
   assert(universe_ == other.universe_ && rows_ == other.rows_ &&
          cols_ == other.cols_);
-  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i].merge(other.cells_[i]);
+  cells_.merge(other.cells_);
 }
 
 std::optional<std::vector<Recovered>> SSparse::decode() const {
@@ -51,8 +65,8 @@ std::optional<std::vector<Recovered>> SSparse::decode() const {
   bool progress = true;
   while (progress) {
     progress = false;
-    for (const OneSparse& cell : work.cells_) {
-      const DecodeResult r = cell.decode();
+    for (std::size_t cell = 0; cell < work.cells_.size(); ++cell) {
+      const DecodeResult r = work.cells_.decode(cell);
       if (r.status != DecodeStatus::kOne) continue;
       found.push_back(r.value);
       if (found.size() > sparsity_) return std::nullopt;
@@ -60,8 +74,10 @@ std::optional<std::vector<Recovered>> SSparse::decode() const {
       progress = true;
     }
   }
-  for (const OneSparse& cell : work.cells_) {
-    if (cell.decode().status != DecodeStatus::kZero) return std::nullopt;
+  for (std::size_t cell = 0; cell < work.cells_.size(); ++cell) {
+    if (work.cells_.decode(cell).status != DecodeStatus::kZero) {
+      return std::nullopt;
+    }
   }
   std::sort(found.begin(), found.end(),
             [](const Recovered& a, const Recovered& b) {
@@ -70,16 +86,10 @@ std::optional<std::vector<Recovered>> SSparse::decode() const {
   return found;
 }
 
-void SSparse::write(util::BitWriter& out) const {
-  for (const OneSparse& cell : cells_) cell.write(out);
-}
+void SSparse::write(util::BitWriter& out) const { cells_.write(out); }
 
-void SSparse::read(util::BitReader& in) {
-  for (OneSparse& cell : cells_) cell.read(in);
-}
+void SSparse::read(util::BitReader& in) { cells_.read(in); }
 
-std::size_t SSparse::state_bits() const {
-  return cells_.size() * OneSparse::state_bits();
-}
+std::size_t SSparse::state_bits() const { return cells_.state_bits(); }
 
 }  // namespace ds::sketch

@@ -6,10 +6,15 @@
 // mergeable.  Used directly by protocols that want "send me up to s edges,
 // compressed", and as a building block everywhere a constant-failure
 // recovery is enough.
+//
+// The cell grid is a OneSparseBank (structure-of-arrays, row-major), and
+// add_batch hashes a whole span of indices per row hash per call — same
+// bit-identity contract as the L0 sampler (docs/ENGINE.md "hot path").
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "model/coins.h"
@@ -28,6 +33,12 @@ class SSparse {
                       std::uint32_t rows = 6);
 
   void add(std::uint64_t index, std::int64_t delta);
+
+  /// Batched add of a whole index row at one delta: equivalent to
+  /// add(indices[i], delta) for every i in order, but each row hash is
+  /// evaluated over the full span per call.
+  void add_batch(std::span<const std::uint64_t> indices, std::int64_t delta);
+
   void merge(const SSparse& other);
 
   /// All recovered (index, count) pairs, sorted by index, or nullopt if
@@ -47,7 +58,7 @@ class SSparse {
   std::uint32_t rows_ = 0;
   std::uint32_t cols_ = 0;
   std::vector<util::KWiseHash> row_hash_;  // one per row
-  std::vector<OneSparse> cells_;           // rows_ * cols_
+  OneSparseBank cells_;                    // rows_ * cols_, row-major
 };
 
 }  // namespace ds::sketch

@@ -5,9 +5,20 @@
 // palette sparsification and the budgeted sampling protocols key their
 // public-coin choices through these families too, so that every player
 // evaluating the same seeded family sees the same function.
+//
+// Hot-path notes (docs/ENGINE.md): evaluation is inline, coefficients for
+// the common small k live in the object (no heap indirection), and the
+// batch entry points evaluate a whole span of keys per call — the sketch
+// layer hashes an adjacency row at a time instead of an edge at a time.
+// Every path (scalar or batch, pairwise-specialized or generic Horner)
+// computes the identical polynomial over F_p, so hash values — and hence
+// every downstream sketch bit — are independent of which path ran.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/modular.h"
@@ -23,21 +34,56 @@ class KWiseHash {
   KWiseHash(unsigned k, Rng& rng, std::uint64_t prime = kDefaultPrime);
 
   /// h(x) in [0, p).
-  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const noexcept;
+  [[nodiscard]] std::uint64_t operator()(std::uint64_t x) const noexcept {
+    const std::uint64_t xr = reduce_mod(x, prime_);
+    if (k_ == 2) {
+      // Pairwise fast path: h(x) = c1*x + c0, the family the sketches use.
+      return add_mod(mul_mod(coeff(1), xr, prime_), coeff(0), prime_);
+    }
+    return horner(xr);
+  }
 
   /// h(x) reduced to [0, range). Composition with `mod range` keeps
   /// near-uniformity as long as range << p.
   [[nodiscard]] std::uint64_t bounded(std::uint64_t x,
-                                      std::uint64_t range) const noexcept;
-
-  [[nodiscard]] unsigned independence() const noexcept {
-    return static_cast<unsigned>(coeffs_.size());
+                                      std::uint64_t range) const noexcept {
+    assert(range > 0);
+    return (*this)(x) % range;
   }
+
+  /// Batched evaluation: out[i] = h(xs[i]).  Requires equal extents.
+  void eval_batch(std::span<const std::uint64_t> xs,
+                  std::span<std::uint64_t> out) const noexcept;
+
+  /// Batched bounded evaluation: out[i] = h(xs[i]) % range.
+  void bounded_batch(std::span<const std::uint64_t> xs, std::uint64_t range,
+                     std::span<std::uint64_t> out) const noexcept;
+
+  [[nodiscard]] unsigned independence() const noexcept { return k_; }
   [[nodiscard]] std::uint64_t prime() const noexcept { return prime_; }
 
  private:
-  std::vector<std::uint64_t> coeffs_;  // c_0 .. c_{k-1}
-  std::uint64_t prime_;
+  [[nodiscard]] std::uint64_t coeff(unsigned i) const noexcept {
+    return i < kInlineCoeffs ? small_[i] : spill_[i - kInlineCoeffs];
+  }
+  [[nodiscard]] std::uint64_t horner(std::uint64_t xr) const noexcept {
+    // Highest coefficient first.
+    std::uint64_t acc = 0;
+    for (unsigned i = k_; i-- > 0;) {
+      acc = add_mod(mul_mod(acc, xr, prime_), coeff(i), prime_);
+    }
+    return acc;
+  }
+
+  /// Coefficients for k <= kInlineCoeffs (the pairwise and 4-wise
+  /// families everything hot uses) live inline so copying a hash — the
+  /// sketch-template fast path — touches no heap.
+  static constexpr unsigned kInlineCoeffs = 4;
+
+  unsigned k_ = 0;
+  std::uint64_t prime_ = kDefaultPrime;
+  std::array<std::uint64_t, kInlineCoeffs> small_{};  // c_0 .. c_3
+  std::vector<std::uint64_t> spill_;                  // c_4 .. c_{k-1}
 };
 
 /// Convenience: the pairwise (k=2) family used by the sketches.
@@ -48,5 +94,11 @@ class KWiseHash {
 /// independent h, Pr[level(x) >= l] ~ 2^-l.
 [[nodiscard]] unsigned sample_level(const KWiseHash& hash, std::uint64_t x,
                                     unsigned max_level) noexcept;
+
+/// Batched level assignment: out[i] = sample_level(hash, xs[i], max_level).
+/// Requires equal extents.
+void sample_level_batch(const KWiseHash& hash,
+                        std::span<const std::uint64_t> xs, unsigned max_level,
+                        std::span<std::uint32_t> out) noexcept;
 
 }  // namespace ds::util

@@ -5,36 +5,6 @@
 
 namespace ds::util {
 
-std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b,
-                      std::uint64_t m) noexcept {
-  return static_cast<std::uint64_t>(
-      (static_cast<__uint128_t>(a) * b) % m);
-}
-
-std::uint64_t add_mod(std::uint64_t a, std::uint64_t b,
-                      std::uint64_t m) noexcept {
-  const std::uint64_t s = a + b;
-  // a, b < m <= 2^63 in all our uses, but handle wrap defensively.
-  return (s >= m || s < a) ? s - m : s;
-}
-
-std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b,
-                      std::uint64_t m) noexcept {
-  return (a >= b) ? a - b : a + (m - b);
-}
-
-std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e,
-                      std::uint64_t m) noexcept {
-  std::uint64_t result = 1 % m;
-  a %= m;
-  while (e > 0) {
-    if (e & 1) result = mul_mod(result, a, m);
-    a = mul_mod(a, a, m);
-    e >>= 1;
-  }
-  return result;
-}
-
 std::uint64_t inv_mod(std::uint64_t a, std::uint64_t p) noexcept {
   assert(a % p != 0);
   return pow_mod(a % p, p - 2, p);

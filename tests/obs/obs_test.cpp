@@ -103,6 +103,37 @@ TEST_F(ObsHistogram, QuantileBoundIsBucketUpperBound) {
   EXPECT_EQ(h.quantile_bound(1.0), 1023u);
 }
 
+TEST_F(ObsHistogram, ExtremeValuesLandInDefinedBuckets) {
+  // Value 0 has bit_width 0 -> bucket 0 (a defined bucket, not a crash
+  // or an underflow); values >= 2^63 clamp into the top bucket.
+  obs::Histogram& h = obs::histogram("test.hist.extremes");
+  h.record(0);
+  h.record(std::uint64_t{1} << 63);
+  h.record(UINT64_MAX);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(obs::kHistogramBuckets - 1), 2u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // Every recorded value landed in exactly one bucket.
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < obs::kHistogramBuckets; ++b) {
+    total += h.bucket(b);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST_F(ObsHistogram, TopBucketQuantileBoundIsMaxRepresentable) {
+  // The top bucket is a clamp for everything >= 2^63, so its reported
+  // upper bound must be UINT64_MAX — (1 << 63) - 1 would understate the
+  // range actually covered.  Regression for the quantile/snapshot bound.
+  obs::Histogram& h = obs::histogram("test.hist.topbucket");
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX - 1);
+  EXPECT_EQ(h.quantile_bound(0.5), UINT64_MAX);
+  EXPECT_EQ(h.quantile_bound(1.0), UINT64_MAX);
+}
+
 TEST_F(ObsRegistry, SameNameSameInstrument) {
   obs::Counter& a = obs::counter("test.registry.shared");
   obs::Counter& b = obs::counter("test.registry.shared");

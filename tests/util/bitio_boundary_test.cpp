@@ -1,0 +1,177 @@
+// Width- and alignment-boundary regressions for the word-at-a-time bitio
+// fast paths (ISSUE 9 satellite): every width in {0, 1, 63, 64} at every
+// alignment mod 64, word-boundary crossings, put_zeros / put_words /
+// get_words at aligned and unaligned cursors, and the bit_width_for
+// power-of-two ladder.
+#include "util/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ds::util {
+namespace {
+
+// A recognizable full-width payload whose low bits are nonzero at every
+// width, so masking errors show up regardless of the width under test.
+constexpr std::uint64_t kPayload = 0xA5A5'5A5A'C3C3'3C3Dull;
+
+TEST(BitIoBoundary, EveryWidthAtEveryAlignment) {
+  for (unsigned width : {0u, 1u, 2u, 31u, 32u, 33u, 63u, 64u}) {
+    for (unsigned align = 0; align < 64; ++align) {
+      BitWriter w;
+      w.put_zeros(align);  // place the cursor at the alignment under test
+      w.put_bits(kPayload, width);
+      w.put_bits(0x3, 2);  // trailer: catches a corrupted open word
+      ASSERT_EQ(w.bit_count(), align + width + 2u)
+          << "width=" << width << " align=" << align;
+      ASSERT_EQ(w.words().size(), (w.bit_count() + 63) / 64)
+          << "width=" << width << " align=" << align;
+
+      BitString bs(w);
+      BitReader r(bs);
+      ASSERT_EQ(r.get_bits(static_cast<unsigned>(align)), 0u);
+      const std::uint64_t expect =
+          width == 0 ? 0 : (kPayload & (~std::uint64_t{0} >> (64 - width)));
+      ASSERT_EQ(r.get_bits(width), expect)
+          << "width=" << width << " align=" << align;
+      ASSERT_EQ(r.get_bits(2), 0x3u);
+      ASSERT_EQ(r.bits_remaining(), 0u);
+    }
+  }
+}
+
+TEST(BitIoBoundary, Width64IsNotUndefined) {
+  // width == 64 must mask with ~0 >> 0, not 1 << 64 (which would be UB
+  // and, on x86, typically evaluates to 1, zeroing the value).
+  BitWriter w;
+  w.put_bits(~std::uint64_t{0}, 64);
+  BitString bs(w);
+  BitReader r(bs);
+  EXPECT_EQ(r.get_bits(64), ~std::uint64_t{0});
+}
+
+TEST(BitIoBoundary, WidthZeroWritesAndReadsNothing) {
+  BitWriter w;
+  w.put_bits(kPayload, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  EXPECT_TRUE(w.words().empty());
+  w.put_bits(1, 1);
+  BitString bs(w);
+  BitReader r(bs);
+  EXPECT_EQ(r.get_bits(0), 0u);
+  EXPECT_EQ(r.position(), 0u);  // width-0 read does not advance
+  EXPECT_TRUE(r.get_bit());
+}
+
+TEST(BitIoBoundary, BackToBack64BitWritesCrossEveryBoundary) {
+  // 64-bit writes at alignment a spill exactly 64 - a bits; run all 64.
+  for (unsigned align = 0; align < 64; ++align) {
+    BitWriter w;
+    w.put_zeros(align);
+    const std::uint64_t vals[3] = {kPayload, ~kPayload, 0x0123'4567'89AB'CDEF};
+    for (std::uint64_t v : vals) w.put_bits(v, 64);
+    BitString bs(w);
+    BitReader r(bs);
+    ASSERT_EQ(r.get_bits(static_cast<unsigned>(align)), 0u);
+    for (std::uint64_t v : vals)
+      ASSERT_EQ(r.get_bits(64), v) << "align=" << align;
+  }
+}
+
+TEST(BitIoBoundary, PutZerosKeepsWordInvariant) {
+  for (std::size_t zeros : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+    BitWriter w;
+    w.put_bits(0x7, 3);
+    w.put_zeros(zeros);
+    w.put_bits(0x5, 3);
+    ASSERT_EQ(w.bit_count(), 6u + zeros);
+    ASSERT_EQ(w.words().size(), (w.bit_count() + 63) / 64) << zeros;
+    BitString bs(w);
+    BitReader r(bs);
+    ASSERT_EQ(r.get_bits(3), 0x7u);
+    for (std::size_t i = 0; i < zeros; ++i) ASSERT_FALSE(r.get_bit());
+    ASSERT_EQ(r.get_bits(3), 0x5u);
+  }
+}
+
+TEST(BitIoBoundary, PutWordsGetWordsAllAlignments) {
+  const std::vector<std::uint64_t> src = {kPayload, ~kPayload,
+                                          0xFFFF'0000'FFFF'0000ull};
+  for (unsigned align = 0; align < 64; ++align) {
+    for (std::size_t nbits : {0u, 1u, 64u, 65u, 128u, 190u, 192u}) {
+      BitWriter w;
+      w.put_zeros(align);
+      w.put_words(src, nbits);
+      w.put_bits(0x1, 1);
+      ASSERT_EQ(w.bit_count(), align + nbits + 1u);
+
+      BitString bs(w);
+      BitReader r(bs);
+      ASSERT_EQ(r.get_bits(static_cast<unsigned>(align)), 0u);
+      std::vector<std::uint64_t> out(src.size(), ~std::uint64_t{0});
+      r.get_words(out, nbits);
+      for (std::size_t i = 0; i < nbits; ++i) {
+        const bool want = (src[i / 64] >> (i % 64)) & 1;
+        const bool got = (out[i / 64] >> (i % 64)) & 1;
+        ASSERT_EQ(got, want) << "align=" << align << " nbits=" << nbits
+                             << " bit=" << i;
+      }
+      // Unused high bits of the last touched word must be zeroed.
+      if (nbits % 64 != 0) {
+        const std::uint64_t high = out[nbits / 64] >> (nbits % 64);
+        ASSERT_EQ(high, 0u) << "align=" << align << " nbits=" << nbits;
+      }
+      ASSERT_TRUE(r.get_bit());
+    }
+  }
+}
+
+TEST(BitIoBoundary, BitWidthForTable) {
+  // bit_width_for(n) = ceil(log2 n) = bits to address [0, n); table-driven
+  // over every n <= 1025 against a direct definition.
+  EXPECT_EQ(bit_width_for(0), 0u);
+  EXPECT_EQ(bit_width_for(1), 0u);
+  for (std::uint64_t n = 2; n <= 1025; ++n) {
+    unsigned expect = 0;
+    while ((std::uint64_t{1} << expect) < n) ++expect;
+    ASSERT_EQ(bit_width_for(n), expect) << "n=" << n;
+  }
+}
+
+TEST(BitIoBoundary, BitWidthForPowerOfTwoLadder) {
+  // Exactly at 2^k the width must be k (values 0..2^k-1 fit in k bits);
+  // at 2^k + 1 it must grow to k + 1; at 2^k - 1 it stays k.
+  for (unsigned k = 1; k < 64; ++k) {
+    const std::uint64_t p = std::uint64_t{1} << k;
+    ASSERT_EQ(bit_width_for(p), k) << "n=2^" << k;
+    // 2^1 - 1 = 1 addresses the single value 0, i.e. zero bits.
+    ASSERT_EQ(bit_width_for(p - 1), k == 1 ? 0u : k) << "n=2^" << k << "-1";
+    ASSERT_EQ(bit_width_for(p + 1), k + 1) << "n=2^" << k << "+1";
+  }
+  EXPECT_EQ(bit_width_for(~std::uint64_t{0}), 64u);
+}
+
+TEST(BitIoBoundary, RoundTripValuesAtWidthBoundary) {
+  // Every value written with bit_width_for(n) bits must survive the trip.
+  util::Rng rng(0xB17B17);
+  for (std::uint64_t n : {2u, 3u, 1024u, 1025u, 65536u, 65537u}) {
+    const unsigned width = bit_width_for(n);
+    BitWriter w;
+    std::vector<std::uint64_t> vals;
+    for (int i = 0; i < 50; ++i) vals.push_back(rng.next_below(n));
+    vals.push_back(0);
+    vals.push_back(n - 1);
+    for (std::uint64_t v : vals) w.put_bits(v, width);
+    BitString bs(w);
+    BitReader r(bs);
+    for (std::uint64_t v : vals) ASSERT_EQ(r.get_bits(width), v) << n;
+  }
+}
+
+}  // namespace
+}  // namespace ds::util
