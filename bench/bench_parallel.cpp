@@ -9,21 +9,21 @@
 // per-trial counter-derived seeds make every trial independent, so the
 // sweep scales with cores while producing the exact serial numbers.
 #include <bit>
+#include <cstdlib>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
 #include "core/sweep.h"
 #include "graph/generators.h"
-#include "lowerbound/dmm.h"
 #include "lowerbound/protocol_search.h"
 #include "model/runner.h"
 #include "obs/obs.h"
 #include "parallel_harness.h"
 #include "protocols/sampled_matching.h"
 #include "rs/rs_graph.h"
+#include "scenario/registry.h"
 #include "util/bitio.h"
 
 namespace {
@@ -40,35 +40,18 @@ std::uint64_t fingerprint_sweep(const ds::core::SweepResult& result) {
 }
 
 void case_dmm_sweep(ds::bench::ParallelHarness& harness) {
-  // E3's engine: success-probability sweep for BudgetedMatching on D_MM.
-  const ds::rs::RsGraph base = ds::rs::rs_graph(16);
-  const ds::lowerbound::DmmParameters params =
-      ds::lowerbound::dmm_parameters(base, base.t());
-  const unsigned width = ds::util::bit_width_for(params.n);
-  const std::size_t cap =
-      static_cast<std::size_t>(params.k * params.r) * width;
-  const std::vector<std::size_t> budgets =
-      ds::core::geometric_budgets(width, cap, 4.0);
-  constexpr std::size_t kTrials = 24;
-
+  // E3's engine: the registered dmm-matching scenario's own default grid
+  // IS this bench's historical configuration (m=16, 24 trials, seed 7),
+  // so the fingerprints are continuous across the scenario refactor.
+  const ds::scenario::Scenario* s = ds::scenario::find("dmm-matching");
+  if (s == nullptr) {
+    std::cerr << "FAIL: dmm-matching scenario not registered\n";
+    std::exit(1);
+  }
   harness.run_case(
-      "dmm_sweep", kTrials,
+      "dmm_sweep", s->default_grid().trials,
       [&](ds::parallel::ThreadPool& pool) {
-        return ds::core::sweep_budgets<ds::model::MatchingOutput>(
-            budgets, kTrials, /*seed=*/7,
-            [&](std::uint64_t seed) {
-              ds::util::Rng rng(seed);
-              return ds::lowerbound::sample_dmm(base, params.t, rng).g;
-            },
-            [](std::size_t budget) {
-              return std::make_unique<ds::protocols::BudgetedMatching>(
-                  budget);
-            },
-            [](const ds::graph::Graph& g,
-               const ds::model::MatchingOutput& m) {
-              return ds::core::score_matching(g, m).maximal;
-            },
-            /*target_rate=*/0.9, &pool);
+        return ds::core::sweep_scenario(*s, &pool);
       },
       fingerprint_sweep,
       [](const ds::core::SweepResult& result) {

@@ -37,12 +37,20 @@
 # the committed n >= 10^6 numbers (a few GB of RAM, several minutes).
 # Exits nonzero if any pooled ingest diverged from its serial twin.
 #
+# Also emits BENCH_scenario.json (schema in docs/SCENARIOS.md): every
+# registered scenario swept over its default grid, serial vs pooled, with
+# the identical-fingerprint certification, plus the arena steady-state
+# allocation gate on the sweep's per-trial encode path. Exits nonzero if
+# any sweep diverged across thread counts or the arena'd steady state
+# still allocates per vertex.
+#
 # Usage:
 #   scripts/bench.sh                 # writes ./BENCH_parallel.json +
 #                                    #   ./BENCH_wire.json + ./BENCH_engine.json
 #                                    #   + ./BENCH_shard.json + ./BENCH_stream.json
+#                                    #   + ./BENCH_scenario.json
 #   scripts/bench.sh out.json        # custom BENCH_parallel.json path
-#   scripts/bench.sh out.json wire.json engine.json shard.json stream.json
+#   scripts/bench.sh out.json wire.json engine.json shard.json stream.json scenario.json
 #   DISTSKETCH_THREADS=4 scripts/bench.sh   # pin the pool width
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,6 +60,7 @@ WIRE_OUT="${2:-BENCH_wire.json}"
 ENGINE_OUT="${3:-BENCH_engine.json}"
 SHARD_OUT="${4:-BENCH_shard.json}"
 STREAM_OUT="${5:-BENCH_stream.json}"
+SCENARIO_OUT="${6:-BENCH_scenario.json}"
 STREAM_MODE="${BENCH_STREAM_MODE:---quick}"
 BUILD_DIR=build-release
 
@@ -66,7 +75,7 @@ elif command -v ninja > /dev/null 2>&1; then
 else
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine bench_shard bench_stream
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_parallel bench_wire bench_engine bench_shard bench_stream bench_scenario
 
 "$BUILD_DIR"/bench/bench_parallel "$OUT"
 "$BUILD_DIR"/bench/bench_wire "$WIRE_OUT"
@@ -81,3 +90,4 @@ else
 fi
 "$BUILD_DIR"/bench/bench_shard "$SHARD_OUT"
 "$BUILD_DIR"/bench/bench_stream "$STREAM_OUT" $STREAM_MODE
+"$BUILD_DIR"/bench/bench_scenario "$SCENARIO_OUT"

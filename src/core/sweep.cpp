@@ -1,20 +1,56 @@
 #include "core/sweep.h"
 
-#include <cmath>
+#include "engine/arena.h"
+#include "util/rng.h"
 
 namespace ds::core {
 
+SweepResult sweep_budgets(const scenario::Scenario& scenario,
+                          std::span<const std::size_t> budgets,
+                          std::size_t trials, std::uint64_t seed,
+                          double target_rate, parallel::ThreadPool* pool) {
+  SweepResult result;
+  engine::ArenaReservoir arenas;
+  for (const std::size_t budget : budgets) {
+    SweepPoint point;
+    point.budget_bits = budget;
+    std::vector<scenario::TrialOutcome> outcomes(trials);
+    parallel::parallel_for(pool, 0, trials, [&](std::size_t trial) {
+      const std::uint64_t trial_seed = util::derive_seed(seed, trial);
+      const engine::ArenaLease arena(arenas);
+      outcomes[trial] =
+          scenario.run_trial(budget, trial_seed, pool, arena.get());
+    });
+    for (const scenario::TrialOutcome& outcome : outcomes) {
+      ++point.trials;
+      if (outcome.success) ++point.successes;
+      if (outcome.max_bits > point.max_bits_seen) {
+        point.max_bits_seen = outcome.max_bits;
+      }
+    }
+    point.rate = point.trials == 0
+                     ? 0.0
+                     : static_cast<double>(point.successes) /
+                           static_cast<double>(point.trials);
+    point.ci = util::wilson_interval(point.successes, point.trials);
+    if (!result.threshold_budget.has_value() && point.rate >= target_rate) {
+      result.threshold_budget = budget;
+    }
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+SweepResult sweep_scenario(const scenario::Scenario& scenario,
+                           parallel::ThreadPool* pool) {
+  const scenario::Grid& grid = scenario.default_grid();
+  return sweep_budgets(scenario, grid.budgets, grid.trials, grid.seed,
+                       grid.target_rate, pool);
+}
+
 std::vector<std::size_t> geometric_budgets(std::size_t lo, std::size_t hi,
                                            double factor) {
-  std::vector<std::size_t> budgets;
-  double current = static_cast<double>(lo);
-  while (static_cast<std::size_t>(current) < hi) {
-    const std::size_t b = static_cast<std::size_t>(current);
-    if (budgets.empty() || b != budgets.back()) budgets.push_back(b);
-    current *= factor;
-  }
-  if (budgets.empty() || budgets.back() != hi) budgets.push_back(hi);
-  return budgets;
+  return scenario::geometric_ladder(lo, hi, factor);
 }
 
 }  // namespace ds::core

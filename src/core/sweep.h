@@ -2,18 +2,20 @@
 // per-player bit budget, estimate success probability per budget over an
 // input distribution, and locate the threshold budget for a target rate.
 //
-// This is the engine behind experiments E3 (maximal matching on D_MM) and
-// the MIS sweeps: the paper predicts the threshold tracks ~r (up to log
-// factors), i.e. ~sqrt(n)/e^{Theta(sqrt(log n))}.
+// The input distribution, protocol factory, and success predicate come
+// bundled as a scenario::Scenario — sweep any registered family by id
+// (scenario::find) or an ad-hoc InlineScenario; there is no per-family
+// harness code.  This is the engine behind experiments E3 (maximal
+// matching on D_MM) and the MIS sweeps: the paper predicts the threshold
+// tracks ~r (up to log factors), i.e. ~sqrt(n)/e^{Theta(sqrt(log n))}.
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
-#include "model/runner.h"
 #include "parallel/thread_pool.h"
+#include "scenario/scenario.h"
 #include "util/stats.h"
 
 namespace ds::core {
@@ -33,64 +35,28 @@ struct SweepResult {
   std::optional<std::size_t> threshold_budget;
 };
 
-/// For each budget: `trials` independent runs, each with a fresh graph
-/// from `make_graph(trial_seed)` and fresh public coins; success judged by
-/// `is_success(graph, output)`.
+/// For each budget: `trials` independent scenario trials, success judged
+/// by the scenario itself.
 ///
 /// Trials run concurrently on the thread pool (null `pool` = the global
 /// one).  Each trial's seed is derived counter-style from (seed, trial) —
 /// util::derive_seed — so trial i's input and coins never depend on which
 /// thread ran it or on the other trials, and the per-trial outcomes are
 /// folded in trial order: the SweepResult is bit-identical at any thread
-/// count, including 1.  make_graph / make_protocol / is_success must be
-/// safe to call concurrently (pure functions of their arguments).
-template <typename Output>
-[[nodiscard]] SweepResult sweep_budgets(
-    std::span<const std::size_t> budgets, std::size_t trials,
-    std::uint64_t seed,
-    const std::function<graph::Graph(std::uint64_t)>& make_graph,
-    const std::function<
-        std::unique_ptr<model::SketchingProtocol<Output>>(std::size_t)>&
-        make_protocol,
-    const std::function<bool(const graph::Graph&, const Output&)>& is_success,
-    double target_rate = 0.99, parallel::ThreadPool* pool = nullptr) {
-  SweepResult result;
-  struct TrialOutcome {
-    bool success = false;
-    std::size_t max_bits = 0;
-  };
-  for (std::size_t budget : budgets) {
-    SweepPoint point;
-    point.budget_bits = budget;
-    const auto protocol = make_protocol(budget);
-    std::vector<TrialOutcome> outcomes(trials);
-    parallel::parallel_for(pool, 0, trials, [&](std::size_t trial) {
-      const std::uint64_t trial_seed = util::derive_seed(seed, trial);
-      const graph::Graph g = make_graph(trial_seed);
-      const model::PublicCoins coins(util::derive_seed(trial_seed, 0xC01));
-      const model::RunResult<Output> run =
-          model::run_protocol(g, *protocol, coins, pool);
-      outcomes[trial] = {is_success(g, run.output), run.comm.max_bits};
-    });
-    for (const TrialOutcome& outcome : outcomes) {
-      ++point.trials;
-      if (outcome.success) ++point.successes;
-      if (outcome.max_bits > point.max_bits_seen) {
-        point.max_bits_seen = outcome.max_bits;
-      }
-    }
-    point.rate = point.trials == 0
-                     ? 0.0
-                     : static_cast<double>(point.successes) /
-                           static_cast<double>(point.trials);
-    point.ci = util::wilson_interval(point.successes, point.trials);
-    if (!result.threshold_budget.has_value() && point.rate >= target_rate) {
-      result.threshold_budget = budget;
-    }
-    result.points.push_back(point);
-  }
-  return result;
-}
+/// count, including 1 (pinned by the golden-sweep regression test).
+/// Encode buffers are pooled through an ArenaReservoir — one arena per
+/// concurrently running trial — so steady-state trials allocate no
+/// per-vertex buffers (measured by bench/bench_scenario.cpp).
+[[nodiscard]] SweepResult sweep_budgets(const scenario::Scenario& scenario,
+                                        std::span<const std::size_t> budgets,
+                                        std::size_t trials,
+                                        std::uint64_t seed,
+                                        double target_rate = 0.99,
+                                        parallel::ThreadPool* pool = nullptr);
+
+/// Sweep a scenario over its own default grid.
+[[nodiscard]] SweepResult sweep_scenario(const scenario::Scenario& scenario,
+                                         parallel::ThreadPool* pool = nullptr);
 
 /// A geometric budget ladder: lo, lo*factor, ... capped at hi (inclusive).
 [[nodiscard]] std::vector<std::size_t> geometric_budgets(std::size_t lo,

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -72,6 +74,56 @@ class SketchArena {
 
  private:
   std::vector<std::vector<std::uint64_t>> slots_;
+};
+
+/// A free list of arenas for trial-parallel sweeps: each concurrently
+/// running trial leases its own arena (an arena is never shared between
+/// live engines), and returned arenas are recycled, so the pool size is
+/// bounded by the peak concurrency and steady-state trials reuse warm
+/// buffers.  Which arena a given trial draws is schedule-dependent and
+/// deliberately immaterial: arena identity never affects results (the
+/// engine-equivalence suite pins arena'd == arena-less bits), only
+/// allocation counts — which bench_scenario measures.
+class ArenaReservoir {
+ public:
+  [[nodiscard]] std::unique_ptr<SketchArena> acquire() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<SketchArena> arena = std::move(free_.back());
+        free_.pop_back();
+        return arena;
+      }
+    }
+    return std::make_unique<SketchArena>();
+  }
+
+  void release(std::unique_ptr<SketchArena> arena) {
+    if (arena == nullptr) return;
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(arena));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::unique_ptr<SketchArena>> free_;
+};
+
+/// RAII lease: acquire on construction, return on destruction.
+class ArenaLease {
+ public:
+  explicit ArenaLease(ArenaReservoir& reservoir)
+      : reservoir_(reservoir), arena_(reservoir.acquire()) {}
+  ~ArenaLease() { reservoir_.release(std::move(arena_)); }
+
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  [[nodiscard]] SketchArena* get() const noexcept { return arena_.get(); }
+
+ private:
+  ArenaReservoir& reservoir_;
+  std::unique_ptr<SketchArena> arena_;
 };
 
 }  // namespace ds::engine

@@ -226,4 +226,38 @@ Graph subsample_edges(const Graph& g, double keep_prob, util::Rng& rng) {
   return Graph::from_edges(g.num_vertices(), kept);
 }
 
+Graph cluster_graph(Vertex clusters, Vertex cluster_size, double keep_prob,
+                    util::Rng& rng) {
+  assert(clusters >= 1 && cluster_size >= 2);
+  const Vertex n = clusters * cluster_size;
+  std::vector<Edge> edges;
+  const std::uint64_t cluster_pairs =
+      static_cast<std::uint64_t>(cluster_size) * (cluster_size - 1) / 2;
+  for (Vertex c = 0; c < clusters; ++c) {
+    const Vertex base = c * cluster_size;
+    for_each_success(cluster_pairs, keep_prob, rng, [&](std::uint64_t id) {
+      const Edge e = pair_from_id(cluster_size, id);
+      edges.push_back({static_cast<Vertex>(e.u + base),
+                       static_cast<Vertex>(e.v + base)});
+    });
+  }
+  return Graph::from_edges(n, edges);
+}
+
+LayeredInstance layered_paths(Vertex levels, Vertex width, double keep_prob,
+                              util::Rng& rng) {
+  assert(levels >= 2 && width >= 1);
+  const Vertex n = levels * width;
+  std::vector<Edge> edges;
+  for (Vertex l = 0; l + 1 < levels; ++l) {
+    const auto perm = rng.permutation(width);
+    for (Vertex i = 0; i < width; ++i) {
+      if (!rng.next_bernoulli(keep_prob)) continue;
+      edges.push_back({static_cast<Vertex>(l * width + i),
+                       static_cast<Vertex>((l + 1) * width + perm[i])});
+    }
+  }
+  return {Graph::from_edges(n, edges), levels, width};
+}
+
 }  // namespace ds::graph

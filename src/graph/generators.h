@@ -136,4 +136,31 @@ struct NeedleInstance {
 [[nodiscard]] NeedleInstance needle_bipartite(Vertex left, Vertex right,
                                               double p, util::Rng& rng);
 
+/// `clusters` disjoint near-cliques of `cluster_size` vertices each
+/// (cluster c owns [c*s, (c+1)*s)); every intra-cluster pair is present
+/// independently with probability `keep_prob`.  The "easy cases"
+/// structured input (cluster/bounded-independence graphs, arXiv
+/// 2502.21031): MM/MIS budgets should collapse here, the contrast class
+/// against D_MM in the threshold sweeps.
+[[nodiscard]] Graph cluster_graph(Vertex clusters, Vertex cluster_size,
+                                  double keep_prob, util::Rng& rng);
+
+/// A layered connectivity-hard instance in the style of Yu's tight
+/// lower bound for distributed sketching of connectivity (arXiv
+/// 2007.12323): `levels` columns of `width` vertices (level l owns
+/// [l*width, (l+1)*width)); between consecutive levels a uniformly
+/// random perfect matching, each matched edge surviving independently
+/// with probability `keep_prob`.  The surviving graph is a union of
+/// vertex-disjoint paths threading the levels — long, thin components
+/// whose count concentrates nowhere, so low-budget connectivity
+/// sketches cannot tell the fragmentation pattern apart.
+struct LayeredInstance {
+  Graph graph;
+  Vertex levels = 0;
+  Vertex width = 0;
+};
+[[nodiscard]] LayeredInstance layered_paths(Vertex levels, Vertex width,
+                                            double keep_prob,
+                                            util::Rng& rng);
+
 }  // namespace ds::graph

@@ -1,0 +1,236 @@
+// The built-in instance families.  Classes are exported (not just
+// registered) so tests can instantiate smaller parameterizations — the
+// golden-sweep regression pins a DmmMatchingScenario(8) that is not in
+// the registry.  Registration itself happens only in builtin.cpp.
+#pragma once
+
+#include <string>
+
+#include "graph/generators.h"
+#include "lowerbound/dmm.h"
+#include "rs/rs_graph.h"
+#include "scenario/typed.h"
+
+namespace ds::scenario {
+
+/// D_MM maximal matching (experiment E3): the Section 3.1 hard
+/// distribution over an (r, t)-RS base with k = t copies, swept against
+/// the BudgetedMatching family.  Witness: the full lowerbound::DmmInstance
+/// (planted j*, sigma, surviving special matchings).
+class DmmMatchingScenario final
+    : public TypedScenario<model::MatchingOutput> {
+ public:
+  explicit DmmMatchingScenario(std::uint64_t m);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "dmm-matching";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return params_.n;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<
+      model::SketchingProtocol<model::MatchingOutput>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const model::MatchingOutput& m) const override;
+
+  [[nodiscard]] const lowerbound::DmmParameters& params() const noexcept {
+    return params_;
+  }
+
+ private:
+  rs::RsGraph base_;
+  lowerbound::DmmParameters params_;
+  Grid grid_;
+  std::string description_;
+};
+
+/// The Section 4 reduction: MIS on H (two copies of a D_MM instance plus
+/// a public-public biclique, 2n vertices) scored as the matching it
+/// decodes back in G — Remark 3.6's success predicate.  Witness: the
+/// underlying DmmInstance.
+class DmmMisReductionScenario final
+    : public TypedScenario<model::VertexSetOutput> {
+ public:
+  explicit DmmMisReductionScenario(std::uint64_t m);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "dmm-mis-reduction";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return 2 * params_.n;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<
+      model::SketchingProtocol<model::VertexSetOutput>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const model::VertexSetOutput& s) const override;
+
+ private:
+  rs::RsGraph base_;
+  lowerbound::DmmParameters params_;
+  Grid grid_;
+  std::string description_;
+};
+
+/// Plain G(n, p) with BudgetedMatching and the maximal-matching judge —
+/// the small smoke family the harness tests sweep.
+class GnpMatchingScenario final
+    : public TypedScenario<model::MatchingOutput> {
+ public:
+  GnpMatchingScenario(graph::Vertex n, double p);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "gnp-matching";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return n_;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<
+      model::SketchingProtocol<model::MatchingOutput>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const model::MatchingOutput& m) const override;
+
+ private:
+  graph::Vertex n_;
+  double p_;
+  Grid grid_;
+  std::string description_;
+};
+
+/// Yu's connectivity-hard shape (arXiv 2007.12323): layered random
+/// perfect matchings with 1/2 edge survival — vertex-disjoint paths
+/// whose fragmentation the referee must count exactly.  Budget maps to
+/// AGM Boruvka rounds (budget / per-round sketch bits); witness: the
+/// true component count.
+class ConnectivityYuHardScenario final
+    : public TypedScenario<std::uint32_t> {
+ public:
+  ConnectivityYuHardScenario(graph::Vertex levels, graph::Vertex width);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "connectivity-yu-hard";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return levels_ * width_;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<model::SketchingProtocol<std::uint32_t>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const std::uint32_t& components) const override;
+
+  /// Bits one AGM Boruvka round costs per player at this n — the
+  /// budget-to-rounds exchange rate (probed once at construction).
+  [[nodiscard]] std::size_t per_round_bits() const noexcept {
+    return per_round_bits_;
+  }
+
+ private:
+  graph::Vertex levels_;
+  graph::Vertex width_;
+  std::size_t per_round_bits_ = 0;
+  unsigned max_rounds_ = 0;
+  Grid grid_;
+  std::string description_;
+};
+
+/// The "easy cases" contrast class (arXiv 2502.21031): disjoint dense
+/// clusters, where the structure a maximal matching needs is local and
+/// budgets collapse — run in the same threshold sweep as D_MM.
+class EasyCcScenario final : public TypedScenario<model::MatchingOutput> {
+ public:
+  EasyCcScenario(graph::Vertex clusters, graph::Vertex cluster_size,
+                 double keep_prob);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "easy-cc";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return clusters_ * cluster_size_;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<
+      model::SketchingProtocol<model::MatchingOutput>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const model::MatchingOutput& m) const override;
+
+ private:
+  graph::Vertex clusters_;
+  graph::Vertex cluster_size_;
+  double keep_prob_;
+  Grid grid_;
+  std::string description_;
+};
+
+/// MIS on the same cluster family (easy-cc's sampler), judged for
+/// independence + maximality.
+class EasyCcMisScenario final
+    : public TypedScenario<model::VertexSetOutput> {
+ public:
+  EasyCcMisScenario(graph::Vertex clusters, graph::Vertex cluster_size,
+                    double keep_prob);
+
+  [[nodiscard]] std::string_view id() const noexcept override {
+    return "easy-cc-mis";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return description_;
+  }
+  [[nodiscard]] const Grid& default_grid() const noexcept override {
+    return grid_;
+  }
+  [[nodiscard]] graph::Vertex num_vertices() const noexcept override {
+    return clusters_ * cluster_size_;
+  }
+  [[nodiscard]] Instance sample(std::uint64_t trial_seed) const override;
+  [[nodiscard]] std::unique_ptr<
+      model::SketchingProtocol<model::VertexSetOutput>>
+  make_protocol(std::size_t budget_bits) const override;
+  [[nodiscard]] bool judge(const Instance& inst,
+                           const model::VertexSetOutput& s) const override;
+
+ private:
+  graph::Vertex clusters_;
+  graph::Vertex cluster_size_;
+  double keep_prob_;
+  Grid grid_;
+  std::string description_;
+};
+
+}  // namespace ds::scenario

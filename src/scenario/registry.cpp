@@ -1,0 +1,100 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+
+namespace ds::scenario {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Scenario>> scenarios;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void ensure_builtins() {
+  static std::once_flag once;
+  std::call_once(once, [] { detail::register_builtins(); });
+}
+
+/// Classic Levenshtein distance, O(|a| * |b|); ids are short.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+void register_scenario(std::unique_ptr<Scenario> scenario) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& existing : r.scenarios) {
+    if (existing->id() == scenario->id()) {
+      throw std::logic_error("scenario id registered twice: " +
+                             std::string(scenario->id()));
+    }
+  }
+  r.scenarios.push_back(std::move(scenario));
+}
+
+std::vector<const Scenario*> all() {
+  ensure_builtins();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<const Scenario*> out;
+  out.reserve(r.scenarios.size());
+  for (const auto& s : r.scenarios) out.push_back(s.get());
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->id() < b->id();
+            });
+  return out;
+}
+
+const Scenario* find(std::string_view id) {
+  ensure_builtins();
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& s : r.scenarios) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ids() {
+  std::vector<std::string> out;
+  for (const Scenario* s : all()) out.emplace_back(s->id());
+  return out;
+}
+
+std::optional<std::string> suggest(std::string_view id) {
+  std::optional<std::string> best;
+  std::size_t best_distance = 0;
+  for (const Scenario* s : all()) {
+    const std::size_t d = edit_distance(id, s->id());
+    if (!best.has_value() || d < best_distance) {
+      best = std::string(s->id());
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace ds::scenario

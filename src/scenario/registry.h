@@ -1,0 +1,42 @@
+// The process-wide scenario registry: every instance family registers
+// exactly once in src/scenario/builtin.cpp (enforced by distsketch-lint's
+// scenario-registry rule), and every harness — sweep, wire service, bench
+// — looks families up by string id.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace ds::scenario {
+
+/// Add a scenario.  Throws std::logic_error on a duplicate id (the
+/// registry is unchanged in that case).  Call sites outside the builtin
+/// registration unit are a lint violation, not an API surface.
+void register_scenario(std::unique_ptr<Scenario> scenario);
+
+/// Every registered scenario, sorted by id.  Builtins are registered
+/// lazily on first use, so static-init order never matters.
+[[nodiscard]] std::vector<const Scenario*> all();
+
+/// Lookup by id; nullptr when unknown.
+[[nodiscard]] const Scenario* find(std::string_view id);
+
+/// All registered ids, sorted.
+[[nodiscard]] std::vector<std::string> ids();
+
+/// The registered id closest to `id` in edit distance — the did-you-mean
+/// suggestion for CLI/bench rejection messages.  nullopt iff the
+/// registry is empty.
+[[nodiscard]] std::optional<std::string> suggest(std::string_view id);
+
+namespace detail {
+/// Defined in builtin.cpp: the single registration site.
+void register_builtins();
+}  // namespace detail
+
+}  // namespace ds::scenario

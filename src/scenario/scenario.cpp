@@ -1,0 +1,36 @@
+#include "scenario/scenario.h"
+
+#include "obs/obs.h"
+
+namespace ds::scenario {
+
+std::vector<std::size_t> geometric_ladder(std::size_t lo, std::size_t hi,
+                                          double factor) {
+  std::vector<std::size_t> budgets;
+  double current = static_cast<double>(lo);
+  while (static_cast<std::size_t>(current) < hi) {
+    const std::size_t b = static_cast<std::size_t>(current);
+    if (budgets.empty() || b != budgets.back()) budgets.push_back(b);
+    current *= factor;
+  }
+  if (budgets.empty() || budgets.back() != hi) budgets.push_back(hi);
+  return budgets;
+}
+
+namespace {
+// The "scenario." metric namespace is owned by this file
+// (tools/lint/obs_owners.toml): all registrations live here.
+obs::Counter& trials_counter() {
+  static obs::Counter& c = obs::counter("scenario.trials");
+  return c;
+}
+obs::Counter& wire_trials_counter() {
+  static obs::Counter& c = obs::counter("scenario.wire_trials");
+  return c;
+}
+}  // namespace
+
+void note_trial_run() { trials_counter().increment(); }
+void note_wire_trial() { wire_trials_counter().increment(); }
+
+}  // namespace ds::scenario

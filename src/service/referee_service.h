@@ -159,6 +159,15 @@ class RefereeService {
   [[nodiscard]] const model::PublicCoins& coins() const noexcept {
     return coins_;
   }
+  /// The raw links, for callers (scenario trials) that serve with
+  /// per-trial coins via the free serve_* functions instead of coins().
+  [[nodiscard]] std::span<const std::unique_ptr<wire::Link>> links()
+      const noexcept {
+    return links_;
+  }
+  [[nodiscard]] std::chrono::milliseconds timeout() const noexcept {
+    return timeout_;
+  }
 
  private:
   std::vector<std::unique_ptr<wire::Link>> links_;

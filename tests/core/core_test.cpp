@@ -8,6 +8,8 @@
 #include "graph/generators.h"
 #include "protocols/sampled_matching.h"
 #include "rs/rs_graph.h"
+#include "scenario/registry.h"
+#include "scenario/typed.h"
 
 namespace ds::core {
 namespace {
@@ -55,20 +57,13 @@ TEST(Sweep, GeometricBudgets) {
 
 TEST(Sweep, MatchingSuccessMonotoneInBudget) {
   // On small G(n, p) the budgeted matching protocol's success rate climbs
-  // from ~0 to 1 as the budget rises — the harness must see it.
+  // from ~0 to 1 as the budget rises — the harness must see it.  The
+  // registered gnp-matching scenario IS that configuration.
+  const scenario::Scenario* s = scenario::find("gnp-matching");
+  ASSERT_NE(s, nullptr);
   const std::vector<std::size_t> budgets{1, 2048};
-  const SweepResult result = sweep_budgets<model::MatchingOutput>(
-      budgets, /*trials=*/10, /*seed=*/7,
-      [](std::uint64_t seed) {
-        util::Rng rng(seed);
-        return graph::gnp(30, 0.2, rng);
-      },
-      [](std::size_t budget) {
-        return std::make_unique<protocols::BudgetedMatching>(budget);
-      },
-      [](const Graph& g, const model::MatchingOutput& m) {
-        return score_matching(g, m).maximal;
-      });
+  const SweepResult result =
+      sweep_budgets(*s, budgets, /*trials=*/10, /*seed=*/7);
   ASSERT_EQ(result.points.size(), 2u);
   EXPECT_LT(result.points[0].rate, 0.5);
   EXPECT_EQ(result.points[1].rate, 1.0);
@@ -77,19 +72,35 @@ TEST(Sweep, MatchingSuccessMonotoneInBudget) {
 }
 
 TEST(Sweep, RecordsRealizedBits) {
-  const std::vector<std::size_t> budgets{64};
-  const SweepResult result = sweep_budgets<model::MatchingOutput>(
-      budgets, 3, 9,
+  const scenario::InlineScenario<model::MatchingOutput> s(
+      "bits-probe", "realized-bits probe", 20,
+      scenario::Grid{{64}, 3, 9, 0.99},
       [](std::uint64_t seed) {
         util::Rng rng(seed);
-        return graph::gnp(20, 0.3, rng);
+        return scenario::Instance{graph::gnp(20, 0.3, rng), nullptr};
       },
       [](std::size_t budget) {
         return std::make_unique<protocols::BudgetedMatching>(budget);
       },
-      [](const Graph&, const model::MatchingOutput&) { return true; });
+      [](const scenario::Instance&, const model::MatchingOutput&) {
+        return true;
+      });
+  const std::vector<std::size_t> budgets{64};
+  const SweepResult result = sweep_budgets(s, budgets, 3, 9);
   EXPECT_LE(result.points[0].max_bits_seen, 64u);
   EXPECT_GT(result.points[0].max_bits_seen, 0u);
+}
+
+TEST(Sweep, DefaultGridSweepsByScenarioId) {
+  // sweep_scenario runs a registered family's own grid end to end —
+  // easy-cc's clusters make maximal matching reachable at modest budgets.
+  const scenario::Scenario* s = scenario::find("easy-cc");
+  ASSERT_NE(s, nullptr);
+  const SweepResult result = sweep_scenario(*s);
+  ASSERT_EQ(result.points.size(), s->default_grid().budgets.size());
+  ASSERT_TRUE(result.threshold_budget.has_value());
+  EXPECT_GE(result.points.back().rate,
+            s->default_grid().target_rate);
 }
 
 TEST(Experiment, ScoreMatchingTaxonomy) {

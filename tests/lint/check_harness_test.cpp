@@ -149,7 +149,12 @@ INSTANTIATE_TEST_SUITE_P(
                  "#include \"obs/obs.h\"\n"
                  "namespace ds::sketch {\n"
                  "void touch() { obs::counter(\"model.encode.rogue\"); }\n"
-                 "}  // namespace ds::sketch\n"}),
+                 "}  // namespace ds::sketch\n"},
+        RuleSeed{"scenario_registry", "src/lowerbound/self_register.cpp",
+                 "namespace ds::scenario { void register_scenario(void*); }\n"
+                 "namespace ds::lowerbound {\n"
+                 "void sneak() { ds::scenario::register_scenario(nullptr); }\n"
+                 "}  // namespace ds::lowerbound\n"}),
     [](const auto& param_info) { return std::string(param_info.param.name); });
 
 TEST_F(ScratchTree, JsonReportIsWrittenOnFailure) {

@@ -1,0 +1,12 @@
+// lint-fixture path=src/scenario/builtin.cpp
+// The one blessed registration site: register_scenario here is exactly
+// what the rule exists to protect.
+#include "scenario/registry.h"
+
+namespace ds::scenario::detail {
+
+void register_builtins() {
+  register_scenario(nullptr);
+}
+
+}  // namespace ds::scenario::detail

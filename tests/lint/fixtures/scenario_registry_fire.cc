@@ -1,0 +1,18 @@
+// lint-fixture path=src/protocols/sneaky_registration.cpp
+// lint-expect scenario-registry
+// lint-expect scenario-registry
+// Both the re-declaration and the call fire: a protocol quietly
+// registering its own scenario would make the
+// registry's contents depend on which translation units got linked —
+// registration happens only in src/scenario/builtin.cpp.
+namespace ds::scenario {
+void register_scenario(void*);
+}
+
+namespace ds::protocols {
+
+void self_register() {
+  ds::scenario::register_scenario(nullptr);
+}
+
+}  // namespace ds::protocols

@@ -160,7 +160,7 @@ TEST(DistsketchLintCorpus, EveryRuleHasFiringAndNonFiringFixtures) {
   for (const char* rule :
        {ds::lint::kRuleChargeSite, ds::lint::kRuleDeterminism,
         ds::lint::kRuleUnorderedIteration, ds::lint::kRuleLayering,
-        ds::lint::kRuleObsOwner}) {
+        ds::lint::kRuleObsOwner, ds::lint::kRuleScenarioRegistry}) {
     EXPECT_GE(firing[rule], 1) << "no firing fixture for " << rule;
     EXPECT_GE(clean[rule], 1) << "no non-firing fixture for " << rule;
   }

@@ -18,6 +18,7 @@
 #include "protocols/sampled_matching.h"
 #include "protocols/two_round_matching.h"
 #include "rs/rs_graph.h"
+#include "scenario/registry.h"
 
 namespace ds {
 namespace {
@@ -82,20 +83,11 @@ TEST(ParallelDeterminism, RunProtocolOutputIdenticalAcrossThreadCounts) {
 
 TEST(ParallelDeterminism, SweepBitIdenticalAcrossThreadCounts) {
   const std::vector<std::size_t> budgets{1, 64, 2048};
+  const scenario::Scenario* gnp_matching = scenario::find("gnp-matching");
+  ASSERT_NE(gnp_matching, nullptr);
   const auto run_sweep = [&](parallel::ThreadPool* pool) {
-    return core::sweep_budgets<model::MatchingOutput>(
-        budgets, /*trials=*/16, /*seed=*/7,
-        [](std::uint64_t seed) {
-          util::Rng rng(seed);
-          return graph::gnp(30, 0.2, rng);
-        },
-        [](std::size_t budget) {
-          return std::make_unique<protocols::BudgetedMatching>(budget);
-        },
-        [](const graph::Graph& g, const model::MatchingOutput& m) {
-          return core::score_matching(g, m).maximal;
-        },
-        /*target_rate=*/0.99, pool);
+    return core::sweep_budgets(*gnp_matching, budgets, /*trials=*/16,
+                               /*seed=*/7, /*target_rate=*/0.99, pool);
   };
 
   parallel::ThreadPool serial(1);

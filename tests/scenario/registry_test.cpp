@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "scenario/builtin.h"
+#include "scenario/registry.h"
+
+namespace ds::scenario {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinsRegisteredAndSortedById) {
+  const std::vector<const Scenario*> scenarios = all();
+  ASSERT_GE(scenarios.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(scenarios.begin(), scenarios.end(),
+                             [](const Scenario* a, const Scenario* b) {
+                               return a->id() < b->id();
+                             }));
+  for (const Scenario* s : scenarios) {
+    EXPECT_FALSE(s->id().empty());
+    EXPECT_FALSE(s->description().empty());
+    EXPECT_GT(s->num_vertices(), 0u) << s->id();
+    EXPECT_FALSE(s->default_grid().budgets.empty()) << s->id();
+  }
+}
+
+TEST(ScenarioRegistry, FindRoundTripsEveryId) {
+  for (const std::string& id : ids()) {
+    const Scenario* s = find(id);
+    ASSERT_NE(s, nullptr) << id;
+    EXPECT_EQ(s->id(), id);
+  }
+  EXPECT_EQ(find("no-such-scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, ExpectedFamiliesPresent) {
+  for (const char* id : {"dmm-matching", "dmm-mis-reduction", "gnp-matching",
+                         "connectivity-yu-hard", "easy-cc", "easy-cc-mis"}) {
+    EXPECT_NE(find(id), nullptr) << id;
+  }
+}
+
+TEST(ScenarioRegistry, SuggestFindsNearestId) {
+  // One edit away from a registered id resolves to it.
+  const auto s = suggest("dmm-maching");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, "dmm-matching");
+  const auto cc = suggest("easy-c");
+  ASSERT_TRUE(cc.has_value());
+  EXPECT_EQ(*cc, "easy-cc");
+}
+
+TEST(ScenarioRegistry, DuplicateIdThrowsWithoutMutatingRegistry) {
+  const std::size_t before = all().size();
+  EXPECT_THROW(register_scenario(std::make_unique<GnpMatchingScenario>(8, 0.5)),
+               std::logic_error);
+  EXPECT_EQ(all().size(), before);
+}
+
+TEST(ScenarioRegistry, SampleIsPureInTheSeed) {
+  for (const Scenario* s : all()) {
+    const Instance a = s->sample(41);
+    const Instance b = s->sample(41);
+    const Instance c = s->sample(42);
+    EXPECT_EQ(a.g.num_vertices(), s->num_vertices()) << s->id();
+    EXPECT_EQ(a.g.edges(), b.g.edges()) << s->id();
+    EXPECT_EQ(b.g.num_vertices(), c.g.num_vertices()) << s->id();
+  }
+}
+
+}  // namespace
+}  // namespace ds::scenario

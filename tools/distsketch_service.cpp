@@ -17,6 +17,13 @@
 // Protocols: spanning-forest (default; AGM, the O(log^3 n) upper bound),
 // connectivity, two-round-matching (adaptive, exercises the multi-round
 // broadcast loop).
+//
+// Scenario mode: `--scenario <id>` replaces the ad-hoc --protocol/--n/--p
+// plumbing with a registered instance family (scenario::find).  Both
+// sides sample the trial's instance deterministically from --trial-seed
+// and key the public coins the same way, so the referee's outcome and
+// every player's output hash match the simulated run bit for bit (the
+// scenario-smoke contract).  `--list-scenarios` prints the registry.
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -32,6 +39,7 @@
 #include "graph/generators.h"
 #include "obs/obs.h"
 #include "protocols/spanning_forest.h"
+#include "scenario/registry.h"
 #include "protocols/two_round_matching.h"
 #include "protocols/zoo.h"
 #include "service/player_client.h"
@@ -53,6 +61,11 @@ struct Options {
   std::size_t players = 1;
   std::size_t index = 0;
   std::size_t shards = 0;  // 0 = blocking referee; N >= 1 = epoll shards
+  std::string scenario;        // registered family id; empty = --protocol
+  std::size_t budget = 0;      // 0 = the scenario grid's largest budget
+  std::uint64_t trial_seed = 1;
+  bool list_scenarios = false;
+  bool protocol_set = false;
   std::chrono::milliseconds timeout{10000};
   std::string metrics_out;  // write obs snapshot JSON here on exit
   std::chrono::milliseconds metrics_interval{0};  // 0 = no periodic summary
@@ -115,6 +128,13 @@ void write_metrics_snapshot(const std::string& path) {
       << "  --n N --p P        shared G(n, p) instance\n"
       << "  --graph-seed S     shared graph seed\n"
       << "  --coin-seed C      public coins seed\n"
+      << "  --scenario ID      run a registered instance family instead of"
+         " --protocol/--n/--p\n"
+      << "  --budget B         scenario: per-player bit budget (default ="
+         " the grid's largest)\n"
+      << "  --trial-seed S     scenario: trial seed; both sides sample the"
+         " instance from it\n"
+      << "  --list-scenarios   print the scenario registry and exit\n"
       << "  --players K        number of player processes\n"
       << "  --index I          player: this process's shard index\n"
       << "  --shards S         serve: S epoll referee shards (default 0 ="
@@ -128,20 +148,48 @@ void write_metrics_snapshot(const std::string& path) {
   std::exit(2);
 }
 
+/// The registry, one line per scenario, for --list-scenarios and the
+/// did-you-mean rejection below.
+void print_scenarios(std::ostream& out) {
+  out << "registered scenarios:\n";
+  for (const ds::scenario::Scenario* s : ds::scenario::all()) {
+    out << "  " << s->id() << "  (n=" << s->num_vertices()
+        << ", budgets " << s->default_grid().budgets.front() << ".."
+        << s->default_grid().budgets.back() << ")  " << s->description()
+        << "\n";
+  }
+}
+
 Options parse(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   Options opt;
   opt.command = argv[1];
+  if (opt.command == "--list-scenarios") {
+    opt.list_scenarios = true;
+    return opt;
+  }
   if (opt.command != "serve" && opt.command != "player") usage(argv[0]);
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
-    const std::string value = argv[i + 1];
+    if (key == "--list-scenarios") {
+      opt.list_scenarios = true;
+      continue;
+    }
+    if (i + 1 >= argc) usage(argv[0]);
+    const std::string value = argv[++i];
     if (key == "--host") {
       opt.host = value;
     } else if (key == "--port") {
       opt.port = static_cast<std::uint16_t>(std::stoul(value));
     } else if (key == "--protocol") {
       opt.protocol = value;
+      opt.protocol_set = true;
+    } else if (key == "--scenario") {
+      opt.scenario = value;
+    } else if (key == "--budget") {
+      opt.budget = std::stoul(value);
+    } else if (key == "--trial-seed") {
+      opt.trial_seed = std::stoull(value);
     } else if (key == "--n") {
       opt.n = static_cast<ds::graph::Vertex>(std::stoul(value));
     } else if (key == "--p") {
@@ -170,6 +218,34 @@ Options parse(int argc, char** argv) {
     ds::obs::set_metrics_enabled(true);
   }
   return opt;
+}
+
+/// Scenario-mode argument checks: unknown ids are rejected with a
+/// did-you-mean (exit 2), and modes that can't serve a scenario trial
+/// (epoll shards, an explicit --protocol) are refused up front.
+const ds::scenario::Scenario* resolve_scenario(const Options& opt) {
+  const ds::scenario::Scenario* s = ds::scenario::find(opt.scenario);
+  if (s == nullptr) {
+    std::cerr << "distsketch_service: unknown scenario '" << opt.scenario
+              << "'";
+    if (const auto near = ds::scenario::suggest(opt.scenario)) {
+      std::cerr << " (did you mean '" << *near << "'?)";
+    }
+    std::cerr << "\n";
+    print_scenarios(std::cerr);
+    std::exit(2);
+  }
+  if (opt.protocol_set) {
+    std::cerr << "distsketch_service: --scenario and --protocol are"
+                 " mutually exclusive\n";
+    std::exit(2);
+  }
+  if (opt.shards > 0) {
+    std::cerr << "distsketch_service: --scenario needs the blocking"
+                 " referee (drop --shards)\n";
+    std::exit(2);
+  }
+  return s;
 }
 
 void print_wire(const char* label, const ds::service::WireStats& w) {
@@ -223,6 +299,8 @@ int serve_protocols(Service& referee, const Options& opt) {
 }
 
 int run_serve(const Options& opt) {
+  const ds::scenario::Scenario* scenario =
+      opt.scenario.empty() ? nullptr : resolve_scenario(opt);
   const MetricsReporter reporter(opt.metrics_interval);
   ds::wire::TcpListener listener(opt.port);
   std::cout << "referee: listening on 127.0.0.1:" << listener.port()
@@ -265,10 +343,44 @@ int run_serve(const Options& opt) {
   }
   ds::service::RefereeService referee(std::move(links), opt.coin_seed,
                                       opt.timeout);
+  if (scenario != nullptr) {
+    const std::size_t budget = opt.budget > 0
+                                   ? opt.budget
+                                   : scenario->default_grid().budgets.back();
+    const ds::scenario::TrialOutcome outcome =
+        scenario->serve_trial(referee, budget, opt.trial_seed);
+    std::cout << "referee: scenario " << scenario->id() << " budget "
+              << budget << " seed " << opt.trial_seed << ": "
+              << (outcome.success ? "SUCCESS" : "FAIL") << ", max player "
+              << outcome.max_bits << " bits, output hash 0x" << std::hex
+              << outcome.output_hash << std::dec << "\n";
+    write_metrics_snapshot(opt.metrics_out);
+    return 0;
+  }
   return serve_protocols(referee, opt);
 }
 
 int run_player(const Options& opt) {
+  if (!opt.scenario.empty()) {
+    const ds::scenario::Scenario* scenario = resolve_scenario(opt);
+    const MetricsReporter reporter(opt.metrics_interval);
+    const std::vector<ds::graph::Vertex> owned = ds::service::shard_vertices(
+        scenario->num_vertices(), opt.players, opt.index);
+    const std::size_t budget = opt.budget > 0
+                                   ? opt.budget
+                                   : scenario->default_grid().budgets.back();
+    std::unique_ptr<ds::wire::Link> link =
+        ds::wire::tcp_connect(opt.host, opt.port, opt.timeout);
+    std::cout << "player " << opt.index << ": connected, " << owned.size()
+              << " vertices of scenario " << scenario->id() << "\n";
+    const std::uint64_t hash =
+        scenario->play_trial(*link, owned, budget, opt.trial_seed,
+                             opt.timeout);
+    std::cout << "player " << opt.index << ": output hash 0x" << std::hex
+              << hash << std::dec << "\n";
+    write_metrics_snapshot(opt.metrics_out);
+    return 0;
+  }
   const MetricsReporter reporter(opt.metrics_interval);
   ds::util::Rng rng(opt.graph_seed);
   const ds::graph::Graph g = ds::graph::gnp(opt.n, opt.p, rng);
@@ -312,6 +424,10 @@ int run_player(const Options& opt) {
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
+    if (opt.list_scenarios) {
+      print_scenarios(std::cout);
+      return 0;
+    }
     return opt.command == "serve" ? run_serve(opt) : run_player(opt);
   } catch (const std::exception& e) {
     std::cerr << "distsketch_service: " << e.what() << "\n";

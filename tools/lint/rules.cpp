@@ -61,6 +61,18 @@ using Tokens = std::vector<Token>;
   return starts_with(path, "src/") || starts_with(path, "tools/");
 }
 
+[[nodiscard]] bool scenario_registry_in_scope(const std::string& path) {
+  // The single registration site and the registry's own declaration and
+  // definition are the only places register_scenario may appear.
+  if (path == "src/scenario/builtin.cpp" ||
+      path == "src/scenario/registry.h" ||
+      path == "src/scenario/registry.cpp") {
+    return false;
+  }
+  return starts_with(path, "src/") || starts_with(path, "tools/") ||
+         starts_with(path, "bench/");
+}
+
 // -------------------------------------------------------------------
 // charge-site: CommStats::record only inside engine::ChargeSheet.
 // -------------------------------------------------------------------
@@ -363,6 +375,26 @@ void rule_obs_owner(const SourceFile& file, const Tokens& toks,
 }
 
 // -------------------------------------------------------------------
+// scenario-registry: register_scenario only at the one blessed site.
+// -------------------------------------------------------------------
+
+void rule_scenario_registry(const SourceFile& file, const Tokens& toks,
+                            std::vector<Finding>& out) {
+  if (!scenario_registry_in_scope(file.path)) return;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "register_scenario") ||
+        !is_punct(toks[i + 1], "(")) {
+      continue;
+    }
+    out.push_back({kRuleScenarioRegistry, file.path, toks[i].line,
+                   "register_scenario(...) outside "
+                   "src/scenario/builtin.cpp — scenarios register at the "
+                   "one blessed site so the registry's contents never "
+                   "depend on which translation units were linked"});
+  }
+}
+
+// -------------------------------------------------------------------
 // Suppressions: `// distsketch-lint: allow(<rule>) -- <why>`.
 // -------------------------------------------------------------------
 
@@ -379,7 +411,7 @@ void parse_suppressions(const SourceFile& file,
                         std::vector<Finding>& bad) {
   static const std::set<std::string> kKnownRules = {
       kRuleChargeSite, kRuleDeterminism, kRuleUnorderedIteration,
-      kRuleLayering, kRuleObsOwner};
+      kRuleLayering, kRuleObsOwner, kRuleScenarioRegistry};
   static constexpr std::string_view kMarker = "distsketch-lint:";
   for (const Comment& c : comments) {
     // The marker must open the comment (modulo whitespace): prose or doc
@@ -436,6 +468,7 @@ std::vector<Finding> run_rules(const SourceFile& file,
   rule_unordered_iteration(file, lx.tokens, findings);
   rule_layering(file, lx, config.layers, findings);
   rule_obs_owner(file, lx.tokens, config.owners, findings);
+  rule_scenario_registry(file, lx.tokens, findings);
 
   std::vector<Suppression> sups;
   std::vector<Finding> bad;

@@ -19,6 +19,12 @@
 //   obs-owner            obs::counter("x")/obs::histogram("x")
 //                        registration only in the series' owner file
 //                        per tools/lint/obs_owners.toml.
+//   scenario-registry    scenario::register_scenario(...) calls only in
+//                        src/scenario/builtin.cpp (and the registry's
+//                        own declaration/definition files) — one
+//                        registration site, so `--scenario <id>` and
+//                        scenario::all() can never disagree about what
+//                        families exist.
 //
 // Findings can be suppressed with a justification-required comment on
 // the same line or the line above:
@@ -42,6 +48,7 @@ inline constexpr const char* kRuleDeterminism = "determinism";
 inline constexpr const char* kRuleUnorderedIteration = "unordered-iteration";
 inline constexpr const char* kRuleLayering = "layering";
 inline constexpr const char* kRuleObsOwner = "obs-owner";
+inline constexpr const char* kRuleScenarioRegistry = "scenario-registry";
 inline constexpr const char* kRuleBadSuppression = "bad-suppression";
 
 struct Finding {
